@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper at the FULL profile
+(the paper's process counts) and prints the resulting rows, so running
+
+    pytest benchmarks/ --benchmark-only
+
+produces the complete reproduction report.  Each experiment is executed once
+per benchmark (``rounds=1``) because a single data point already involves
+dozens of simulated application runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import pytest
+
+from repro.analysis.reporting import format_table
+
+
+def run_experiment(benchmark, experiment: Callable[[], Dict[str, object]]) -> Dict[str, object]:
+    """Run ``experiment`` exactly once under pytest-benchmark and print its tables."""
+    result = benchmark.pedantic(experiment, rounds=1, iterations=1, warmup_rounds=0)
+    for key in ("table", "diff_table", "restart_table"):
+        if key in result:
+            print()
+            print(format_table(result[key]))
+    return result
+
+
+@pytest.fixture(scope="session")
+def full_profile():
+    """The paper-scale experiment profile."""
+    from repro.experiments.config import FULL
+
+    return FULL
+
+
+def bench_profile():
+    """Profile used by the benchmark files.
+
+    Defaults to the paper-scale FULL profile; set ``REPRO_BENCH_PROFILE=quick``
+    to regenerate every figure at the reduced test scale (useful on small or
+    time-limited machines).
+    """
+    import os
+
+    from repro.experiments.config import profile_by_name
+
+    return profile_by_name(os.environ.get("REPRO_BENCH_PROFILE", "full"))

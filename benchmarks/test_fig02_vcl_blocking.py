@@ -1,0 +1,20 @@
+"""Figure 2: MPICH-VCL's non-blocking checkpoint becomes blocking at scale on NPB CG: the fraction of checkpoint time without any message progress grows sharply from the small to the large configuration.
+
+Regenerates the data behind the paper's Figure 2 at the paper's scales and
+checks the qualitative claim (ordering/trend), not absolute seconds.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from conftest import bench_profile, run_experiment
+
+FULL = bench_profile()
+
+
+@pytest.mark.benchmark(group="figure-2")
+def test_fig02_vcl_blocking(benchmark):
+    """Reproduce Figure 2 and verify its qualitative shape."""
+    result = run_experiment(benchmark, lambda: figures.figure2(FULL))
+    gaps = result['series'][0]
+    assert gaps.y[-1] >= gaps.y[0], 'blocking must not decrease with scale'

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Pick checkpoint groups and intervals for a failure-prone cluster.
+
+The paper's closing argument is operational: because group-based checkpoints
+are cheap, they can be taken more often, so less work is lost per failure —
+and only the affected group has to roll back.  This example puts numbers on
+that argument for a large HPL-like job:
+
+1. measure the per-checkpoint cost of GP vs NORM on a 64-process run,
+2. combine it with an exponential node-failure model to compute each method's
+   optimal checkpoint interval (Young's approximation) and expected overhead,
+3. show the rollback scope (how many processes restart) after one node fails,
+4. inject failures from the model and report the expected lost work.
+
+Run:  python examples/failure_aware_intervals.py
+"""
+
+from repro.analysis.advisor import expected_overhead_fraction, suggest_checkpoint_interval
+from repro.analysis.metrics import mean_checkpoint_duration
+from repro.analysis.reporting import Table, format_table
+from repro.ckpt import one_shot
+from repro.ckpt.presets import gp_family, norm_family
+from repro.cluster import GIDEON_300, Cluster
+from repro.cluster.failure import ExponentialFailureModel, expected_lost_work
+from repro.core import CheckpointCoordinator, form_groups
+from repro.mpi import MpiRuntime, Tracer
+from repro.sim import RandomStreams, Simulator
+from repro.workloads import HplWorkload
+from repro.workloads.hpl import HplParameters
+
+N_RANKS = 64
+HPL = HplParameters(problem_size=12000, block_size=300, grid_rows=8, max_steps=20)
+MTBF_PER_NODE_HOURS = 800.0  # a realistic commodity-node figure
+
+
+def measure_checkpoint_cost(family, workload, seed=4):
+    spec = GIDEON_300.with_nodes(N_RANKS)
+    sim = Simulator()
+    cluster = Cluster(sim, spec)
+    runtime = MpiRuntime(sim, cluster, N_RANKS, protocol_family=family,
+                         rng=RandomStreams(seed))
+    runtime.set_memory(workload.memory_map())
+    CheckpointCoordinator(runtime, family, one_shot(6.0)).start()
+    runtime.launch(workload.program_factory())
+    result = runtime.run_to_completion()
+    return mean_checkpoint_duration(result.checkpoint_records), result
+
+
+def main() -> None:
+    workload = HplWorkload(N_RANKS, HPL)
+    print(f"Workload: {workload.describe()}")
+
+    # learn groups from a trace
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(N_RANKS))
+    tracer = Tracer()
+    runtime = MpiRuntime(sim, cluster, N_RANKS, rng=RandomStreams(0), tracer=tracer)
+    runtime.set_memory(workload.memory_map())
+    runtime.launch(workload.program_factory())
+    runtime.run_to_completion()
+    groups = form_groups(tracer.log, max_group_size=8, n_ranks=N_RANKS).groupset
+    print(f"Groups: {groups.describe()}\n")
+
+    # 1. measured per-checkpoint cost per method
+    costs = {}
+    for name, family in (("GP", gp_family(groups)), ("NORM", norm_family(N_RANKS))):
+        cost, _ = measure_checkpoint_cost(family, workload)
+        costs[name] = cost
+
+    # 2. failure model and optimal intervals
+    model = ExponentialFailureModel(MTBF_PER_NODE_HOURS * 3600.0, rng=RandomStreams(1))
+    system_mtbf = model.system_mtbf(N_RANKS)
+    print(f"System MTBF with {N_RANKS} nodes: {system_mtbf / 3600.0:.1f} hours\n")
+
+    table = Table(
+        title="Fault-tolerance planning",
+        columns=["method", "ckpt cost (s)", "optimal interval (s)",
+                 "overhead fraction", "rollback scope (procs)"],
+    )
+    for name, cost in costs.items():
+        suggestion = suggest_checkpoint_interval(cost, system_mtbf)
+        overhead = expected_overhead_fraction(suggestion.interval_s, cost, system_mtbf)
+        scope = len(groups.members(0)) if name == "GP" else N_RANKS
+        table.add_row(name, cost, suggestion.interval_s, overhead, scope)
+    print(format_table(table))
+
+    # 3. expected lost work for a concrete failure drawn from the model
+    failures = model.failures(horizon=system_mtbf * 3, n_nodes=N_RANKS)
+    if failures:
+        first = failures[0]
+        print(f"\nFirst injected failure: node {first.node} at t={first.time / 3600.0:.1f} h")
+        for name, cost in costs.items():
+            interval = suggest_checkpoint_interval(cost, system_mtbf).interval_s
+            ckpts = [i * interval for i in range(1, int(first.time / interval) + 1)]
+            loss = expected_lost_work(interval, first.time, ckpts)
+            print(f"  {name:4s}: checkpoints every {interval:6.0f} s -> "
+                  f"expected lost work {loss:6.0f} s")
+    print("\nThe cheaper group-based checkpoint affords a shorter interval, which both")
+    print("lowers the steady-state overhead and shrinks the work lost per failure.")
+
+
+if __name__ == "__main__":
+    main()

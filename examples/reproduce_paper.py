@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one go.
+
+By default this uses the QUICK profile (reduced scales, minutes of runtime);
+pass ``--full`` to run the paper-scale sweeps (the same data the benchmark
+harness produces, tens of minutes).
+
+Run:  python examples/reproduce_paper.py [--full] [--only figure6 figure14 ...]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.analysis.reporting import format_table
+from repro.experiments import figures
+from repro.experiments.config import FULL, QUICK
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper-scale FULL profile (slow)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help="subset of experiments to run (e.g. figure6 table1)")
+    args = parser.parse_args(argv)
+
+    profile = FULL if args.full else QUICK
+    targets = args.only if args.only else list(figures.ALL_EXPERIMENTS)
+    unknown = [t for t in targets if t not in figures.ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; "
+                     f"available: {sorted(figures.ALL_EXPERIMENTS)}")
+
+    print(f"Profile: {profile.name} "
+          f"(HPL scales {profile.hpl_scales}, CG scales {profile.cg_scales})\n")
+    for name in targets:
+        start = time.time()
+        result = figures.ALL_EXPERIMENTS[name](profile)
+        elapsed = time.time() - start
+        print(f"=== {name}  [{elapsed:.1f}s] " + "=" * max(0, 60 - len(name)))
+        for key in ("table", "diff_table", "restart_table"):
+            if key in result:
+                print(format_table(result[key]))
+                print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+"""repro — reproduction of "Scalable Group-based Checkpoint/Restart for
+Large-Scale Message-passing Systems" (Ho, Wang, Lau — IPDPS 2008).
+
+The package is organised bottom-up:
+
+* :mod:`repro.sim` — a generator-based discrete-event simulation kernel,
+* :mod:`repro.cluster` — nodes, network, storage and failure models,
+* :mod:`repro.mpi` — an MPI-like runtime, collectives, and the trace/tracer,
+* :mod:`repro.ckpt` — checkpoint substrates (BLCR model, sender logs) and the
+  baseline protocols (blocking coordinated / Chandy–Lamport),
+* :mod:`repro.core` — the paper's contribution: the group-based protocol,
+  trace-assisted group formation, the checkpoint coordinator and restart,
+* :mod:`repro.workloads` — HPL / NPB CG / NPB SP communication patterns,
+* :mod:`repro.analysis` — metrics and report builders,
+* :mod:`repro.experiments` — one entry point per paper figure/table.
+"""
+
+from repro.sim import Simulator, RandomStreams
+from repro.cluster import Cluster, ClusterSpec, GIDEON_300
+from repro.mpi import MpiRuntime, Tracer, TraceLog
+from repro.ckpt import ProtocolConfig, CheckpointSchedule, one_shot, periodic
+from repro.ckpt.presets import (
+    norm_family,
+    gp1_family,
+    gp4_family,
+    gp_family,
+    gp_family_from_trace,
+    vcl_family,
+)
+from repro.core import (
+    GroupSet,
+    GroupProtocolFamily,
+    form_groups,
+    CheckpointCoordinator,
+    simulate_restart,
+)
+from repro.workloads import HplWorkload, CgWorkload, SpWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "RandomStreams",
+    "Cluster",
+    "ClusterSpec",
+    "GIDEON_300",
+    "MpiRuntime",
+    "Tracer",
+    "TraceLog",
+    "ProtocolConfig",
+    "CheckpointSchedule",
+    "one_shot",
+    "periodic",
+    "norm_family",
+    "gp1_family",
+    "gp4_family",
+    "gp_family",
+    "gp_family_from_trace",
+    "vcl_family",
+    "GroupSet",
+    "GroupProtocolFamily",
+    "form_groups",
+    "CheckpointCoordinator",
+    "simulate_restart",
+    "HplWorkload",
+    "CgWorkload",
+    "SpWorkload",
+    "__version__",
+]

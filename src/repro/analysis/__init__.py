@@ -1,0 +1,35 @@
+"""Analysis utilities: metrics, trace statistics, report/series builders."""
+
+from repro.analysis.metrics import (
+    CheckpointBreakdown,
+    stage_breakdown,
+    aggregate_checkpoint_time,
+    aggregate_coordination_time,
+    aggregate_restart_time,
+    progress_gap_fraction,
+    checkpoint_windows,
+)
+from repro.analysis.trace_analysis import (
+    communication_summary,
+    top_pairs,
+    pair_volume_histogram,
+)
+from repro.analysis.reporting import Series, Table, format_table
+from repro.analysis.advisor import suggest_checkpoint_interval
+
+__all__ = [
+    "CheckpointBreakdown",
+    "stage_breakdown",
+    "aggregate_checkpoint_time",
+    "aggregate_coordination_time",
+    "aggregate_restart_time",
+    "progress_gap_fraction",
+    "checkpoint_windows",
+    "communication_summary",
+    "top_pairs",
+    "pair_volume_histogram",
+    "Series",
+    "Table",
+    "format_table",
+    "suggest_checkpoint_interval",
+]

@@ -1,0 +1,102 @@
+"""Checkpoint-interval advisor.
+
+The paper's future-work section suggests using the communication trace (and
+the measured per-checkpoint cost) to pick a good fixed checkpoint interval.
+This module implements the classic first-order optimum (Young's
+approximation) plus a small refinement that accounts for the extra steady-
+state overhead message logging adds under the group-based scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class IntervalSuggestion:
+    """Suggested checkpoint interval and the quantities behind it."""
+
+    interval_s: float
+    checkpoint_cost_s: float
+    mtbf_s: float
+    expected_checkpoints_per_failure: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"checkpoint every {self.interval_s:.0f}s "
+            f"(cost {self.checkpoint_cost_s:.1f}s, MTBF {self.mtbf_s:.0f}s)"
+        )
+
+
+def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's approximation: T_opt = sqrt(2 · C · MTBF)."""
+    if checkpoint_cost_s <= 0:
+        raise ValueError("checkpoint_cost_s must be positive")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def suggest_checkpoint_interval(
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    logging_overhead_fraction: float = 0.0,
+    min_interval_s: Optional[float] = None,
+) -> IntervalSuggestion:
+    """Suggest a fixed checkpoint interval.
+
+    Parameters
+    ----------
+    checkpoint_cost_s:
+        Average per-checkpoint wall-clock cost for the chosen grouping method
+        (e.g. from :func:`repro.analysis.metrics.mean_checkpoint_duration`).
+    mtbf_s:
+        System mean time between failures (see
+        :meth:`repro.cluster.failure.ExponentialFailureModel.system_mtbf`).
+    logging_overhead_fraction:
+        Steady-state slowdown caused by message logging (0.02 = 2%).  Logging
+        makes *work* slightly more expensive but checkpoints cheaper, shifting
+        the optimum towards more frequent checkpoints; the refinement scales
+        the cost term accordingly.
+    min_interval_s:
+        Optional floor (a checkpoint cannot be scheduled more often than it
+        takes to complete).
+    """
+    if not 0.0 <= logging_overhead_fraction < 1.0:
+        raise ValueError("logging_overhead_fraction must be in [0, 1)")
+    effective_cost = checkpoint_cost_s * (1.0 - logging_overhead_fraction)
+    interval = young_interval(max(effective_cost, 1e-9), mtbf_s)
+    floor = max(min_interval_s or 0.0, checkpoint_cost_s)
+    interval = max(interval, floor)
+    return IntervalSuggestion(
+        interval_s=interval,
+        checkpoint_cost_s=checkpoint_cost_s,
+        mtbf_s=mtbf_s,
+        expected_checkpoints_per_failure=mtbf_s / interval if interval > 0 else 0.0,
+    )
+
+
+def expected_overhead_fraction(
+    interval_s: float,
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    restart_cost_s: float = 0.0,
+) -> float:
+    """First-order expected overhead of periodic checkpointing.
+
+    Overhead = time spent checkpointing + expected rework after a failure +
+    restart cost, as a fraction of useful work.  Used by the ablation bench to
+    compare grouping methods end to end.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval_s must be positive")
+    if mtbf_s <= 0:
+        raise ValueError("mtbf_s must be positive")
+    if checkpoint_cost_s < 0 or restart_cost_s < 0:
+        raise ValueError("costs must be non-negative")
+    checkpoint_term = checkpoint_cost_s / interval_s
+    rework_term = (interval_s / 2.0 + restart_cost_s) / mtbf_s
+    return checkpoint_term + rework_term

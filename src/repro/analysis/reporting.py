@@ -1,0 +1,105 @@
+"""Tiny report/series builders used by the experiment harness and benches.
+
+The benchmark harness prints, for every figure and table of the paper, the
+same rows/series the paper reports.  :class:`Series` holds one named line of
+a figure (x values + y values), :class:`Table` a small labelled grid, and
+:func:`format_table` renders either as monospace text for the bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Series:
+    """One named data series (a line in a figure)."""
+
+    name: str
+    x: List[Number] = field(default_factory=list)
+    y: List[Number] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have the same length")
+
+    def append(self, x: Number, y: Number) -> None:
+        """Add one point."""
+        self.x.append(x)
+        self.y.append(y)
+
+    def as_dict(self) -> Dict[Number, Number]:
+        """Mapping x → y (x values must be unique)."""
+        return dict(zip(self.x, self.y))
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class Table:
+    """A labelled grid of values (rows × columns)."""
+
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        """Append one row (must match the number of columns)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values but table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[object]:
+        """All values of one named column."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError as exc:
+            raise KeyError(f"no column named {name!r}") from exc
+        return [row[idx] for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a :class:`Table` as monospace text."""
+    header = [table.columns]
+    body = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [
+        max(len(str(row[i])) for row in header + body) for i in range(len(table.columns))
+    ]
+    lines = [table.title, "-" * len(table.title)]
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(table.columns, widths)))
+    for row in body:
+        lines.append("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(title: str, series: Sequence[Series], x_label: str = "x") -> Table:
+    """Merge several series (sharing x values) into one table for printing."""
+    xs: List[Number] = []
+    for s in series:
+        for x in s.x:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    table = Table(title=title, columns=[x_label] + [s.name for s in series])
+    for x in xs:
+        row: List[object] = [x]
+        for s in series:
+            row.append(s.as_dict().get(x, ""))
+        table.add_row(*row)
+    return table

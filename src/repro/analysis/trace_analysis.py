@@ -1,0 +1,108 @@
+"""Trace statistics: communication matrices, top pairs, and volume histograms.
+
+The paper visualises MPI traces as message diagrams (Figure 2) and feeds them
+into the group formation.  These helpers provide the aggregate views used by
+the experiment harness and by anyone inspecting a trace by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.mpi.trace import TraceLog
+
+
+@dataclass(frozen=True)
+class CommunicationSummary:
+    """High-level statistics of a trace."""
+
+    n_ranks: int
+    total_messages: int
+    total_bytes: int
+    distinct_pairs: int
+    mean_message_bytes: float
+    max_pair_bytes: int
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.total_messages} msgs / {self.total_bytes / 1e6:.1f} MB over "
+            f"{self.distinct_pairs} pairs ({self.n_ranks} ranks)"
+        )
+
+
+def communication_summary(trace: TraceLog) -> CommunicationSummary:
+    """Compute :class:`CommunicationSummary` for a trace."""
+    totals = trace.pair_totals()
+    total_msgs = trace.total_messages
+    total_bytes = trace.total_bytes
+    max_pair = max((size for _, size in totals.values()), default=0)
+    return CommunicationSummary(
+        n_ranks=trace.n_ranks,
+        total_messages=total_msgs,
+        total_bytes=total_bytes,
+        distinct_pairs=len(totals),
+        mean_message_bytes=(total_bytes / total_msgs) if total_msgs else 0.0,
+        max_pair_bytes=max_pair,
+    )
+
+
+def top_pairs(trace: TraceLog, k: int = 10) -> List[Tuple[Tuple[int, int], int, int]]:
+    """The ``k`` most heavily communicating unordered pairs.
+
+    Returns a list of ``((a, b), message_count, total_bytes)`` sorted by total
+    bytes descending (the same ordering Algorithm 2 uses).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    totals = trace.pair_totals()
+    items = [(pair, count, size) for pair, (count, size) in totals.items()]
+    items.sort(key=lambda item: (-item[2], -item[1], item[0]))
+    return items[:k]
+
+
+def pair_volume_histogram(trace: TraceLog, n_bins: int = 10) -> Dict[str, List[float]]:
+    """Histogram of per-pair byte totals (log-spaced bins).
+
+    Returns ``{"edges": [...], "counts": [...]}``; useful for judging whether
+    the communication graph has the strong "communities" group formation
+    exploits.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    totals = [size for _, size in trace.pair_totals().values() if size > 0]
+    if not totals:
+        return {"edges": [], "counts": []}
+    lo, hi = min(totals), max(totals)
+    if lo == hi:
+        return {"edges": [float(lo), float(hi)], "counts": [float(len(totals))]}
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    # guard against floating-point rounding excluding the largest value
+    edges[-1] = hi * (1.0 + 1e-9)
+    counts, _ = np.histogram(totals, bins=edges)
+    return {"edges": [float(e) for e in edges], "counts": [float(c) for c in counts]}
+
+
+def volume_by_rank(trace: TraceLog) -> Dict[int, Tuple[int, int]]:
+    """Per-rank (bytes sent, bytes received) totals."""
+    out: Dict[int, Tuple[int, int]] = {}
+    for rec in trace:
+        sent, received = out.get(rec.src, (0, 0))
+        out[rec.src] = (sent + rec.nbytes, received)
+        sent, received = out.get(rec.dst, (0, 0))
+        out[rec.dst] = (sent, received + rec.nbytes)
+    return out
+
+
+def imbalance_factor(trace: TraceLog) -> float:
+    """Max-over-mean ratio of per-rank communication volume (1.0 = perfectly balanced)."""
+    volumes = [sent + received for sent, received in volume_by_rank(trace).values()]
+    if not volumes:
+        return 1.0
+    mean = sum(volumes) / len(volumes)
+    if mean == 0:
+        return 1.0
+    return max(volumes) / mean

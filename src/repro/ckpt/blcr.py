@@ -1,0 +1,87 @@
+"""BLCR-like system-level checkpointer model.
+
+The paper uses Berkeley Lab Checkpoint/Restart (BLCR 0.4.2) underneath
+LAM/MPI: when a process checkpoints, its entire memory image is written to
+storage; on restart the image is read back and the process re-created.  From
+the protocol's point of view the relevant costs are
+
+* a small quiesce/fork overhead before bytes start flowing,
+* the image transfer itself (image size ÷ storage bandwidth, including any
+  contention on shared checkpoint servers), and
+* a restore cost on restart (image read + process re-creation).
+
+The image size equals the application's resident set plus a fixed overhead
+for the runtime (text, stacks, MPI library buffers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.storage import StorageSystem
+    from repro.sim.engine import Simulator
+    from repro.sim.primitives import Event
+
+
+@dataclass(frozen=True)
+class BlcrModel:
+    """Cost model of the system-level checkpointer.
+
+    Parameters
+    ----------
+    runtime_overhead_bytes:
+        Bytes added to every image on top of the application's data
+        (program text, stacks, MPI library state).
+    dump_fork_s:
+        Time to quiesce threads and set up the dump before I/O starts.
+    restore_exec_s:
+        Time to re-create the process (fork/exec, map segments) on restart,
+        excluding the image read itself.
+    """
+
+    runtime_overhead_bytes: int = 16 * 1024 * 1024
+    dump_fork_s: float = 0.05
+    restore_exec_s: float = 0.20
+
+    def __post_init__(self) -> None:
+        if self.runtime_overhead_bytes < 0:
+            raise ValueError("runtime_overhead_bytes must be non-negative")
+        if self.dump_fork_s < 0 or self.restore_exec_s < 0:
+            raise ValueError("timing constants must be non-negative")
+
+    def image_bytes(self, app_memory_bytes: int) -> int:
+        """Checkpoint image size for an application using ``app_memory_bytes``."""
+        if app_memory_bytes < 0:
+            raise ValueError("app_memory_bytes must be non-negative")
+        return app_memory_bytes + self.runtime_overhead_bytes
+
+    # -- simulated operations ------------------------------------------------
+    def dump(
+        self,
+        sim: "Simulator",
+        storage: "StorageSystem",
+        node: int,
+        app_memory_bytes: int,
+    ) -> Generator["Event", None, float]:
+        """Write one checkpoint image; returns the elapsed time."""
+        start = sim.now
+        yield sim.timeout(self.dump_fork_s)
+        size = self.image_bytes(app_memory_bytes)
+        yield from storage.write(node, size)
+        return sim.now - start
+
+    def restore(
+        self,
+        sim: "Simulator",
+        storage: "StorageSystem",
+        node: int,
+        app_memory_bytes: int,
+    ) -> Generator["Event", None, float]:
+        """Read one checkpoint image back and re-create the process."""
+        start = sim.now
+        size = self.image_bytes(app_memory_bytes)
+        yield from storage.read(node, size)
+        yield sim.timeout(self.restore_exec_s)
+        return sim.now - start

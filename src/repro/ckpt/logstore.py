@@ -1,0 +1,159 @@
+"""Sender-based message log.
+
+Under the group-based scheme every *inter-group* message is logged
+asynchronously by its sender (Algorithm 1); under GP1 (uncoordinated) every
+message is logged.  The log lives in the sender's memory and is flushed to
+storage right before a checkpoint, so each successful checkpoint comes with a
+correct, persistent set of message logs.
+
+Garbage collection: when the first message is sent to a peer after a
+checkpoint, the sender piggybacks ``RR_peer`` (the bytes it had received from
+that peer before its latest checkpoint).  The peer uses the value to discard
+log entries that the sender will never need replayed (the classic sender-based
+logging GC from the paper).  Here the *receiver* of the piggyback trims its
+own log for that channel up to the acknowledged byte offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged message: destination, payload size and cumulative offset.
+
+    ``end_offset`` is the value of the channel's cumulative sent-byte counter
+    *after* this message; entries with ``end_offset <= acknowledged`` can be
+    garbage collected.
+    """
+
+    dst: int
+    nbytes: int
+    end_offset: int
+    timestamp: float
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError("dst must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.end_offset < self.nbytes:
+            raise ValueError("end_offset must be at least nbytes")
+
+
+class SenderLog:
+    """In-memory sender-side message log with flush and GC bookkeeping."""
+
+    def __init__(self, rank: int) -> None:
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        self.rank = rank
+        self._entries: Dict[int, List[LogEntry]] = {}
+        #: bytes appended since the last flush (what the next flush must persist)
+        self.unflushed_bytes = 0
+        #: cumulative bytes ever appended (monotone, for accounting)
+        self.total_logged_bytes = 0
+        self.total_logged_messages = 0
+        #: cumulative bytes discarded by garbage collection
+        self.gc_bytes = 0
+
+    # -- appending ----------------------------------------------------------
+    def append(self, dst: int, nbytes: int, end_offset: int, timestamp: float) -> LogEntry:
+        """Log one outgoing message to ``dst``."""
+        entry = LogEntry(dst=dst, nbytes=nbytes, end_offset=end_offset, timestamp=timestamp)
+        self._entries.setdefault(dst, []).append(entry)
+        self.unflushed_bytes += nbytes
+        self.total_logged_bytes += nbytes
+        self.total_logged_messages += 1
+        return entry
+
+    # -- queries --------------------------------------------------------------
+    def entries_for(self, dst: int) -> List[LogEntry]:
+        """Retained entries for destination ``dst`` (oldest first)."""
+        return list(self._entries.get(dst, []))
+
+    def bytes_for(self, dst: int) -> int:
+        """Retained bytes for destination ``dst``."""
+        return sum(e.nbytes for e in self._entries.get(dst, []))
+
+    def messages_for(self, dst: int) -> int:
+        """Retained entry count for destination ``dst``."""
+        return len(self._entries.get(dst, []))
+
+    def destinations(self) -> List[int]:
+        """Destinations with at least one retained entry."""
+        return [dst for dst, entries in self._entries.items() if entries]
+
+    @property
+    def retained_bytes(self) -> int:
+        """Total bytes currently retained across all destinations."""
+        return sum(e.nbytes for entries in self._entries.values() for e in entries)
+
+    def bytes_by_destination(self) -> Dict[int, int]:
+        """Mapping of destination → retained bytes."""
+        return {dst: self.bytes_for(dst) for dst in self.destinations()}
+
+    def messages_by_destination(self) -> Dict[int, int]:
+        """Mapping of destination → retained entry count."""
+        return {dst: self.messages_for(dst) for dst in self.destinations()}
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        for entries in self._entries.values():
+            yield from entries
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._entries.values())
+
+    # -- flush / GC ------------------------------------------------------------
+    def mark_flushed(self) -> int:
+        """Mark all appended data as persisted; returns the bytes that needed flushing."""
+        flushed = self.unflushed_bytes
+        self.unflushed_bytes = 0
+        return flushed
+
+    def garbage_collect(self, dst: int, acknowledged_offset: int) -> int:
+        """Discard entries for ``dst`` fully covered by ``acknowledged_offset``.
+
+        ``acknowledged_offset`` is the peer's piggybacked ``RR`` value — the
+        cumulative bytes the peer had received from us before its latest
+        checkpoint.  Entries whose ``end_offset`` does not exceed it can never
+        be requested for replay again.  Returns the number of bytes discarded.
+        """
+        if acknowledged_offset < 0:
+            raise ValueError("acknowledged_offset must be non-negative")
+        entries = self._entries.get(dst)
+        if not entries:
+            return 0
+        kept: List[LogEntry] = []
+        discarded = 0
+        for entry in entries:
+            if entry.end_offset <= acknowledged_offset:
+                discarded += entry.nbytes
+            else:
+                kept.append(entry)
+        self._entries[dst] = kept
+        self.gc_bytes += discarded
+        return discarded
+
+    def replay_plan(self, dst: int, receiver_rr: int) -> List[LogEntry]:
+        """Entries that must be replayed to ``dst`` during a restart.
+
+        ``receiver_rr`` is the peer's recorded received-byte count at *its*
+        checkpoint; everything logged beyond that offset must be resent.
+        """
+        if receiver_rr < 0:
+            raise ValueError("receiver_rr must be non-negative")
+        return [e for e in self._entries.get(dst, []) if e.end_offset > receiver_rr]
+
+    def clear(self) -> None:
+        """Drop the whole log (used when a checkpoint supersedes everything)."""
+        self._entries.clear()
+        self.unflushed_bytes = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SenderLog rank={self.rank} retained={self.retained_bytes}B "
+            f"unflushed={self.unflushed_bytes}B gc={self.gc_bytes}B>"
+        )

@@ -1,0 +1,115 @@
+"""Checkpoint request scheduling.
+
+``mpirun`` (modelled by :class:`repro.core.coordinator.CheckpointCoordinator`)
+receives checkpoint requests "from the system or the user" and propagates them
+to the MPI processes.  A :class:`CheckpointSchedule` describes *when* those
+requests arrive: a one-shot request at a fixed time (the paper's t = 60 s
+experiments) or periodic requests at a fixed interval (the Figure 10 and
+Figure 13 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class CheckpointSchedule:
+    """A (possibly unbounded) series of checkpoint request times.
+
+    Parameters
+    ----------
+    times:
+        Explicit request times (seconds since application start).
+    interval_s:
+        If set, additional requests are generated every ``interval_s``
+        starting at ``first_at`` (defaults to ``interval_s``), until the
+        application finishes or ``max_checkpoints`` is reached.
+    first_at:
+        Time of the first periodic request.
+    max_checkpoints:
+        Upper bound on the number of periodic requests (None = unbounded).
+    """
+
+    times: tuple = field(default_factory=tuple)
+    interval_s: Optional[float] = None
+    first_at: Optional[float] = None
+    max_checkpoints: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for t in self.times:
+            if t < 0:
+                raise ValueError("checkpoint times must be non-negative")
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ValueError("interval_s must be positive (or None)")
+        if self.first_at is not None and self.first_at < 0:
+            raise ValueError("first_at must be non-negative")
+        if self.max_checkpoints is not None and self.max_checkpoints < 0:
+            raise ValueError("max_checkpoints must be non-negative")
+
+    @property
+    def is_periodic(self) -> bool:
+        """True if this schedule generates requests at a fixed interval."""
+        return self.interval_s is not None
+
+    def request_times(self, horizon_s: float) -> List[float]:
+        """All request times strictly before ``horizon_s``, sorted."""
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+        out = [t for t in self.times if t < horizon_s]
+        if self.interval_s is not None:
+            start = self.first_at if self.first_at is not None else self.interval_s
+            t = start
+            count = 0
+            while t < horizon_s:
+                if self.max_checkpoints is not None and count >= self.max_checkpoints:
+                    break
+                out.append(t)
+                count += 1
+                t += self.interval_s
+        return sorted(out)
+
+    def iterate(self) -> Iterator[float]:
+        """Unbounded iterator over request times (explicit ones first)."""
+        for t in sorted(self.times):
+            yield t
+        if self.interval_s is not None:
+            start = self.first_at if self.first_at is not None else self.interval_s
+            t = start
+            count = 0
+            while self.max_checkpoints is None or count < self.max_checkpoints:
+                yield t
+                count += 1
+                t += self.interval_s
+
+
+def one_shot(at_s: float) -> CheckpointSchedule:
+    """A single checkpoint request at ``at_s`` (the paper's t = 60 s scenario)."""
+    if at_s < 0:
+        raise ValueError("at_s must be non-negative")
+    return CheckpointSchedule(times=(at_s,))
+
+
+def periodic(
+    interval_s: float,
+    first_at: Optional[float] = None,
+    max_checkpoints: Optional[int] = None,
+) -> CheckpointSchedule:
+    """Checkpoint requests every ``interval_s`` seconds (Figures 10 and 13)."""
+    return CheckpointSchedule(interval_s=interval_s, first_at=first_at, max_checkpoints=max_checkpoints)
+
+
+def no_checkpoints() -> CheckpointSchedule:
+    """The interval-0 configuration of Figure 10: never checkpoint."""
+    return CheckpointSchedule()
+
+
+def schedule_from_intervals(intervals: Sequence[float]) -> List[CheckpointSchedule]:
+    """Map the paper's interval sweep (0 means "no checkpoints") onto schedules."""
+    out: List[CheckpointSchedule] = []
+    for interval in intervals:
+        if interval < 0:
+            raise ValueError("intervals must be non-negative")
+        out.append(no_checkpoints() if interval == 0 else periodic(interval))
+    return out

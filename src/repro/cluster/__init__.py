@@ -1,0 +1,52 @@
+"""Cluster hardware substrate.
+
+Models the pieces of the HKU Gideon 300 cluster (and variations of it) that
+the checkpoint/restart protocols interact with:
+
+* :class:`~repro.cluster.node.Node` — a compute node with CPU speed and
+  physical memory,
+* :class:`~repro.cluster.network.Network` — a latency/bandwidth switched
+  network with per-NIC serialisation (Fast Ethernet by default),
+* :class:`~repro.cluster.storage.LocalDiskArray` and
+  :class:`~repro.cluster.storage.RemoteStorageServers` — where checkpoint
+  images and message logs are written,
+* :class:`~repro.cluster.topology.ClusterSpec` / :class:`Cluster` — a bundle
+  of all of the above plus process placement,
+* :class:`~repro.cluster.failure.FailureModel` — failure injection.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.network import Network, NetworkSpec, FAST_ETHERNET, GIGABIT_ETHERNET, INFINIBAND_SDR
+from repro.cluster.storage import (
+    StorageSpec,
+    LocalDiskArray,
+    RemoteStorageServers,
+    StorageSystem,
+    LOCAL_IDE_DISK,
+    NFS_CHECKPOINT_SERVER,
+)
+from repro.cluster.topology import ClusterSpec, Cluster, GIDEON_300
+from repro.cluster.failure import FailureModel, FailureEvent, ExponentialFailureModel, TraceFailureModel
+
+__all__ = [
+    "Node",
+    "NodeSpec",
+    "Network",
+    "NetworkSpec",
+    "FAST_ETHERNET",
+    "GIGABIT_ETHERNET",
+    "INFINIBAND_SDR",
+    "StorageSpec",
+    "LocalDiskArray",
+    "RemoteStorageServers",
+    "StorageSystem",
+    "LOCAL_IDE_DISK",
+    "NFS_CHECKPOINT_SERVER",
+    "ClusterSpec",
+    "Cluster",
+    "GIDEON_300",
+    "FailureModel",
+    "FailureEvent",
+    "ExponentialFailureModel",
+    "TraceFailureModel",
+]

@@ -1,0 +1,140 @@
+"""Failure injection models.
+
+The paper motivates group-based checkpointing with the observation that
+failures usually hit a small region of a large system, so a *global* restart
+throws away the work of all the healthy processes.  The failure models here
+generate failure events (which node, at what time) that the experiment layer
+uses to study expected lost work under different grouping methods and
+checkpoint intervals (an extension experiment beyond the paper's figures,
+listed in DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True, order=True)
+class FailureEvent:
+    """A single node failure at a point in virtual time."""
+
+    time: float
+    node: int
+    cause: str = field(default="crash", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.node < 0:
+            raise ValueError("node must be non-negative")
+
+
+class FailureModel:
+    """Interface: produce the failures occurring within ``[0, horizon)``."""
+
+    def failures(self, horizon: float, n_nodes: int) -> List[FailureEvent]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def iterate(self, horizon: float, n_nodes: int) -> Iterator[FailureEvent]:
+        """Failures in chronological order."""
+        return iter(sorted(self.failures(horizon, n_nodes)))
+
+
+class ExponentialFailureModel(FailureModel):
+    """Independent exponential failures per node.
+
+    Parameters
+    ----------
+    mtbf_per_node_s:
+        Mean time between failures of a single node.  System MTBF is
+        ``mtbf_per_node_s / n_nodes``, which is how large systems become
+        failure-prone even with reliable components.
+    rng:
+        Named random streams; failures use the ``"failures"`` stream.
+    max_failures:
+        Optional cap on the number of generated events.
+    """
+
+    def __init__(
+        self,
+        mtbf_per_node_s: float,
+        rng: Optional[RandomStreams] = None,
+        max_failures: Optional[int] = None,
+    ) -> None:
+        if mtbf_per_node_s <= 0:
+            raise ValueError("mtbf_per_node_s must be positive")
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
+        self.mtbf_per_node_s = mtbf_per_node_s
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.max_failures = max_failures
+
+    def failures(self, horizon: float, n_nodes: int) -> List[FailureEvent]:
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        out: List[FailureEvent] = []
+        for node in range(n_nodes):
+            t = 0.0
+            while True:
+                t += self.rng.exponential(f"failures:node{node}", self.mtbf_per_node_s)
+                if t >= horizon:
+                    break
+                out.append(FailureEvent(time=t, node=node))
+        out.sort()
+        if self.max_failures is not None:
+            out = out[: self.max_failures]
+        return out
+
+    def system_mtbf(self, n_nodes: int) -> float:
+        """Expected time to the first failure anywhere in an ``n_nodes`` system."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return self.mtbf_per_node_s / n_nodes
+
+
+class TraceFailureModel(FailureModel):
+    """Failures replayed from an explicit list (deterministic scenarios)."""
+
+    def __init__(self, events: Sequence[FailureEvent]) -> None:
+        self._events = sorted(events)
+
+    def failures(self, horizon: float, n_nodes: int) -> List[FailureEvent]:
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        return [
+            ev
+            for ev in self._events
+            if ev.time < horizon and ev.node < n_nodes
+        ]
+
+
+def expected_lost_work(
+    checkpoint_interval_s: float,
+    failure_time_s: float,
+    checkpoint_times: Sequence[float],
+) -> float:
+    """Work lost by a failure at ``failure_time_s`` given completed checkpoints.
+
+    The lost work is the time elapsed since the most recent completed
+    checkpoint (or since the start of the run if none completed yet) —
+    exactly the quantity the paper argues is reduced when the group-based
+    scheme affords more frequent checkpoints (Figure 10 discussion).
+    ``checkpoint_interval_s`` is accepted for symmetry with analytic
+    formulas; it is only used to validate inputs.
+    """
+    if checkpoint_interval_s < 0:
+        raise ValueError("checkpoint_interval_s must be non-negative")
+    if failure_time_s < 0:
+        raise ValueError("failure_time_s must be non-negative")
+    last = 0.0
+    for t in checkpoint_times:
+        if t < 0:
+            raise ValueError("checkpoint times must be non-negative")
+        if t <= failure_time_s:
+            last = max(last, t)
+    return failure_time_s - last

@@ -1,0 +1,223 @@
+"""Switched-network model with per-NIC serialisation.
+
+The Gideon 300 cluster uses switched Fast Ethernet.  For the protocol
+measurements the relevant effects are:
+
+* a fixed per-message latency (software stack + switch),
+* a bandwidth-proportional transfer time,
+* serialisation at each node's NIC: a node sending (or receiving) several
+  messages at once shares its link, which is what makes "clearing in-transit
+  messages" and "replaying logs to many peers" expensive at scale.
+
+The model exposes a single coroutine, :meth:`Network.transfer`, which yields
+simulation events until the message has been fully delivered, and a cheaper
+closed-form estimate, :meth:`Network.transfer_time`, used by analytic helper
+code and for piggyback-only control messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, TYPE_CHECKING
+
+from repro.sim.primitives import Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Static description of the interconnect.
+
+    Parameters
+    ----------
+    latency_s:
+        One-way latency per message (seconds).
+    bandwidth_bytes_per_s:
+        Point-to-point bandwidth of a single NIC/link.
+    per_message_overhead_s:
+        Fixed CPU cost charged to the sender for every message (protocol
+        stack, memory copies).  This is where message-logging overhead adds
+        its extra copy cost.
+    switch_capacity:
+        Number of simultaneous transfers the switch fabric supports before
+        backpressure; ``None`` means non-blocking fabric (only NICs contend).
+    name:
+        Human-readable label.
+    """
+
+    latency_s: float = 100e-6
+    bandwidth_bytes_per_s: float = 11.5e6
+    per_message_overhead_s: float = 15e-6
+    switch_capacity: Optional[int] = None
+    name: str = "network"
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth_bytes_per_s must be positive")
+        if self.per_message_overhead_s < 0:
+            raise ValueError("per_message_overhead_s must be non-negative")
+        if self.switch_capacity is not None and self.switch_capacity < 1:
+            raise ValueError("switch_capacity must be >= 1 or None")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` through one link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.bandwidth_bytes_per_s
+
+
+#: 100 Mbit/s Fast Ethernet as used by the Gideon 300 cluster in the paper.
+FAST_ETHERNET = NetworkSpec(
+    latency_s=120e-6,
+    bandwidth_bytes_per_s=11.5e6,
+    per_message_overhead_s=20e-6,
+    name="fast-ethernet",
+)
+
+#: Gigabit Ethernet — used for the "faster network, larger groups" discussion.
+GIGABIT_ETHERNET = NetworkSpec(
+    latency_s=45e-6,
+    bandwidth_bytes_per_s=112e6,
+    per_message_overhead_s=10e-6,
+    name="gigabit-ethernet",
+)
+
+#: Single-data-rate InfiniBand, a stand-in for "high speed networks".
+INFINIBAND_SDR = NetworkSpec(
+    latency_s=5e-6,
+    bandwidth_bytes_per_s=900e6,
+    per_message_overhead_s=2e-6,
+    name="infiniband-sdr",
+)
+
+
+class Network:
+    """A switched network connecting the nodes of a :class:`~repro.cluster.topology.Cluster`.
+
+    Each node gets an independent transmit NIC resource and receive NIC
+    resource; a message holds the sender's TX NIC for its serialisation time
+    and the receiver's RX NIC for its serialisation time, separated by the
+    propagation latency.
+    """
+
+    def __init__(self, sim: "Simulator", spec: NetworkSpec, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.sim = sim
+        self.spec = spec
+        self.n_nodes = n_nodes
+        self._tx: Dict[int, Resource] = {
+            i: Resource(sim, capacity=1, name=f"tx:{i}") for i in range(n_nodes)
+        }
+        self._rx: Dict[int, Resource] = {
+            i: Resource(sim, capacity=1, name=f"rx:{i}") for i in range(n_nodes)
+        }
+        self._fabric: Optional[Resource] = None
+        if spec.switch_capacity is not None:
+            self._fabric = Resource(sim, capacity=spec.switch_capacity, name="fabric")
+        # accounting
+        self.total_bytes = 0
+        self.total_messages = 0
+
+    # -- closed-form estimate -------------------------------------------
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended end-to-end time for a message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return (
+            self.spec.per_message_overhead_s
+            + self.spec.latency_s
+            + self.spec.serialization_time(nbytes)
+        )
+
+    # -- simulated transfer ----------------------------------------------
+    def tx(self, src_node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Sender-side portion of a transfer: per-message overhead + TX NIC hold.
+
+        This is the part of a blocking send the *sender* is occupied for.
+        Returns the elapsed sender time.
+        """
+        self._check_node(src_node)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        start = self.sim.now
+        yield self.sim.timeout(self.spec.per_message_overhead_s)
+        ser = self.spec.serialization_time(nbytes)
+        tx_req = self._tx[src_node].request()
+        yield tx_req
+        try:
+            if self._fabric is not None:
+                fb_req = self._fabric.request()
+                yield fb_req
+            else:
+                fb_req = None
+            try:
+                yield self.sim.timeout(ser)
+            finally:
+                if fb_req is not None:
+                    self._fabric.release(fb_req)
+        finally:
+            self._tx[src_node].release(tx_req)
+        return self.sim.now - start
+
+    def rx_path(self, dst_node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Network-and-receiver portion of a transfer: latency + RX NIC serialisation."""
+        self._check_node(dst_node)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        yield self.sim.timeout(self.spec.latency_s)
+        rx_req = self._rx[dst_node].request()
+        yield rx_req
+        try:
+            yield self.sim.timeout(self.spec.serialization_time(nbytes))
+        finally:
+            self._rx[dst_node].release(rx_req)
+        return self.sim.now - start
+
+    def transfer(
+        self, src_node: int, dst_node: int, nbytes: int
+    ) -> Generator[Event, None, float]:
+        """Simulate moving ``nbytes`` from ``src_node`` to ``dst_node``.
+
+        Yields simulation events; returns the completion time.  Local (same
+        node) transfers only pay the per-message overhead.
+        """
+        self._check_node(src_node)
+        self._check_node(dst_node)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+        if src_node == dst_node:
+            self.total_bytes += nbytes
+            self.total_messages += 1
+            yield self.sim.timeout(self.spec.per_message_overhead_s)
+            return self.sim.now
+
+        yield from self.tx(src_node, nbytes)
+        yield from self.rx_path(dst_node, nbytes)
+        return self.sim.now
+
+    # -- introspection -----------------------------------------------------
+    def tx_queue_length(self, node: int) -> int:
+        """Messages currently waiting for the node's transmit NIC."""
+        self._check_node(node)
+        return self._tx[node].queue_length
+
+    def rx_queue_length(self, node: int) -> int:
+        """Messages currently waiting for the node's receive NIC."""
+        self._check_node(node)
+        return self._rx[node].queue_length
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Network {self.spec.name} nodes={self.n_nodes} msgs={self.total_messages}>"

@@ -1,0 +1,135 @@
+"""Compute-node model.
+
+The paper's testbed nodes are single Pentium 4 (2.0 GHz) machines with 512 MB
+of physical memory.  For the checkpoint protocols the two properties that
+matter are
+
+* the *relative compute speed* (scales the duration of compute phases in the
+  workload scripts), and
+* the *memory footprint* available to the application process, because the
+  duration of the BLCR "Checkpoint" stage is the process image size divided
+  by the storage bandwidth (see Figure 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+MB = 1024 * 1024
+GB = 1024 * MB
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one compute node.
+
+    Parameters
+    ----------
+    cpu_ghz:
+        Nominal clock speed; compute phases are expressed in "reference
+        seconds" at 2.0 GHz and scaled by ``2.0 / cpu_ghz``.
+    memory_bytes:
+        Physical memory.  An application's resident set (and therefore its
+        checkpoint image) can never exceed this.
+    cores:
+        Number of cores; the paper runs one MPI process per node, but the
+        model allows packing several ranks per node (fat-node clusters, as in
+        the NCCU-MPI related work).
+    os_jitter_sigma:
+        Log-normal sigma applied to compute phases to model OS noise.
+    """
+
+    cpu_ghz: float = 2.0
+    memory_bytes: int = 512 * MB
+    cores: int = 1
+    os_jitter_sigma: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cpu_ghz <= 0:
+            raise ValueError("cpu_ghz must be positive")
+        if self.memory_bytes <= 0:
+            raise ValueError("memory_bytes must be positive")
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.os_jitter_sigma < 0:
+            raise ValueError("os_jitter_sigma must be non-negative")
+
+    @property
+    def speed_factor(self) -> float:
+        """Multiplier applied to reference compute times (reference = 2.0 GHz)."""
+        return 2.0 / self.cpu_ghz
+
+
+@dataclass
+class Node:
+    """A compute node instance within a cluster.
+
+    Tracks which ranks are placed on it and how much memory they consume, so
+    that checkpoint-image sizes can be validated against physical memory.
+    """
+
+    node_id: int
+    spec: NodeSpec = field(default_factory=NodeSpec)
+    hostname: Optional[str] = None
+    ranks: list[int] = field(default_factory=list)
+    _reserved_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.hostname is None:
+            self.hostname = f"compute-{self.node_id:04d}"
+
+    # -- placement ------------------------------------------------------
+    def place_rank(self, rank: int) -> None:
+        """Record that MPI ``rank`` runs on this node."""
+        if rank in self.ranks:
+            raise ValueError(f"rank {rank} already placed on node {self.node_id}")
+        if len(self.ranks) >= self.spec.cores:
+            raise ValueError(
+                f"node {self.node_id} has {self.spec.cores} core(s); cannot place rank {rank}"
+            )
+        self.ranks.append(rank)
+
+    def remove_rank(self, rank: int) -> None:
+        """Remove a previously placed rank (e.g. after a failure)."""
+        try:
+            self.ranks.remove(rank)
+        except ValueError as exc:
+            raise ValueError(f"rank {rank} is not placed on node {self.node_id}") from exc
+
+    # -- memory ---------------------------------------------------------
+    @property
+    def free_memory(self) -> int:
+        """Bytes of physical memory not yet reserved by application processes."""
+        return self.spec.memory_bytes - self._reserved_bytes
+
+    def reserve_memory(self, nbytes: int) -> None:
+        """Reserve ``nbytes`` of memory for an application process."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self.free_memory:
+            raise MemoryError(
+                f"node {self.node_id}: cannot reserve {nbytes} bytes "
+                f"({self.free_memory} free of {self.spec.memory_bytes})"
+            )
+        self._reserved_bytes += nbytes
+
+    def release_memory(self, nbytes: int) -> None:
+        """Release a previous reservation."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self._reserved_bytes:
+            raise ValueError("releasing more memory than reserved")
+        self._reserved_bytes -= nbytes
+
+    def compute_time(self, reference_seconds: float) -> float:
+        """Wall time for a compute phase of ``reference_seconds`` at 2.0 GHz."""
+        if reference_seconds < 0:
+            raise ValueError("reference_seconds must be non-negative")
+        return reference_seconds * self.spec.speed_factor
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.node_id} ({self.hostname}) ranks={self.ranks}>"

@@ -1,0 +1,273 @@
+"""Storage substrate: local disks and shared remote checkpoint servers.
+
+Two configurations appear in the paper's evaluation:
+
+* checkpoint images and message logs written to the **local IDE disk** of each
+  node (Sections 5.1, 5.2), and
+* checkpoint images written to **remote checkpoint servers over NFS**
+  (Section 5.3), with 4 dedicated server nodes shared by all processes —
+  this is where MPICH-VCL's and the group-based scheme's storage contention
+  differ.
+
+Both are modelled as bandwidth pipes with a per-operation seek/open overhead;
+the remote servers additionally serialise concurrent writers and pay the
+network transfer to reach the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.sim.primitives import Event, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.network import Network
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Static description of one storage device/service.
+
+    Parameters
+    ----------
+    write_bandwidth_bytes_per_s / read_bandwidth_bytes_per_s:
+        Sustained sequential throughput.
+    op_overhead_s:
+        Fixed cost per write/read operation (open, seek, fsync).
+    concurrency:
+        Number of simultaneous streams served at full bandwidth; additional
+        streams queue.  A local disk has concurrency 1; an NFS server can
+        interleave a few clients.
+    name:
+        Human-readable label.
+    """
+
+    write_bandwidth_bytes_per_s: float = 35e6
+    read_bandwidth_bytes_per_s: float = 40e6
+    op_overhead_s: float = 8e-3
+    concurrency: int = 1
+    name: str = "disk"
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth_bytes_per_s <= 0 or self.read_bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.op_overhead_s < 0:
+            raise ValueError("op_overhead_s must be non-negative")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+
+    def write_time(self, nbytes: int) -> float:
+        """Uncontended time to write ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.op_overhead_s + nbytes / self.write_bandwidth_bytes_per_s
+
+    def read_time(self, nbytes: int) -> float:
+        """Uncontended time to read ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.op_overhead_s + nbytes / self.read_bandwidth_bytes_per_s
+
+
+#: A circa-2003 local IDE disk, as found in the Gideon 300 nodes.
+LOCAL_IDE_DISK = StorageSpec(
+    write_bandwidth_bytes_per_s=35e6,
+    read_bandwidth_bytes_per_s=40e6,
+    op_overhead_s=8e-3,
+    concurrency=1,
+    name="local-ide",
+)
+
+#: A dedicated NFS checkpoint server (faster disks, but shared by many clients).
+NFS_CHECKPOINT_SERVER = StorageSpec(
+    write_bandwidth_bytes_per_s=50e6,
+    read_bandwidth_bytes_per_s=55e6,
+    op_overhead_s=12e-3,
+    concurrency=2,
+    name="nfs-server",
+)
+
+
+class StorageSystem:
+    """Common interface of the storage back ends.
+
+    ``write``/``read`` are coroutines: they yield simulation events and return
+    the elapsed time for the operation.  ``written_bytes`` / ``read_bytes``
+    track totals for the analysis layer.
+    """
+
+    def __init__(self) -> None:
+        self.written_bytes = 0
+        self.read_bytes = 0
+        self.write_ops = 0
+        self.read_ops = 0
+
+    def write(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def read(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def describe(self) -> str:
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class LocalDiskArray(StorageSystem):
+    """One independent local disk per compute node."""
+
+    def __init__(self, sim: "Simulator", n_nodes: int, spec: StorageSpec = LOCAL_IDE_DISK) -> None:
+        super().__init__()
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        self.sim = sim
+        self.n_nodes = n_nodes
+        self.spec = spec
+        self._disks: Dict[int, Resource] = {
+            i: Resource(sim, capacity=spec.concurrency, name=f"disk:{i}") for i in range(n_nodes)
+        }
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+
+    def write(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Write ``nbytes`` to the local disk of ``node``."""
+        self._check(node)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        req = self._disks[node].request()
+        yield req
+        try:
+            yield self.sim.timeout(self.spec.write_time(nbytes))
+        finally:
+            self._disks[node].release(req)
+        self.written_bytes += nbytes
+        self.write_ops += 1
+        return self.sim.now - start
+
+    def read(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Read ``nbytes`` from the local disk of ``node``."""
+        self._check(node)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        req = self._disks[node].request()
+        yield req
+        try:
+            yield self.sim.timeout(self.spec.read_time(nbytes))
+        finally:
+            self._disks[node].release(req)
+        self.read_bytes += nbytes
+        self.read_ops += 1
+        return self.sim.now - start
+
+    def describe(self) -> str:
+        return f"local disks ({self.spec.name}) on {self.n_nodes} nodes"
+
+
+class RemoteStorageServers(StorageSystem):
+    """A small pool of dedicated checkpoint servers reached over the network.
+
+    Clients are assigned to servers round-robin by node id (matching the
+    static assignment used in the paper's MPICH-VCL setup with 4 isolated
+    server nodes).  A write pays the network transfer from the client node to
+    the server *and* the server disk write, and contends with every other
+    client of the same server.
+    """
+
+    #: Default ingestion bandwidth of one checkpoint server (bytes/s).  The
+    #: paper's dedicated servers absorb image bursts much faster than a plain
+    #: Fast-Ethernet client link would suggest (async NFS write-back plus a
+    #: faster uplink on the server side), so the default models a GigE-class
+    #: server link rather than the clients' 100 Mbit NICs.
+    DEFAULT_SERVER_BANDWIDTH = 60e6
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        network: "Network",
+        n_servers: int = 4,
+        spec: StorageSpec = NFS_CHECKPOINT_SERVER,
+        server_network_bandwidth: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if n_servers < 1:
+            raise ValueError("n_servers must be >= 1")
+        self.sim = sim
+        self.network = network
+        self.n_servers = n_servers
+        self.spec = spec
+        #: bandwidth of the server's network link
+        self.server_network_bandwidth = (
+            server_network_bandwidth
+            if server_network_bandwidth is not None
+            else self.DEFAULT_SERVER_BANDWIDTH
+        )
+        if self.server_network_bandwidth <= 0:
+            raise ValueError("server_network_bandwidth must be positive")
+        self._disks: List[Resource] = [
+            Resource(sim, capacity=spec.concurrency, name=f"ckpt-server-disk:{i}")
+            for i in range(n_servers)
+        ]
+        self._links: List[Resource] = [
+            Resource(sim, capacity=1, name=f"ckpt-server-link:{i}") for i in range(n_servers)
+        ]
+        self.per_server_bytes: List[int] = [0] * n_servers
+
+    def server_for(self, node: int) -> int:
+        """The server a given client node is assigned to (round-robin)."""
+        if node < 0:
+            raise ValueError("node must be non-negative")
+        return node % self.n_servers
+
+    def _transfer(self, server: int, nbytes: int) -> Generator[Event, None, None]:
+        link = self._links[server]
+        req = link.request()
+        yield req
+        try:
+            yield self.sim.timeout(
+                self.network.spec.latency_s + nbytes / self.server_network_bandwidth
+            )
+        finally:
+            link.release(req)
+
+    def write(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Ship ``nbytes`` from ``node`` to its checkpoint server and persist it."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        server = self.server_for(node)
+        yield from self._transfer(server, nbytes)
+        req = self._disks[server].request()
+        yield req
+        try:
+            yield self.sim.timeout(self.spec.write_time(nbytes))
+        finally:
+            self._disks[server].release(req)
+        self.written_bytes += nbytes
+        self.write_ops += 1
+        self.per_server_bytes[server] += nbytes
+        return self.sim.now - start
+
+    def read(self, node: int, nbytes: int) -> Generator[Event, None, float]:
+        """Fetch ``nbytes`` for ``node`` back from its checkpoint server."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        server = self.server_for(node)
+        req = self._disks[server].request()
+        yield req
+        try:
+            yield self.sim.timeout(self.spec.read_time(nbytes))
+        finally:
+            self._disks[server].release(req)
+        yield from self._transfer(server, nbytes)
+        self.read_bytes += nbytes
+        self.read_ops += 1
+        return self.sim.now - start
+
+    def describe(self) -> str:
+        return f"{self.n_servers} remote checkpoint servers ({self.spec.name}) over NFS"

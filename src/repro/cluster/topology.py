@@ -1,0 +1,171 @@
+"""Cluster assembly: nodes + network + storage + process placement.
+
+:class:`ClusterSpec` is the declarative description (how many nodes, which
+network, which storage layout); :class:`Cluster` is the instantiated runtime
+object bound to a simulator.  The constant :data:`GIDEON_300` reproduces the
+paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.cluster.network import FAST_ETHERNET, Network, NetworkSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.storage import (
+    LOCAL_IDE_DISK,
+    NFS_CHECKPOINT_SERVER,
+    LocalDiskArray,
+    RemoteStorageServers,
+    StorageSpec,
+    StorageSystem,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a cluster configuration.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of compute nodes.
+    node:
+        Per-node hardware description.
+    network:
+        Interconnect description.
+    local_storage:
+        Spec of each node's local disk.
+    checkpoint_storage:
+        ``"local"`` to store checkpoint images/logs on the local disk (paper
+        sections 5.1/5.2) or ``"remote"`` to ship them to shared checkpoint
+        servers (section 5.3).
+    n_checkpoint_servers:
+        Number of dedicated servers when ``checkpoint_storage == "remote"``.
+    remote_storage:
+        Spec of each remote checkpoint server.
+    name:
+        Label used in reports.
+    """
+
+    n_nodes: int = 128
+    node: NodeSpec = field(default_factory=NodeSpec)
+    network: NetworkSpec = FAST_ETHERNET
+    local_storage: StorageSpec = LOCAL_IDE_DISK
+    checkpoint_storage: str = "local"
+    n_checkpoint_servers: int = 4
+    remote_storage: StorageSpec = NFS_CHECKPOINT_SERVER
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.checkpoint_storage not in ("local", "remote"):
+            raise ValueError("checkpoint_storage must be 'local' or 'remote'")
+        if self.n_checkpoint_servers < 1:
+            raise ValueError("n_checkpoint_servers must be >= 1")
+
+    def with_nodes(self, n_nodes: int) -> "ClusterSpec":
+        """A copy of this spec with a different node count."""
+        return replace(self, n_nodes=n_nodes)
+
+    def with_remote_checkpointing(self, n_servers: Optional[int] = None) -> "ClusterSpec":
+        """A copy of this spec storing checkpoints on remote servers."""
+        return replace(
+            self,
+            checkpoint_storage="remote",
+            n_checkpoint_servers=n_servers if n_servers is not None else self.n_checkpoint_servers,
+        )
+
+
+#: The HKU Gideon 300 cluster as described in Section 5 of the paper:
+#: Pentium 4 2.0 GHz nodes, 512 MB RAM, Fast Ethernet, local IDE disks.
+GIDEON_300 = ClusterSpec(
+    n_nodes=128,
+    node=NodeSpec(cpu_ghz=2.0, memory_bytes=512 * 1024 * 1024, cores=1),
+    network=FAST_ETHERNET,
+    local_storage=LOCAL_IDE_DISK,
+    checkpoint_storage="local",
+    name="gideon-300",
+)
+
+
+class Cluster:
+    """An instantiated cluster bound to a simulator.
+
+    Provides rank→node placement (round-robin over nodes, one rank per core)
+    and owns the network, the local-disk array, and — if configured — the
+    remote checkpoint servers.
+    """
+
+    def __init__(self, sim: "Simulator", spec: ClusterSpec) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.nodes: List[Node] = [Node(node_id=i, spec=spec.node) for i in range(spec.n_nodes)]
+        self.network = Network(sim, spec.network, spec.n_nodes)
+        self.local_disks = LocalDiskArray(sim, spec.n_nodes, spec.local_storage)
+        self.remote_storage: Optional[RemoteStorageServers] = None
+        if spec.checkpoint_storage == "remote":
+            self.remote_storage = RemoteStorageServers(
+                sim, self.network, spec.n_checkpoint_servers, spec.remote_storage
+            )
+        self._rank_to_node: Dict[int, int] = {}
+
+    # -- placement --------------------------------------------------------
+    def place_ranks(self, n_ranks: int) -> Dict[int, int]:
+        """Place ``n_ranks`` MPI ranks onto nodes, one rank per core, round-robin.
+
+        Returns the rank→node mapping.  Matches the paper's setup where each
+        node executes at most one MPI process.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        total_cores = sum(node.spec.cores for node in self.nodes)
+        if n_ranks > total_cores:
+            raise ValueError(
+                f"cannot place {n_ranks} ranks on {self.spec.n_nodes} nodes "
+                f"with {total_cores} total cores"
+            )
+        self._rank_to_node.clear()
+        for node in self.nodes:
+            node.ranks.clear()
+        node_idx = 0
+        for rank in range(n_ranks):
+            # advance to a node with a free core
+            while len(self.nodes[node_idx].ranks) >= self.nodes[node_idx].spec.cores:
+                node_idx = (node_idx + 1) % self.spec.n_nodes
+            self.nodes[node_idx].place_rank(rank)
+            self._rank_to_node[rank] = node_idx
+            node_idx = (node_idx + 1) % self.spec.n_nodes
+        return dict(self._rank_to_node)
+
+    def node_of(self, rank: int) -> int:
+        """Node id hosting ``rank``."""
+        try:
+            return self._rank_to_node[rank]
+        except KeyError as exc:
+            raise KeyError(f"rank {rank} has not been placed; call place_ranks() first") from exc
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks currently placed."""
+        return len(self._rank_to_node)
+
+    # -- storage selection -------------------------------------------------
+    @property
+    def checkpoint_storage(self) -> StorageSystem:
+        """The storage system used for checkpoint images and message logs."""
+        if self.spec.checkpoint_storage == "remote":
+            assert self.remote_storage is not None
+            return self.remote_storage
+        return self.local_disks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Cluster {self.spec.name!r} nodes={self.spec.n_nodes} "
+            f"ranks={self.n_ranks} storage={self.spec.checkpoint_storage}>"
+        )

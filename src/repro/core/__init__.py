@@ -1,0 +1,32 @@
+"""Group-based checkpoint/restart — the paper's primary contribution.
+
+* :mod:`repro.core.groups` — group definitions (:class:`GroupSet`) and the
+  standard configurations used in the evaluation (NORM, GP1, GP4, GP),
+* :mod:`repro.core.protocol` — Algorithm 1: coordinated checkpointing within
+  a group combined with sender-based logging of inter-group messages,
+  piggybacked garbage collection, and the per-group checkpoint procedure,
+* :mod:`repro.core.formation` — Algorithm 2: trace-assisted group formation,
+* :mod:`repro.core.coordinator` — the mpirun-style checkpoint coordinator
+  that propagates checkpoint requests to groups,
+* :mod:`repro.core.restart` — restart orchestration: image restore, exchange
+  of S/R volumes with out-of-group processes, message replay/skip.
+"""
+
+from repro.core.groups import GroupSet
+from repro.core.protocol import GroupProtocolFamily, GroupRankProtocol
+from repro.core.formation import form_groups, FormationResult, grouping_quality
+from repro.core.coordinator import CheckpointCoordinator
+from repro.core.restart import simulate_restart, RestartResult, replay_volumes
+
+__all__ = [
+    "GroupSet",
+    "GroupProtocolFamily",
+    "GroupRankProtocol",
+    "form_groups",
+    "FormationResult",
+    "grouping_quality",
+    "CheckpointCoordinator",
+    "simulate_restart",
+    "RestartResult",
+    "replay_volumes",
+]

@@ -1,0 +1,175 @@
+"""The mpirun-style checkpoint coordinator.
+
+In the paper, ``mpirun`` receives checkpoint requests from the system or the
+user and propagates them to the MPI processes; for the group-based scheme it
+reads a *checkpoint target file* naming the group(s) to checkpoint and spawns
+one child per group so that request propagation and completion tracking stay
+per-group.  After all groups finish, mpirun checkpoints itself (not timed by
+the paper, and not timed here either).
+
+:class:`CheckpointCoordinator` reproduces that control flow as a simulation
+process: at every scheduled request time it snapshots the still-running ranks,
+splits them into groups according to the protocol family, and delivers one
+:class:`~repro.ckpt.base.CheckpointRequest` per rank.  Requests carry a small
+per-member stagger that models the sequential propagation inside a group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.ckpt.base import CheckpointRequest
+from repro.ckpt.scheduler import CheckpointSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ckpt.base import ProtocolFamily
+    from repro.mpi.runtime import MpiRuntime
+    from repro.sim.primitives import Event
+
+
+@dataclass
+class IssuedCheckpoint:
+    """Book-keeping entry for one issued checkpoint request wave."""
+
+    ckpt_id: int
+    requested_at: float
+    target_ranks: Tuple[int, ...]
+    groups: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass
+class CoordinatorReport:
+    """Summary of the coordinator's activity over a run."""
+
+    issued: List[IssuedCheckpoint] = field(default_factory=list)
+    skipped_waves: int = 0
+
+    @property
+    def checkpoints_requested(self) -> int:
+        """Number of checkpoint waves issued."""
+        return len(self.issued)
+
+
+class CheckpointCoordinator:
+    """Delivers checkpoint requests to ranks according to a schedule."""
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        family: "ProtocolFamily",
+        schedule: CheckpointSchedule,
+        propagation_delay_s: float = 0.012,
+        group_spawn_delay_s: float = 0.015,
+        target_groups: Optional[Sequence[int]] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        runtime:
+            The MPI runtime whose ranks will receive the requests.
+        family:
+            Protocol family (defines which ranks coordinate together).
+        schedule:
+            When to issue checkpoint requests.
+        propagation_delay_s:
+            Per-member propagation delay inside a group (the request reaches
+            the *i*-th member of its group ``i * propagation_delay_s`` later).
+        group_spawn_delay_s:
+            Delay between mpirun spawning the propagation child of successive
+            groups.  With many groups (GP1 has one per rank) the request wave
+            is noticeably staggered, which is what lets early-notified ranks
+            checkpoint while late ones are still sending — the source of the
+            replay volumes measured in Figures 7/8.
+        target_groups:
+            Optional subset of group ids to checkpoint (the "checkpoint target
+            file" of the paper); None means every group.
+        """
+        if propagation_delay_s < 0:
+            raise ValueError("propagation_delay_s must be non-negative")
+        if group_spawn_delay_s < 0:
+            raise ValueError("group_spawn_delay_s must be non-negative")
+        self.runtime = runtime
+        self.family = family
+        self.schedule = schedule
+        self.propagation_delay_s = propagation_delay_s
+        self.group_spawn_delay_s = group_spawn_delay_s
+        self.target_groups = set(target_groups) if target_groups is not None else None
+        self.report = CoordinatorReport()
+        self._next_ckpt_id = 0
+        self._process = None
+
+    # -- one wave -----------------------------------------------------------------
+    def issue_wave(self) -> Optional[IssuedCheckpoint]:
+        """Issue one checkpoint request wave right now.
+
+        Returns the book-keeping entry, or None if no rank is eligible
+        (everything finished or filtered out by ``target_groups``).
+        """
+        running = self.runtime.running_ranks()
+        if not running:
+            self.report.skipped_waves += 1
+            return None
+
+        # Partition the running ranks into coordination groups.
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for rank in running:
+            if self.target_groups is not None:
+                if self.family.group_id_of(rank) not in self.target_groups:
+                    continue
+            participants = self.family.participants_for(rank, running)
+            groups.setdefault(participants, []).append(rank)
+        if not groups:
+            self.report.skipped_waves += 1
+            return None
+
+        ckpt_id = self._next_ckpt_id
+        self._next_ckpt_id += 1
+        now = self.runtime.now
+        issued_groups: List[Tuple[int, ...]] = []
+        target_ranks: List[int] = []
+        ordered_groups = sorted(groups.items(), key=lambda item: item[0])
+        for group_idx, (participants, members) in enumerate(ordered_groups):
+            issued_groups.append(participants)
+            spawn_offset = group_idx * self.group_spawn_delay_s
+            for idx, rank in enumerate(sorted(members)):
+                request = CheckpointRequest(
+                    ckpt_id=ckpt_id,
+                    group_id=self.family.group_id_of(rank),
+                    participants=participants,
+                    issued_at=now,
+                    stagger_s=spawn_offset + idx * self.propagation_delay_s,
+                )
+                self.runtime.ctx(rank).deliver_request(request)
+                target_ranks.append(rank)
+
+        entry = IssuedCheckpoint(
+            ckpt_id=ckpt_id,
+            requested_at=now,
+            target_ranks=tuple(sorted(target_ranks)),
+            groups=tuple(issued_groups),
+        )
+        self.report.issued.append(entry)
+        return entry
+
+    # -- scheduled operation ---------------------------------------------------------
+    def _run(self) -> Generator["Event", None, None]:
+        for t in self.schedule.iterate():
+            delay = t - self.runtime.now
+            if delay > 0:
+                yield self.runtime.sim.timeout(delay)
+            if not self.runtime.running_ranks():
+                break
+            self.issue_wave()
+
+    def start(self) -> None:
+        """Register the coordinator as a simulation process (call before running)."""
+        if self._process is not None:
+            raise RuntimeError("coordinator already started")
+        self._process = self.runtime.sim.process(self._run(), name="mpirun-coordinator")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CheckpointCoordinator family={self.family.name!r} "
+            f"issued={self.report.checkpoints_requested}>"
+        )

@@ -1,0 +1,192 @@
+"""Group definitions.
+
+A :class:`GroupSet` partitions the MPI ranks into disjoint checkpoint groups.
+Checkpoints are coordinated *within* a group; messages crossing group
+boundaries are logged by their sender.  The paper evaluates four
+configurations, all expressible as group sets:
+
+* ``NORM`` — a single group containing every rank (the original LAM/MPI
+  global coordinated checkpoint),
+* ``GP1`` — one rank per group (uncoordinated checkpointing with message
+  logging),
+* ``GP4`` — four groups of sequential ranks (an ad-hoc grouping),
+* ``GP``  — groups produced by analysing the MPI trace (Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class GroupSet:
+    """A disjoint partition of ranks into checkpoint groups.
+
+    Ranks not mentioned in any group are treated as singleton groups, which
+    keeps the object usable even when the trace only covered a subset of the
+    ranks.
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise ValueError("groups must not be empty")
+            for rank in group:
+                if rank < 0 or rank >= self.n_ranks:
+                    raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+                if rank in seen:
+                    raise ValueError(f"rank {rank} appears in more than one group")
+                seen.add(rank)
+            if list(group) != sorted(group):
+                raise ValueError("group members must be sorted")
+
+    # -- construction helpers --------------------------------------------------
+    @classmethod
+    def from_lists(cls, groups: Iterable[Sequence[int]], n_ranks: int) -> "GroupSet":
+        """Build from any iterable of rank collections (sorted internally)."""
+        normalised = tuple(tuple(sorted(set(g))) for g in groups if len(g) > 0)
+        return cls(groups=normalised, n_ranks=n_ranks)
+
+    @classmethod
+    def single(cls, n_ranks: int) -> "GroupSet":
+        """One global group — the NORM configuration."""
+        return cls(groups=(tuple(range(n_ranks)),), n_ranks=n_ranks)
+
+    @classmethod
+    def singletons(cls, n_ranks: int) -> "GroupSet":
+        """One group per rank — the GP1 configuration."""
+        return cls(groups=tuple((r,) for r in range(n_ranks)), n_ranks=n_ranks)
+
+    @classmethod
+    def contiguous(cls, n_ranks: int, n_groups: int) -> "GroupSet":
+        """``n_groups`` blocks of sequential ranks — the GP4 configuration uses 4."""
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if n_groups > n_ranks:
+            raise ValueError("cannot have more groups than ranks")
+        base = n_ranks // n_groups
+        extra = n_ranks % n_groups
+        groups: List[Tuple[int, ...]] = []
+        start = 0
+        for i in range(n_groups):
+            size = base + (1 if i < extra else 0)
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        return cls(groups=tuple(groups), n_ranks=n_ranks)
+
+    @classmethod
+    def round_robin(cls, n_ranks: int, n_groups: int) -> "GroupSet":
+        """``n_groups`` groups assigning rank r to group ``r % n_groups``.
+
+        For a row-major P×Q process grid this puts each process *column* in
+        its own group — the layout Table 1 reports for HPL.
+        """
+        if n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if n_groups > n_ranks:
+            raise ValueError("cannot have more groups than ranks")
+        groups = [tuple(range(g, n_ranks, n_groups)) for g in range(n_groups)]
+        return cls(groups=tuple(groups), n_ranks=n_ranks)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of explicit groups (ranks not listed count as implicit singletons)."""
+        return len(self.groups)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return iter(self.groups)
+
+    def group_index_of(self, rank: int) -> int:
+        """Index of the group containing ``rank``.
+
+        Ranks not covered by any explicit group get a unique index past the
+        explicit ones (their implicit singleton group).
+        """
+        self._check_rank(rank)
+        for idx, group in enumerate(self.groups):
+            if rank in group:
+                return idx
+        return len(self.groups) + rank
+
+    def members(self, rank: int) -> Tuple[int, ...]:
+        """Members of the group containing ``rank`` (including ``rank`` itself)."""
+        self._check_rank(rank)
+        for group in self.groups:
+            if rank in group:
+                return group
+        return (rank,)
+
+    def same_group(self, a: int, b: int) -> bool:
+        """True if ranks ``a`` and ``b`` checkpoint together."""
+        return self.group_index_of(a) == self.group_index_of(b)
+
+    def covered_ranks(self) -> set[int]:
+        """Ranks that appear in an explicit group."""
+        return {rank for group in self.groups for rank in group}
+
+    def all_groups(self) -> List[Tuple[int, ...]]:
+        """Explicit groups plus implicit singletons, covering every rank."""
+        covered = self.covered_ranks()
+        out = list(self.groups)
+        out.extend((r,) for r in range(self.n_ranks) if r not in covered)
+        return out
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest group size."""
+        return max((len(g) for g in self.all_groups()), default=1)
+
+    @property
+    def mean_group_size(self) -> float:
+        """Average group size over all groups (including implicit singletons)."""
+        groups = self.all_groups()
+        return sum(len(g) for g in groups) / len(groups)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        groups = self.all_groups()
+        sizes = sorted((len(g) for g in groups), reverse=True)
+        return f"{len(groups)} groups over {self.n_ranks} ranks (sizes {sizes[:8]}{'...' if len(sizes) > 8 else ''})"
+
+
+def default_max_group_size(n_ranks: int) -> int:
+    """The paper's default upper bound on group size: ⌈√n⌉."""
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    return max(1, math.isqrt(n_ranks) + (0 if math.isqrt(n_ranks) ** 2 == n_ranks else 1))
+
+
+def intra_group_traffic_fraction(groupset: GroupSet, pair_bytes: Dict[Tuple[int, int], int]) -> float:
+    """Fraction of communicated bytes that stay inside a group.
+
+    ``pair_bytes`` maps unordered rank pairs to total bytes (as produced by
+    :meth:`repro.mpi.trace.TraceLog.pair_totals`, taking the size element).
+    A higher fraction means fewer messages need to be logged — the quantity
+    the trace-assisted group formation tries to maximise.
+    """
+    total = 0
+    intra = 0
+    for (a, b), nbytes in pair_bytes.items():
+        if nbytes < 0:
+            raise ValueError("byte totals must be non-negative")
+        if a == b:
+            continue
+        total += nbytes
+        if groupset.same_group(a, b):
+            intra += nbytes
+    if total == 0:
+        return 1.0
+    return intra / total

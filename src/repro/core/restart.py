@@ -1,0 +1,277 @@
+"""Restart orchestration — Algorithm 1, restart part.
+
+The paper measures restart time per process "from the recreation of the
+process to its return to normal execution".  Under the group-based scheme a
+restarting process must:
+
+1. load its checkpoint image (BLCR restore),
+2. rebuild the MPI library's internal structures,
+3. for every out-of-group process, exchange the recorded ``R``/``S`` volumes
+   to decide what to *replay* (messages the peer logged that this process had
+   not yet received at its checkpoint) and what to *skip* (messages this
+   process had already delivered to the peer before the peer's checkpoint),
+4. replay the required logged messages over the network, and
+5. wait until all group members finish preparing the restart.
+
+Because checkpoints within a group are coordinated, intra-group channels never
+need replay; under NORM nothing needs replay at all; under GP1 every channel
+may need replay — which is exactly the ordering of Figures 6b, 7 and 8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.ckpt.base import ProtocolConfig, RestartRecord
+from repro.ckpt.blcr import BlcrModel
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.mpi.runtime import ApplicationResult
+from repro.sim.engine import Simulator
+from repro.sim.primitives import Event
+
+
+@dataclass(frozen=True)
+class ReplayChannel:
+    """One inter-group channel that needs log replay during restart."""
+
+    src: int
+    dst: int
+    nbytes: int
+    n_messages: int
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be non-negative")
+        if self.nbytes < 0 or self.n_messages < 0:
+            raise ValueError("volumes must be non-negative")
+
+
+@dataclass
+class RestartResult:
+    """Outcome of a simulated whole-application restart."""
+
+    records: List[RestartRecord] = field(default_factory=list)
+    channels: List[ReplayChannel] = field(default_factory=list)
+
+    @property
+    def aggregate_restart_time(self) -> float:
+        """Sum of per-process restart times (Figure 6b / 11b / 12b metric)."""
+        return sum(rec.duration for rec in self.records)
+
+    @property
+    def max_restart_time(self) -> float:
+        """Slowest process's restart time."""
+        return max((rec.duration for rec in self.records), default=0.0)
+
+    @property
+    def total_replay_bytes(self) -> int:
+        """Total data volume resent during the restart (Figure 7 metric)."""
+        return sum(ch.nbytes for ch in self.channels)
+
+    @property
+    def total_resend_operations(self) -> int:
+        """Total number of resend operations performed (Figure 8 metric)."""
+        return sum(ch.n_messages for ch in self.channels)
+
+
+def replay_volumes(result: ApplicationResult) -> List[ReplayChannel]:
+    """Compute, per directed inter-group channel, the volume to replay.
+
+    For sender ``q`` and receiver ``p`` in different groups the replayed bytes
+    are the part of ``q``'s log that ``p`` had not yet received at its own
+    checkpoint and that ``q`` had already sent (hence logged) by *its*
+    checkpoint: ``max(0, SS_q[p] − RR_p[q])``, realised from the retained log
+    entries when the sender's log is available.
+    """
+    snapshots = result.snapshots()
+    channels: List[ReplayChannel] = []
+    for q, snap_q in snapshots.items():
+        ctx_q = result.contexts[q]
+        log = getattr(ctx_q.protocol, "log", None)
+        for p, sent_at_ckpt in snap_q.ss.items():
+            if p == q or p in snap_q.group_members:
+                continue
+            snap_p = snapshots.get(p)
+            received_at_ckpt = snap_p.rr.get(q, 0) if snap_p is not None else 0
+            volume = max(0, sent_at_ckpt - received_at_ckpt)
+            if volume <= 0:
+                continue
+            if log is not None:
+                entries = [
+                    e
+                    for e in log.entries_for(p)
+                    if received_at_ckpt < e.end_offset <= sent_at_ckpt
+                ]
+                nbytes = sum(e.nbytes for e in entries)
+                n_messages = len(entries)
+                # The log may retain *more* than strictly required if garbage
+                # collection lagged; the replay only covers the required range.
+                if nbytes < volume:
+                    nbytes = volume
+                    n_messages = max(n_messages, 1)
+            else:
+                avg = snap_q.logged_bytes.get(p, 0) / max(1, snap_q.logged_messages.get(p, 0))
+                n_messages = max(1, math.ceil(volume / max(avg, 1.0)))
+                nbytes = volume
+            channels.append(ReplayChannel(src=q, dst=p, nbytes=nbytes, n_messages=n_messages))
+    return channels
+
+
+def skip_volumes(result: ApplicationResult) -> Dict[Tuple[int, int], int]:
+    """Bytes that restarting senders must *skip* resending on each channel.
+
+    ``p`` had received ``RR_p[q]`` bytes from ``q`` before ``p``'s checkpoint;
+    if ``q`` rolls back to a point where it had sent only ``SS_q[p]`` of them,
+    the re-executed sends up to ``RR_p[q]`` would be duplicates and are
+    suppressed.  The skip volume is ``max(0, RR_p[q] − SS_q[p])`` — non-zero
+    when the receiver checkpointed *after* the sender.
+    """
+    snapshots = result.snapshots()
+    out: Dict[Tuple[int, int], int] = {}
+    for q, snap_q in snapshots.items():
+        for p, sent_at_ckpt in snap_q.ss.items():
+            if p == q or p in snap_q.group_members:
+                continue
+            snap_p = snapshots.get(p)
+            if snap_p is None:
+                continue
+            received_at_ckpt = snap_p.rr.get(q, 0)
+            skip = max(0, received_at_ckpt - sent_at_ckpt)
+            if skip > 0:
+                out[(q, p)] = skip
+    return out
+
+
+def simulate_restart(
+    result: ApplicationResult,
+    cluster_spec: ClusterSpec,
+    blcr: Optional[BlcrModel] = None,
+    config: Optional[ProtocolConfig] = None,
+    barrier_cost_s: float = 0.02,
+) -> RestartResult:
+    """Simulate restarting the whole application from its latest checkpoints.
+
+    A fresh simulator and cluster (same spec as the original run) are used, so
+    restart I/O and replay traffic see the same storage and network contention
+    the original system would.
+    """
+    if barrier_cost_s < 0:
+        raise ValueError("barrier_cost_s must be non-negative")
+    blcr = blcr if blcr is not None else BlcrModel()
+    config = config if config is not None else ProtocolConfig()
+    n_ranks = result.n_ranks
+    snapshots = result.snapshots()
+    if not snapshots:
+        raise ValueError("no checkpoints were taken; nothing to restart from")
+
+    sim = Simulator()
+    cluster = Cluster(sim, cluster_spec)
+    placement = cluster.place_ranks(n_ranks)
+    network = cluster.network
+    storage = cluster.checkpoint_storage
+
+    channels = replay_volumes(result)
+    incoming: Dict[int, List[ReplayChannel]] = {}
+    outgoing: Dict[int, List[ReplayChannel]] = {}
+    for ch in channels:
+        incoming.setdefault(ch.dst, []).append(ch)
+        outgoing.setdefault(ch.src, []).append(ch)
+
+    prepared_time: Dict[int, float] = {}
+    prepared_event: Dict[int, Event] = {r: Event(sim, name=f"prepared:{r}") for r in range(n_ranks)}
+    incoming_remaining: Dict[int, int] = {r: len(incoming.get(r, [])) for r in range(n_ranks)}
+    incoming_done: Dict[int, Event] = {r: Event(sim, name=f"replayed:{r}") for r in range(n_ranks)}
+    for r in range(n_ranks):
+        if incoming_remaining[r] == 0:
+            incoming_done[r].succeed(0)
+    stage_times: Dict[int, Dict[str, float]] = {r: {} for r in range(n_ranks)}
+    replay_received: Dict[int, int] = {r: 0 for r in range(n_ranks)}
+    replay_sent: Dict[int, int] = {r: 0 for r in range(n_ranks)}
+    resend_ops: Dict[int, int] = {r: 0 for r in range(n_ranks)}
+    skip_by_sender: Dict[int, int] = {}
+    for (q, _p), nbytes in skip_volumes(result).items():
+        skip_by_sender[q] = skip_by_sender.get(q, 0) + nbytes
+
+    def rank_restart(rank: int):
+        node = placement[rank]
+        snap = snapshots.get(rank)
+        ctx = result.contexts[rank]
+        image_bytes = snap.image_bytes if snap is not None else blcr.image_bytes(ctx.memory_bytes)
+
+        # 1. restore the process image
+        t0 = sim.now
+        yield from storage.read(node, image_bytes)
+        yield sim.timeout(blcr.restore_exec_s)
+        stage_times[rank]["image"] = sim.now - t0
+
+        # 2. rebuild MPI internal structures
+        t0 = sim.now
+        yield sim.timeout(config.restart_rebuild_s)
+        stage_times[rank]["rebuild"] = sim.now - t0
+
+        # 3. exchange R/S volumes with out-of-group peers (one round trip each)
+        t0 = sim.now
+        out_peers: set[int] = set()
+        if snap is not None:
+            out_peers = {
+                p
+                for p in (set(snap.ss) | set(snap.rr))
+                if p != rank and p not in snap.group_members
+            }
+        rtt = 2 * (network.spec.latency_s + network.spec.per_message_overhead_s)
+        if out_peers:
+            yield sim.timeout(len(out_peers) * rtt)
+        stage_times[rank]["exchange"] = sim.now - t0
+
+        # 4. replay logged messages this rank owes to out-of-group peers
+        t0 = sim.now
+        for ch in outgoing.get(rank, []):
+            # the flushed log is read back from checkpoint storage, then resent
+            yield from storage.read(node, ch.nbytes)
+            yield from network.transfer(node, placement[ch.dst], ch.nbytes)
+            replay_sent[rank] += ch.nbytes
+            resend_ops[rank] += ch.n_messages
+            replay_received[ch.dst] += ch.nbytes
+            incoming_remaining[ch.dst] -= 1
+            if incoming_remaining[ch.dst] == 0 and not incoming_done[ch.dst].triggered:
+                incoming_done[ch.dst].succeed(sim.now)
+        # ... and wait for every replay destined to this rank
+        yield incoming_done[rank]
+        stage_times[rank]["replay"] = sim.now - t0
+
+        prepared_time[rank] = sim.now
+        prepared_event[rank].succeed(sim.now)
+
+    for rank in range(n_ranks):
+        sim.process(rank_restart(rank), name=f"restart:{rank}")
+    sim.run()
+
+    if len(prepared_time) != n_ranks:
+        missing = sorted(set(range(n_ranks)) - set(prepared_time))
+        raise RuntimeError(f"restart deadlocked; ranks never prepared: {missing[:8]}")
+
+    # 5. wait until all group members finish preparing (computed post-hoc)
+    out = RestartResult(channels=channels)
+    for rank in range(n_ranks):
+        snap = snapshots.get(rank)
+        members = snap.group_members if snap is not None else (rank,)
+        group_ready = max(prepared_time.get(m, prepared_time[rank]) for m in members)
+        end = group_ready + barrier_cost_s
+        stage_times[rank]["barrier"] = end - prepared_time[rank]
+        image_bytes = snap.image_bytes if snap is not None else 0
+        out.records.append(
+            RestartRecord(
+                rank=rank,
+                start=0.0,
+                end=end,
+                image_bytes=image_bytes,
+                replay_bytes_sent=replay_sent[rank],
+                replay_bytes_received=replay_received[rank],
+                resend_operations=resend_ops[rank],
+                skip_bytes=skip_by_sender.get(rank, 0),
+                stages=stage_times[rank],
+            )
+        )
+    return out

@@ -1,0 +1,26 @@
+"""Experiment harness: one entry point per table/figure of the paper.
+
+* :mod:`repro.experiments.config` — scenario descriptions (workload, scale,
+  grouping method, schedule, storage, seeds),
+* :mod:`repro.experiments.runner` — runs one scenario end to end (trace run →
+  group formation → checkpointed run → restart) and returns derived metrics,
+* :mod:`repro.experiments.figures` — ``figure1()`` … ``figure14()`` and
+  ``table1()``, each returning the data series/rows the paper plots,
+* :mod:`repro.experiments.failures` — failure-injection extension experiments
+  (expected lost work vs grouping method and checkpoint interval).
+"""
+
+from repro.experiments.config import ScenarioConfig, QUICK, FULL, ExperimentProfile
+from repro.experiments.runner import ScenarioResult, run_scenario, obtain_groups
+from repro.experiments import figures
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "ExperimentProfile",
+    "QUICK",
+    "FULL",
+    "run_scenario",
+    "obtain_groups",
+    "figures",
+]

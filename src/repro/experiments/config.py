@@ -1,0 +1,152 @@
+"""Scenario and profile configuration for the experiment harness.
+
+A :class:`ScenarioConfig` fully describes one simulated run: which workload at
+which scale, which grouping method, when checkpoints are requested, where the
+images go, and the random seed.  An :class:`ExperimentProfile` scales whole
+figures up or down: ``FULL`` uses the paper's process counts, ``QUICK`` uses
+reduced scales and workload fidelity so the integration tests stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cluster.topology import GIDEON_300, ClusterSpec
+from repro.ckpt.scheduler import CheckpointSchedule
+
+
+#: grouping methods evaluated in the paper
+METHODS: Tuple[str, ...] = ("GP", "GP1", "GP4", "NORM", "VCL")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One simulated run of one workload under one checkpointing method.
+
+    Parameters
+    ----------
+    workload:
+        ``"hpl"``, ``"cg"``, ``"sp"`` or one of the synthetic names
+        (``"ring"``, ``"halo2d"``, ``"master-worker"``, ``"all-to-all"``).
+    n_ranks:
+        Number of MPI processes.
+    method:
+        Grouping / protocol method (one of :data:`METHODS`).
+    schedule:
+        When checkpoint requests are issued (None = no checkpoints).
+    cluster:
+        Hardware description; defaults to the Gideon-300-like cluster.
+    seed:
+        Master seed for the run's random streams.
+    workload_options:
+        Extra keyword arguments forwarded to the workload parameter class
+        (e.g. ``problem_size`` for HPL).
+    max_group_size:
+        ``G`` bound for trace-assisted group formation (None = paper default
+        ⌈√n⌉; the HPL experiments use P = 8 to match Table 1).
+    do_restart:
+        Whether to simulate a restart from the last checkpoint after the run.
+    """
+
+    workload: str
+    n_ranks: int
+    method: str = "GP"
+    schedule: Optional[CheckpointSchedule] = None
+    cluster: ClusterSpec = GIDEON_300
+    seed: int = 0
+    workload_options: Dict[str, object] = field(default_factory=dict)
+    max_group_size: Optional[int] = None
+    do_restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.method not in METHODS:
+            raise ValueError(f"unknown method {self.method!r}; expected one of {METHODS}")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def with_method(self, method: str) -> "ScenarioConfig":
+        """Copy of this scenario under a different grouping method."""
+        return replace(self, method=method)
+
+    def with_seed(self, seed: int) -> "ScenarioConfig":
+        """Copy of this scenario with a different master seed."""
+        return replace(self, seed=seed)
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """Scales a whole figure's sweep up (paper scale) or down (test scale).
+
+    Parameters
+    ----------
+    name:
+        "full" or "quick".
+    hpl_scales / cg_scales / sp_scales:
+        Process counts used for the per-figure sweeps.
+    hpl_options / cg_options / sp_options:
+        Workload parameter overrides (smaller problems under "quick").
+    repeats:
+        Number of seeds averaged per data point (the paper repeats 5×).
+    checkpoint_at_s:
+        Time of the single checkpoint in the one-shot experiments.
+    """
+
+    name: str
+    hpl_scales: Tuple[int, ...]
+    cg_scales: Tuple[int, ...]
+    sp_scales: Tuple[int, ...]
+    coordination_scales: Tuple[int, ...]
+    hpl_options: Dict[str, object] = field(default_factory=dict)
+    cg_options: Dict[str, object] = field(default_factory=dict)
+    sp_options: Dict[str, object] = field(default_factory=dict)
+    repeats: int = 1
+    checkpoint_at_s: float = 60.0
+    interval_sweep_s: Tuple[float, ...] = (0.0, 60.0, 120.0, 180.0, 300.0)
+    vcl_interval_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        if self.checkpoint_at_s < 0:
+            raise ValueError("checkpoint_at_s must be non-negative")
+
+
+#: The paper's scales: HPL 16..128 step 16 (Figures 5-9), Figure 1 sweeps
+#: 12..68, CG uses 16/32/64/128, SP uses the square counts 64/81/100/121.
+FULL = ExperimentProfile(
+    name="full",
+    hpl_scales=(16, 32, 48, 64, 80, 96, 112, 128),
+    cg_scales=(16, 32, 64, 128),
+    sp_scales=(64, 81, 100, 121),
+    coordination_scales=(16, 24, 32, 40, 48, 56, 64),
+    repeats=2,
+    checkpoint_at_s=60.0,
+)
+
+#: Reduced scales and problem sizes for fast integration tests.
+QUICK = ExperimentProfile(
+    name="quick",
+    hpl_scales=(16, 32),
+    cg_scales=(16, 32),
+    sp_scales=(16, 25),
+    coordination_scales=(8, 16, 24),
+    hpl_options={"problem_size": 6000, "block_size": 200, "max_steps": 12},
+    cg_options={"na": 30000, "max_steps": 8},
+    sp_options={"grid_points": 64, "max_steps": 6, "time_steps": 60},
+    repeats=1,
+    checkpoint_at_s=2.0,
+    interval_sweep_s=(0.0, 2.0, 4.0, 8.0),
+    vcl_interval_s=5.0,
+)
+
+
+def profile_by_name(name: str) -> ExperimentProfile:
+    """Look up a profile ("full" or "quick")."""
+    profiles = {"full": FULL, "quick": QUICK}
+    try:
+        return profiles[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown profile {name!r}; expected one of {sorted(profiles)}") from exc

@@ -1,0 +1,156 @@
+"""Failure-injection extension experiments (beyond the paper's figures).
+
+The paper motivates group-based checkpointing with reduced work loss: because
+checkpoints are cheaper, they can be taken more often, so a failure destroys
+less work, and only the affected group has to roll back.  These experiments
+quantify that argument with the failure models from
+:mod:`repro.cluster.failure`:
+
+* :func:`expected_work_loss_experiment` — expected lost work per failure as a
+  function of checkpoint interval and grouping method,
+* :func:`rollback_scope_experiment` — how many processes must roll back when
+  one node fails, under each grouping method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.advisor import expected_overhead_fraction, suggest_checkpoint_interval
+from repro.analysis.reporting import Series, Table, series_table
+from repro.cluster.failure import ExponentialFailureModel, expected_lost_work
+from repro.core.groups import GroupSet
+from repro.experiments.config import ExperimentProfile, FULL, ScenarioConfig
+from repro.experiments.runner import obtain_groups, run_scenario
+from repro.cluster.topology import GIDEON_300
+from repro.ckpt.scheduler import periodic
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class WorkLossPoint:
+    """Expected lost work for one (method, interval) combination."""
+
+    method: str
+    interval_s: float
+    checkpoints_completed: int
+    expected_loss_s: float
+    execution_time_s: float
+
+
+def expected_work_loss_experiment(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+    intervals: Tuple[float, ...] = (60.0, 120.0, 180.0),
+    failure_fraction: float = 0.6,
+) -> Dict[str, object]:
+    """Expected lost work when a failure strikes, per grouping method and interval.
+
+    A failure is assumed to strike at ``failure_fraction`` of the (method's
+    own) execution; the lost work is the time since the last *completed*
+    checkpoint wave of the failed process's group.
+    """
+    if not 0.0 < failure_fraction < 1.0:
+        raise ValueError("failure_fraction must be in (0, 1)")
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    points: List[WorkLossPoint] = []
+    series: Dict[str, Series] = {}
+    for method in ("GP", "NORM"):
+        series[method] = Series(name=f"{method} expected loss (s)")
+        for interval in intervals:
+            result = run_scenario(
+                ScenarioConfig(
+                    workload="hpl",
+                    n_ranks=n,
+                    method=method,
+                    schedule=periodic(interval),
+                    workload_options=dict(profile.hpl_options),
+                    max_group_size=8,
+                    do_restart=False,
+                    seed=11,
+                )
+            )
+            failure_time = result.makespan * failure_fraction
+            # completed checkpoint times of the group containing rank 0
+            ckpt_times = sorted(
+                rec.end for rec in result.app.checkpoint_records if rec.rank == 0
+            )
+            loss = expected_lost_work(interval, failure_time, ckpt_times)
+            points.append(
+                WorkLossPoint(
+                    method=method,
+                    interval_s=interval,
+                    checkpoints_completed=result.checkpoints_completed,
+                    expected_loss_s=loss,
+                    execution_time_s=result.makespan,
+                )
+            )
+            series[method].append(interval, loss)
+    table = series_table(
+        f"Expected lost work after a failure at {int(failure_fraction * 100)}% of execution "
+        f"(HPL, {n} processes)",
+        list(series.values()),
+        x_label="interval (s)",
+    )
+    return {"points": points, "series": list(series.values()), "table": table}
+
+
+def rollback_scope_experiment(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+) -> Dict[str, object]:
+    """How many processes roll back when a single node fails, per grouping method.
+
+    Under a global coordinated checkpoint every process restarts; under the
+    group-based scheme only the failed process's group does (plus log replay
+    from out-of-group peers, which do *not* roll back).
+    """
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    groups = obtain_groups("hpl", n, GIDEON_300, dict(profile.hpl_options), max_group_size=8)
+    schemes = {
+        "NORM": GroupSet.single(n),
+        "GP": groups,
+        "GP4": GroupSet.contiguous(n, 4),
+        "GP1": GroupSet.singletons(n),
+    }
+    table = Table(
+        title=f"Rollback scope after one node failure ({n} processes)",
+        columns=["method", "processes rolled back", "fraction of system"],
+    )
+    out: Dict[str, int] = {}
+    for name, groupset in schemes.items():
+        scope = len(groupset.members(0))
+        out[name] = scope
+        table.add_row(name, scope, scope / n)
+    return {"scope": out, "table": table}
+
+
+def mtbf_overhead_experiment(
+    checkpoint_costs: Dict[str, float],
+    mtbf_per_node_s: float = 2_000_000.0,
+    n_nodes: int = 128,
+    restart_costs: Optional[Dict[str, float]] = None,
+) -> Dict[str, object]:
+    """End-to-end fault-tolerance overhead per method at the optimal interval.
+
+    Combines measured per-checkpoint costs with a node-failure model to show
+    the practical consequence of cheaper checkpoints: a shorter optimal
+    interval and lower total overhead.
+    """
+    model = ExponentialFailureModel(mtbf_per_node_s, rng=RandomStreams(3))
+    mtbf = model.system_mtbf(n_nodes)
+    restart_costs = restart_costs or {}
+    table = Table(
+        title=f"Fault-tolerance overhead at system MTBF {mtbf / 3600.0:.1f} h ({n_nodes} nodes)",
+        columns=["method", "ckpt cost (s)", "optimal interval (s)", "overhead fraction"],
+    )
+    out = {}
+    for method, cost in checkpoint_costs.items():
+        suggestion = suggest_checkpoint_interval(cost, mtbf)
+        overhead = expected_overhead_fraction(
+            suggestion.interval_s, cost, mtbf, restart_costs.get(method, 0.0)
+        )
+        out[method] = {"interval_s": suggestion.interval_s, "overhead": overhead}
+        table.add_row(method, cost, suggestion.interval_s, overhead)
+    return {"results": out, "table": table, "system_mtbf_s": mtbf}

@@ -1,0 +1,280 @@
+"""Run one scenario end to end and derive the metrics the figures need.
+
+The standard flow for a trace-assisted ("GP") scenario is exactly the
+workflow of the paper's Figure 4:
+
+1. run the application once with the light-weight tracer linked in,
+2. analyse the trace with Algorithm 2 to obtain a group definition,
+3. run the application again with the group-based checkpointing protocol and
+   the chosen checkpoint schedule (the tracer is no longer needed),
+4. optionally restart the application from its last checkpoint and measure
+   the restart preparation.
+
+Trace runs are cached per (workload, scale, options) so sweeping the grouping
+method does not re-trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import (
+    mean_checkpoint_duration,
+    progress_gap_fraction,
+    stage_breakdown,
+)
+from repro.ckpt.base import ProtocolConfig, ProtocolFamily
+from repro.ckpt.presets import (
+    gp1_family,
+    gp4_family,
+    gp_family,
+    norm_family,
+    vcl_family,
+)
+from repro.ckpt.scheduler import CheckpointSchedule
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.core.coordinator import CheckpointCoordinator
+from repro.core.formation import form_groups
+from repro.core.groups import GroupSet
+from repro.core.restart import RestartResult, simulate_restart
+from repro.experiments.config import ScenarioConfig
+from repro.mpi.runtime import ApplicationResult, MpiRuntime
+from repro.mpi.trace import TraceLog
+from repro.mpi.tracer import Tracer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.base import Workload
+from repro.workloads.hpl import HplParameters, HplWorkload
+from repro.workloads.npb_cg import CgParameters, CgWorkload
+from repro.workloads.npb_sp import SpParameters, SpWorkload
+from repro.workloads.synthetic import (
+    AllToAllWorkload,
+    Halo2DWorkload,
+    MasterWorkerWorkload,
+    RingWorkload,
+    SyntheticParameters,
+)
+
+
+# --------------------------------------------------------------------------- workloads
+def build_workload(name: str, n_ranks: int, options: Optional[Dict[str, object]] = None) -> Workload:
+    """Instantiate a workload by name with optional parameter overrides."""
+    options = dict(options or {})
+    if name == "hpl":
+        return HplWorkload(n_ranks, HplParameters(**options))
+    if name == "cg":
+        return CgWorkload(n_ranks, CgParameters(**options))
+    if name == "sp":
+        return SpWorkload(n_ranks, SpParameters(**options))
+    synthetic = {
+        "ring": RingWorkload,
+        "halo2d": Halo2DWorkload,
+        "master-worker": MasterWorkerWorkload,
+        "all-to-all": AllToAllWorkload,
+    }
+    if name in synthetic:
+        params = SyntheticParameters(**options) if options else SyntheticParameters()
+        return synthetic[name](n_ranks, params)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def _tracing_options(name: str, options: Dict[str, object]) -> Dict[str, object]:
+    """Cheaper workload options for the trace run (fewer simulated steps)."""
+    out = dict(options)
+    if name in ("hpl", "cg", "sp"):
+        out.setdefault("max_steps", 8)
+    else:
+        out.setdefault("iterations", 4)
+    return out
+
+
+# ------------------------------------------------------------------- trace & formation
+_TRACE_CACHE: Dict[Tuple[str, int, Tuple[Tuple[str, object], ...]], TraceLog] = {}
+_GROUP_CACHE: Dict[Tuple[str, int, Tuple[Tuple[str, object], ...], Optional[int]], GroupSet] = {}
+
+
+def obtain_trace(
+    workload_name: str,
+    n_ranks: int,
+    cluster: ClusterSpec,
+    options: Optional[Dict[str, object]] = None,
+    seed: int = 12345,
+) -> TraceLog:
+    """Run the workload once with the tracer attached and return the trace (cached)."""
+    options = dict(options or {})
+    key = (workload_name, n_ranks, tuple(sorted(options.items())))
+    if key in _TRACE_CACHE:
+        return _TRACE_CACHE[key]
+    trace_opts = _tracing_options(workload_name, options)
+    workload = build_workload(workload_name, n_ranks, trace_opts)
+    sim = Simulator()
+    cl = Cluster(sim, cluster.with_nodes(max(cluster.n_nodes, n_ranks)))
+    tracer = Tracer()
+    runtime = MpiRuntime(sim, cl, n_ranks, rng=RandomStreams(seed), tracer=tracer)
+    runtime.set_memory(workload.memory_map())
+    runtime.launch(workload.program_factory())
+    runtime.run_to_completion(limit_s=1e8)
+    _TRACE_CACHE[key] = tracer.log
+    return tracer.log
+
+
+def obtain_groups(
+    workload_name: str,
+    n_ranks: int,
+    cluster: ClusterSpec,
+    options: Optional[Dict[str, object]] = None,
+    max_group_size: Optional[int] = None,
+) -> GroupSet:
+    """Trace-assisted group formation for a workload/scale (cached)."""
+    options = dict(options or {})
+    key = (workload_name, n_ranks, tuple(sorted(options.items())), max_group_size)
+    if key in _GROUP_CACHE:
+        return _GROUP_CACHE[key]
+    trace = obtain_trace(workload_name, n_ranks, cluster, options)
+    formation = form_groups(trace, max_group_size=max_group_size, n_ranks=n_ranks)
+    _GROUP_CACHE[key] = formation.groupset
+    return formation.groupset
+
+
+def build_family(
+    method: str,
+    n_ranks: int,
+    workload_name: str,
+    cluster: ClusterSpec,
+    options: Optional[Dict[str, object]] = None,
+    max_group_size: Optional[int] = None,
+    protocol_config: Optional[ProtocolConfig] = None,
+) -> ProtocolFamily:
+    """Instantiate the protocol family for one of the paper's methods."""
+    if method == "NORM":
+        return norm_family(n_ranks, config=protocol_config)
+    if method == "GP1":
+        return gp1_family(n_ranks, config=protocol_config)
+    if method == "GP4":
+        return gp4_family(n_ranks, config=protocol_config)
+    if method == "VCL":
+        return vcl_family(config=protocol_config)
+    if method == "GP":
+        groups = obtain_groups(workload_name, n_ranks, cluster, options, max_group_size)
+        return gp_family(groups, config=protocol_config)
+    raise ValueError(f"unknown method {method!r}")
+
+
+# ------------------------------------------------------------------------- scenario run
+@dataclass
+class ScenarioResult:
+    """Everything measured for one scenario run."""
+
+    config: ScenarioConfig
+    app: ApplicationResult
+    restart: Optional[RestartResult] = None
+    groupset: Optional[GroupSet] = None
+
+    # -- derived metrics -----------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """End-to-end execution time of the application (including checkpoints)."""
+        return self.app.makespan
+
+    @property
+    def aggregate_checkpoint_time(self) -> float:
+        """Sum of per-process checkpoint durations."""
+        return self.app.aggregate_checkpoint_time()
+
+    @property
+    def aggregate_coordination_time(self) -> float:
+        """Sum of per-process coordination time (checkpoint minus image dump)."""
+        return self.app.aggregate_coordination_time()
+
+    @property
+    def aggregate_restart_time(self) -> float:
+        """Sum of per-process restart durations (0 if restart was not simulated)."""
+        return self.restart.aggregate_restart_time if self.restart is not None else 0.0
+
+    @property
+    def resend_bytes(self) -> int:
+        """Total bytes replayed during restart."""
+        return self.restart.total_replay_bytes if self.restart is not None else 0
+
+    @property
+    def resend_operations(self) -> int:
+        """Total resend operations during restart."""
+        return self.restart.total_resend_operations if self.restart is not None else 0
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Number of checkpoint waves completed."""
+        return self.app.checkpoints_completed
+
+    @property
+    def mean_checkpoint_duration(self) -> float:
+        """Average per-process checkpoint duration."""
+        return mean_checkpoint_duration(self.app.checkpoint_records)
+
+    @property
+    def gap_fraction(self) -> float:
+        """Fraction of checkpoint-window time with no application progress."""
+        return progress_gap_fraction(self.app)
+
+    def breakdown(self):
+        """Average per-stage checkpoint breakdown (Figure 9)."""
+        return stage_breakdown(self.app.checkpoint_records)
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    protocol_config: Optional[ProtocolConfig] = None,
+) -> ScenarioResult:
+    """Execute one scenario (trace → formation → run → restart) and return its result."""
+    workload = build_workload(config.workload, config.n_ranks, config.workload_options)
+    cluster_spec = config.cluster.with_nodes(max(config.cluster.n_nodes, config.n_ranks))
+    family = build_family(
+        config.method,
+        config.n_ranks,
+        config.workload,
+        cluster_spec,
+        config.workload_options,
+        config.max_group_size,
+        protocol_config,
+    )
+
+    sim = Simulator()
+    cluster = Cluster(sim, cluster_spec)
+    runtime = MpiRuntime(
+        sim, cluster, config.n_ranks, protocol_family=family, rng=RandomStreams(config.seed)
+    )
+    runtime.set_memory(workload.memory_map())
+    if config.schedule is not None:
+        CheckpointCoordinator(runtime, family, config.schedule).start()
+    runtime.launch(workload.program_factory())
+    app = runtime.run_to_completion(limit_s=1e8)
+
+    restart: Optional[RestartResult] = None
+    if config.do_restart and config.schedule is not None and app.snapshots():
+        restart = simulate_restart(app, cluster_spec, config=protocol_config)
+
+    groupset = getattr(family, "groups", None)
+    return ScenarioResult(config=config, app=app, restart=restart, groupset=groupset)
+
+
+def average_over_seeds(
+    config: ScenarioConfig,
+    seeds: List[int],
+    metric: Callable[[ScenarioResult], float],
+    protocol_config: Optional[ProtocolConfig] = None,
+) -> float:
+    """Average one scalar metric over several seeds of the same scenario."""
+    if not seeds:
+        raise ValueError("seeds must not be empty")
+    values = []
+    for seed in seeds:
+        result = run_scenario(config.with_seed(seed), protocol_config)
+        values.append(metric(result))
+    return sum(values) / len(values)
+
+
+def clear_caches() -> None:
+    """Forget cached traces and group formations (mainly for tests)."""
+    _TRACE_CACHE.clear()
+    _GROUP_CACHE.clear()

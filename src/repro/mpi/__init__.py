@@ -1,0 +1,62 @@
+"""MPI-like message-passing runtime on top of the discrete-event engine.
+
+The runtime executes one *operation script* (a generator of
+:class:`~repro.mpi.ops.Op` objects) per rank, moving messages through the
+cluster's network model.  Checkpoint protocols hook into the runtime at
+exactly the points a real MPI checkpointing layer does: on send, on message
+arrival, and at operation boundaries (where checkpoint signals are honoured).
+
+Public pieces:
+
+* :mod:`repro.mpi.messages` — message records and channel accounting,
+* :mod:`repro.mpi.ops` — the operation vocabulary of application scripts,
+* :mod:`repro.mpi.collectives` — point-to-point schedules for collectives,
+* :mod:`repro.mpi.runtime` — :class:`MpiRuntime` and :class:`RankContext`,
+* :mod:`repro.mpi.tracer` — the light-weight communication tracer,
+* :mod:`repro.mpi.trace` — trace records, logs and communication matrices.
+"""
+
+from repro.mpi.messages import Message, MessageKind, ChannelAccount
+from repro.mpi.ops import (
+    Op,
+    Compute,
+    Send,
+    Recv,
+    SendRecv,
+    Isend,
+    Wait,
+    Barrier,
+    Bcast,
+    Reduce,
+    Allreduce,
+    Allgather,
+    Marker,
+)
+from repro.mpi.trace import TraceRecord, TraceLog
+from repro.mpi.tracer import Tracer
+from repro.mpi.runtime import MpiRuntime, RankContext, ApplicationResult
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "ChannelAccount",
+    "Op",
+    "Compute",
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Isend",
+    "Wait",
+    "Barrier",
+    "Bcast",
+    "Reduce",
+    "Allreduce",
+    "Allgather",
+    "Marker",
+    "TraceRecord",
+    "TraceLog",
+    "Tracer",
+    "MpiRuntime",
+    "RankContext",
+    "ApplicationResult",
+]

@@ -1,0 +1,191 @@
+"""Message records and per-channel byte accounting.
+
+The group-based protocol (Algorithm 1 of the paper) is driven entirely by
+per-channel byte counters:
+
+* ``S_X`` — bytes this process has sent to process X,
+* ``R_X`` — bytes this process has received from process X,
+* ``RR_X`` — the recorded value of ``R_X`` at the latest checkpoint,
+
+plus piggybacked ``RR`` values used to garbage-collect sender-side logs.
+:class:`ChannelAccount` implements that bookkeeping; :class:`Message` is the
+unit travelling through the network.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class MessageKind(enum.Enum):
+    """Classes of traffic the runtime distinguishes.
+
+    Only ``APP`` messages count towards the S/R channel accounting and the
+    communication trace; ``CONTROL`` carries protocol coordination
+    (bookmarks, barrier tokens, restart negotiation) and ``MARKER`` carries
+    Chandy–Lamport markers.
+    """
+
+    APP = "app"
+    CONTROL = "control"
+    MARKER = "marker"
+
+
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """One message in flight (or delivered).
+
+    Attributes
+    ----------
+    src, dst:
+        Sender and receiver ranks.
+    nbytes:
+        Payload size in bytes (application payload, excluding piggyback).
+    tag:
+        MPI-style tag used for matching.
+    kind:
+        Traffic class (:class:`MessageKind`).
+    piggyback:
+        Small dictionary of protocol metadata carried with the message
+        (e.g. the ``RR`` value used for log garbage collection).
+    payload:
+        Optional opaque payload used by control messages.
+    sent_at / arrived_at:
+        Simulation timestamps filled in by the runtime.
+    seq:
+        Globally unique, monotonically increasing id (tie-breaker and
+        debugging aid).
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: int = 0
+    kind: MessageKind = MessageKind.APP
+    piggyback: Dict[str, Any] = field(default_factory=dict)
+    payload: Any = None
+    sent_at: float = -1.0
+    arrived_at: float = -1.0
+    seq: int = field(default_factory=lambda: next(_message_counter))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+    @property
+    def is_app(self) -> bool:
+        """True for application traffic (counts towards S/R accounting)."""
+        return self.kind is MessageKind.APP
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Msg #{self.seq} {self.kind.value} {self.src}->{self.dst} "
+            f"tag={self.tag} {self.nbytes}B>"
+        )
+
+
+class ChannelAccount:
+    """Per-rank S/R byte counters over all peers.
+
+    This is the data structure behind the paper's ``RX``/``SX`` definitions.
+    Counters are monotonically non-decreasing; ``snapshot`` captures the
+    values used as ``RR``/``SS`` at checkpoint time.
+    """
+
+    def __init__(self, rank: int) -> None:
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        self.rank = rank
+        self._sent: Dict[int, int] = {}
+        self._received: Dict[int, int] = {}
+        self._sent_msgs: Dict[int, int] = {}
+        self._received_msgs: Dict[int, int] = {}
+
+    # -- updates -----------------------------------------------------------
+    def record_send(self, dst: int, nbytes: int) -> None:
+        """Account an application send of ``nbytes`` to ``dst`` (updates S_dst)."""
+        if dst < 0:
+            raise ValueError("dst must be non-negative")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._sent[dst] = self._sent.get(dst, 0) + nbytes
+        self._sent_msgs[dst] = self._sent_msgs.get(dst, 0) + 1
+
+    def record_receive(self, src: int, nbytes: int) -> None:
+        """Account an application receive of ``nbytes`` from ``src`` (updates R_src)."""
+        if src < 0:
+            raise ValueError("src must be non-negative")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._received[src] = self._received.get(src, 0) + nbytes
+        self._received_msgs[src] = self._received_msgs.get(src, 0) + 1
+
+    # -- queries ----------------------------------------------------------
+    def sent_to(self, dst: int) -> int:
+        """S_dst: total application bytes sent to ``dst``."""
+        return self._sent.get(dst, 0)
+
+    def received_from(self, src: int) -> int:
+        """R_src: total application bytes received from ``src``."""
+        return self._received.get(src, 0)
+
+    def messages_sent_to(self, dst: int) -> int:
+        """Number of application messages sent to ``dst``."""
+        return self._sent_msgs.get(dst, 0)
+
+    def messages_received_from(self, src: int) -> int:
+        """Number of application messages received from ``src``."""
+        return self._received_msgs.get(src, 0)
+
+    def peers(self) -> set[int]:
+        """Every rank this process has exchanged application data with."""
+        return set(self._sent) | set(self._received)
+
+    @property
+    def total_sent(self) -> int:
+        """Total application bytes sent to all peers."""
+        return sum(self._sent.values())
+
+    @property
+    def total_received(self) -> int:
+        """Total application bytes received from all peers."""
+        return sum(self._received.values())
+
+    # -- snapshots ----------------------------------------------------------
+    def snapshot_sent(self) -> Dict[int, int]:
+        """Copy of the S counters (used as ``SS`` at checkpoint time)."""
+        return dict(self._sent)
+
+    def snapshot_received(self) -> Dict[int, int]:
+        """Copy of the R counters (used as ``RR`` at checkpoint time)."""
+        return dict(self._received)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ChannelAccount rank={self.rank} "
+            f"sent={self.total_sent}B recv={self.total_received}B>"
+        )
+
+
+def in_transit_bytes(
+    sender_sent: Dict[int, int],
+    receiver_received: Dict[int, int],
+    sender: int,
+    receiver: int,
+) -> int:
+    """Bytes sent by ``sender`` to ``receiver`` but not yet received.
+
+    Helper used by drain logic and by the restart replay-volume computation:
+    ``max(0, SS_sender→receiver − RR_receiver←sender)``.
+    """
+    sent = sender_sent.get(receiver, 0)
+    received = receiver_received.get(sender, 0)
+    return max(0, sent - received)

@@ -1,0 +1,202 @@
+"""Operation vocabulary of application scripts.
+
+A workload (HPL-like, NPB CG-like, ...) is expressed as one generator of
+``Op`` objects per rank.  The MPI runtime interprets these; checkpoint
+signals are honoured between operations and while blocked inside them, which
+mirrors where a system-level checkpointer (LAM/MPI's CRTCP module, BLCR
+callbacks) interacts with a real application.
+
+All sizes are in bytes, all durations in (reference) seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class Op:
+    """Base class of all application operations (marker type)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """A local compute phase of ``seconds`` reference-seconds (at 2.0 GHz).
+
+    ``jitter`` selects whether OS noise is applied (multiplicative log-normal
+    with the node's configured sigma).
+    """
+
+    seconds: float
+    jitter: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("compute seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    """A blocking send of ``nbytes`` to rank ``dst`` with matching ``tag``."""
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError("dst must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Isend(Op):
+    """A non-blocking send; completion is not tracked at the application level.
+
+    The runtime charges only the local send overhead and injects the message;
+    use :class:`Send` when the sender should also pay wire serialisation.
+    """
+
+    dst: int
+    nbytes: int
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError("dst must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """A blocking receive from ``src`` (or any source if ``src`` is None)."""
+
+    src: Optional[int] = None
+    tag: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.src is not None and self.src < 0:
+            raise ValueError("src must be non-negative or None")
+
+
+@dataclass(frozen=True)
+class SendRecv(Op):
+    """A combined exchange: send to ``dst`` and receive from ``src``.
+
+    The send is injected first (non-blocking), then the receive blocks; this
+    is the deadlock-free pairwise-exchange idiom used by the workload
+    generators for ring and transpose patterns.
+    """
+
+    dst: int
+    send_nbytes: int
+    src: Optional[int] = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dst < 0:
+            raise ValueError("dst must be non-negative")
+        if self.send_nbytes < 0:
+            raise ValueError("send_nbytes must be non-negative")
+        if self.src is not None and self.src < 0:
+            raise ValueError("src must be non-negative or None")
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Wait for previously issued non-blocking operations (modelled as a no-op delay)."""
+
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """A barrier over ``participants`` (all ranks if None)."""
+
+    participants: Optional[Tuple[int, ...]] = None
+    tag: int = 0
+
+    @staticmethod
+    def over(ranks: Sequence[int], tag: int = 0) -> "Barrier":
+        """Barrier over an explicit set of ranks."""
+        return Barrier(participants=tuple(sorted(ranks)), tag=tag)
+
+
+@dataclass(frozen=True)
+class Bcast(Op):
+    """Broadcast ``nbytes`` from ``root`` to ``participants`` (binomial tree)."""
+
+    root: int
+    nbytes: int
+    participants: Optional[Tuple[int, ...]] = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.root < 0:
+            raise ValueError("root must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Reduce(Op):
+    """Reduce ``nbytes`` of data from ``participants`` to ``root`` (binomial tree)."""
+
+    root: int
+    nbytes: int
+    participants: Optional[Tuple[int, ...]] = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.root < 0:
+            raise ValueError("root must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Allreduce(Op):
+    """All-reduce of ``nbytes`` over ``participants`` (recursive doubling)."""
+
+    nbytes: int
+    participants: Optional[Tuple[int, ...]] = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Allgather(Op):
+    """All-gather where each participant contributes ``nbytes`` (ring algorithm)."""
+
+    nbytes: int
+    participants: Optional[Tuple[int, ...]] = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Marker(Op):
+    """A zero-cost annotation in the script (phase boundaries, iteration ids).
+
+    Markers show up in the per-rank progress log and are useful for
+    synchronising analysis (e.g. Figure 2's iteration boundaries), but the
+    runtime spends no simulated time on them.
+    """
+
+    label: str = ""
+    data: dict = field(default_factory=dict)

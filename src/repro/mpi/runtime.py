@@ -1,0 +1,643 @@
+"""The MPI-like runtime: rank contexts, messaging, and script execution.
+
+One :class:`RankContext` per MPI process holds the inbox, the S/R channel
+accounting, pending checkpoint requests and per-rank statistics.  The
+:class:`MpiRuntime` moves messages between contexts through the cluster's
+network model, interprets application operation scripts, and gives checkpoint
+protocols the services they need (control messages, drain waits, storage
+access).
+
+Checkpoint signals are honoured at operation boundaries and while a rank is
+blocked in a receive, mirroring where a system-level checkpointing layer
+(LAM/MPI's CR SSI modules + BLCR signal handler) interrupts a real MPI
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.topology import Cluster
+from repro.mpi import collectives as coll
+from repro.mpi.messages import ChannelAccount, Message, MessageKind
+from repro.mpi.ops import (
+    Allgather,
+    Allreduce,
+    Barrier,
+    Bcast,
+    Compute,
+    Isend,
+    Marker,
+    Op,
+    Recv,
+    Reduce,
+    Send,
+    SendRecv,
+    Wait,
+)
+from repro.mpi.tracer import Tracer
+from repro.sim.engine import SimProcess, Simulator
+from repro.sim.primitives import Event, Store
+from repro.sim.rng import RandomStreams
+
+# Tags reserved for internal traffic; applications should use tags below this.
+COLLECTIVE_TAG_BASE = 1_000_000
+CONTROL_TAG_BASE = 2_000_000
+
+
+@dataclass
+class RuntimeConfig:
+    """Behavioural switches of the runtime.
+
+    Parameters
+    ----------
+    record_deliveries:
+        Keep a global log of ``(time, src, dst, nbytes)`` for every delivered
+        application message (needed for the Figure 2 trace diagrams).
+    control_message_bytes:
+        Default payload size of protocol control messages.
+    collective_tag:
+        Base tag for collectives (separated from application point-to-point).
+    """
+
+    record_deliveries: bool = True
+    control_message_bytes: int = 64
+    collective_tag: int = COLLECTIVE_TAG_BASE
+
+    def __post_init__(self) -> None:
+        if self.control_message_bytes < 0:
+            raise ValueError("control_message_bytes must be non-negative")
+
+
+@dataclass
+class RankStats:
+    """Per-rank accounting filled in while the script executes."""
+
+    compute_time: float = 0.0
+    send_time: float = 0.0
+    recv_wait_time: float = 0.0
+    checkpoint_time: float = 0.0
+    ops_executed: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    checkpoints: List[Any] = field(default_factory=list)
+    progress_marks: List[Tuple[float, str]] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Wall time of this rank's script (None while still running)."""
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+
+class RankContext:
+    """Everything the runtime and the protocols know about one rank."""
+
+    def __init__(self, sim: Simulator, rank: int, node_id: int, memory_bytes: int) -> None:
+        if rank < 0:
+            raise ValueError("rank must be non-negative")
+        if memory_bytes < 0:
+            raise ValueError("memory_bytes must be non-negative")
+        self.sim = sim
+        self.rank = rank
+        self.node_id = node_id
+        #: resident set of the application on this rank (drives image size)
+        self.memory_bytes = memory_bytes
+        self.inbox = Store(sim, name=f"inbox:{rank}")
+        self.account = ChannelAccount(rank)
+        self.stats = RankStats()
+        self.finished = False
+        #: set by the protocol family when the runtime is constructed
+        self.protocol: Any = None
+        self.pending_requests: List[Any] = []
+        self._signal_event = Event(sim, name=f"signal:{rank}")
+        self._arrival_watchers: List[Tuple[int, int, Event]] = []
+        #: True while this rank is inside a checkpoint procedure
+        self.in_checkpoint = False
+
+    # -- checkpoint signalling ------------------------------------------------
+    @property
+    def signal_event(self) -> Event:
+        """Event that fires when a checkpoint request is delivered."""
+        return self._signal_event
+
+    def deliver_request(self, request: Any) -> None:
+        """Deliver a checkpoint request (called by the coordinator).
+
+        The request only becomes *visible* to the rank at
+        ``request.issued_at + request.stagger_s`` — until then the rank keeps
+        executing application operations, which models mpirun propagating the
+        request to the processes one by one.
+        """
+        self.pending_requests.append(request)
+        if not self._signal_event.triggered:
+            self._signal_event.succeed(request)
+
+    @staticmethod
+    def _visible_at(request: Any) -> float:
+        return request.issued_at + getattr(request, "stagger_s", 0.0)
+
+    def has_pending_request(self) -> bool:
+        """True if at least one checkpoint request has been delivered (visible or not)."""
+        return bool(self.pending_requests)
+
+    def has_visible_request(self, now: float) -> bool:
+        """True if a delivered request has become visible to this rank."""
+        return any(now >= self._visible_at(r) - 1e-12 for r in self.pending_requests)
+
+    def next_visible_at(self) -> float:
+        """Earliest visibility time among pending requests (inf if none pending)."""
+        if not self.pending_requests:
+            return float("inf")
+        return min(self._visible_at(r) for r in self.pending_requests)
+
+    def pop_visible_request(self, now: float) -> Any:
+        """Take the oldest visible request and re-arm the signal event if drained."""
+        for i, request in enumerate(self.pending_requests):
+            if now >= self._visible_at(request) - 1e-12:
+                self.pending_requests.pop(i)
+                break
+        else:
+            raise RuntimeError(f"rank {self.rank}: no visible checkpoint request to pop")
+        if not self.pending_requests:
+            self._signal_event = Event(self.sim, name=f"signal:{self.rank}")
+        return request
+
+    # -- arrival watching (drain support) ---------------------------------------
+    def wait_for_received(self, src: int, threshold: int) -> Event:
+        """Event firing once R_src (arrived bytes from ``src``) reaches ``threshold``."""
+        ev = Event(self.sim, name=f"drain:{self.rank}<-{src}")
+        if self.account.received_from(src) >= threshold:
+            ev.succeed(self.account.received_from(src))
+        else:
+            self._arrival_watchers.append((src, threshold, ev))
+        return ev
+
+    def _notify_arrival(self, src: int) -> None:
+        if not self._arrival_watchers:
+            return
+        received = self.account.received_from(src)
+        still_waiting: List[Tuple[int, int, Event]] = []
+        for watch_src, threshold, ev in self._arrival_watchers:
+            if watch_src == src and received >= threshold and not ev.triggered:
+                ev.succeed(received)
+            elif not ev.triggered:
+                still_waiting.append((watch_src, threshold, ev))
+        self._arrival_watchers = still_waiting
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RankContext rank={self.rank} node={self.node_id}>"
+
+
+@dataclass
+class ApplicationResult:
+    """Outcome of one simulated application run."""
+
+    n_ranks: int
+    protocol_name: str
+    makespan: float
+    contexts: List[RankContext]
+    deliveries: List[Tuple[float, int, int, int]]
+    trace: Optional[Any] = None
+
+    @property
+    def checkpoint_records(self) -> List[Any]:
+        """All per-rank checkpoint records, across ranks and checkpoints."""
+        out: List[Any] = []
+        for ctx in self.contexts:
+            out.extend(ctx.stats.checkpoints)
+        return out
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Number of distinct checkpoint ids completed by every participating rank."""
+        ids: Dict[int, int] = {}
+        for rec in self.checkpoint_records:
+            ids[rec.ckpt_id] = ids.get(rec.ckpt_id, 0) + 1
+        return len(ids)
+
+    def aggregate_checkpoint_time(self) -> float:
+        """Sum of checkpoint durations over all ranks (the paper's Figure 6a metric)."""
+        return sum(rec.duration for rec in self.checkpoint_records)
+
+    def aggregate_coordination_time(self) -> float:
+        """Sum of coordination-only time over all ranks (the Figure 1 metric)."""
+        return sum(rec.coordination_time for rec in self.checkpoint_records)
+
+    def per_rank_finish_times(self) -> List[float]:
+        """Finish time of each rank's script."""
+        return [
+            ctx.stats.finished_at if ctx.stats.finished_at is not None else float("nan")
+            for ctx in self.contexts
+        ]
+
+    def snapshots(self) -> Dict[int, Any]:
+        """Latest checkpoint snapshot per rank (ranks without one are omitted)."""
+        out: Dict[int, Any] = {}
+        for ctx in self.contexts:
+            if ctx.protocol is None:
+                continue
+            snap = ctx.protocol.latest_snapshot()
+            if snap is not None:
+                out[ctx.rank] = snap
+        return out
+
+
+ProgramFactory = Callable[[int], Iterable[Op]]
+
+
+class MpiRuntime:
+    """Executes per-rank operation scripts over the simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        n_ranks: int,
+        protocol_family: Optional[Any] = None,
+        rng: Optional[RandomStreams] = None,
+        tracer: Optional[Tracer] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.sim = sim
+        self.cluster = cluster
+        self.n_ranks = n_ranks
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.tracer = tracer
+        self.config = config if config is not None else RuntimeConfig()
+        self.protocol_family = protocol_family
+
+        placement = cluster.place_ranks(n_ranks)
+        self.contexts: List[RankContext] = []
+        for rank in range(n_ranks):
+            ctx = RankContext(sim, rank, placement[rank], memory_bytes=0)
+            self.contexts.append(ctx)
+        if protocol_family is not None:
+            for ctx in self.contexts:
+                ctx.protocol = protocol_family.create(ctx, self)
+
+        self.deliveries: List[Tuple[float, int, int, int]] = []
+        self._rank_processes: List[SimProcess] = []
+        self._collective_seq: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    def ctx(self, rank: int) -> RankContext:
+        """Context of ``rank``."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return self.contexts[rank]
+
+    def running_ranks(self) -> Tuple[int, ...]:
+        """Ranks whose scripts have not finished yet."""
+        return tuple(ctx.rank for ctx in self.contexts if not ctx.finished)
+
+    def set_memory(self, memory_per_rank: Union[int, Sequence[int], Dict[int, int]]) -> None:
+        """Set the application resident set per rank (drives checkpoint image size)."""
+        if isinstance(memory_per_rank, int):
+            for ctx in self.contexts:
+                ctx.memory_bytes = memory_per_rank
+        elif isinstance(memory_per_rank, dict):
+            for rank, nbytes in memory_per_rank.items():
+                self.ctx(rank).memory_bytes = int(nbytes)
+        else:
+            values = list(memory_per_rank)
+            if len(values) != self.n_ranks:
+                raise ValueError("memory_per_rank sequence must have one entry per rank")
+            for ctx, nbytes in zip(self.contexts, values):
+                ctx.memory_bytes = int(nbytes)
+
+    # ------------------------------------------------------------- messaging
+    def _make_message(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int,
+        kind: MessageKind,
+        piggyback: Optional[Dict[str, Any]] = None,
+        payload: Any = None,
+    ) -> Message:
+        if not 0 <= dst < self.n_ranks:
+            raise ValueError(f"destination rank {dst} out of range")
+        msg = Message(
+            src=src,
+            dst=dst,
+            nbytes=nbytes,
+            tag=tag,
+            kind=kind,
+            piggyback=dict(piggyback) if piggyback else {},
+            payload=payload,
+        )
+        msg.sent_at = self.sim.now
+        return msg
+
+    def _deliver(self, msg: Message, wire_bytes: int) -> Generator[Event, None, None]:
+        """Background delivery: network path to the destination, then inbox."""
+        src_node = self.ctx(msg.src).node_id
+        dst_node = self.ctx(msg.dst).node_id
+        if src_node != dst_node:
+            yield from self.cluster.network.rx_path(dst_node, wire_bytes)
+        msg.arrived_at = self.sim.now
+        dst_ctx = self.ctx(msg.dst)
+        if msg.is_app:
+            dst_ctx.account.record_receive(msg.src, msg.nbytes)
+            dst_ctx.stats.messages_received += 1
+            dst_ctx.stats.bytes_received += msg.nbytes
+            if dst_ctx.protocol is not None:
+                dst_ctx.protocol.on_arrival(msg)
+            if self.config.record_deliveries:
+                self.deliveries.append((self.sim.now, msg.src, msg.dst, msg.nbytes))
+            dst_ctx._notify_arrival(msg.src)
+        dst_ctx.inbox.put(msg)
+
+    def app_send(
+        self,
+        ctx: RankContext,
+        dst: int,
+        nbytes: int,
+        tag: int = 0,
+        blocking: bool = True,
+    ) -> Generator[Event, None, Message]:
+        """Send an application message; the sender is busy for its local share."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        start = self.sim.now
+        extra_delay = 0.0
+        piggyback: Dict[str, Any] = {}
+        if ctx.protocol is not None:
+            extra_delay, piggyback = ctx.protocol.on_send(dst, nbytes, tag)
+        if self.tracer is not None:
+            extra_delay += self.tracer.on_send(
+                Message(src=ctx.rank, dst=dst, nbytes=nbytes, tag=tag), self.sim.now
+            )
+        msg = self._make_message(ctx.rank, dst, nbytes, tag, MessageKind.APP, piggyback)
+        ctx.account.record_send(dst, nbytes)
+        ctx.stats.messages_sent += 1
+        ctx.stats.bytes_sent += nbytes
+        wire_bytes = nbytes + (16 if piggyback else 0)
+
+        if extra_delay > 0:
+            yield self.sim.timeout(extra_delay)
+
+        src_node = ctx.node_id
+        dst_node = self.ctx(dst).node_id
+        if blocking and src_node != dst_node:
+            # Sender occupied for the TX-side cost of the transfer.
+            yield from self.cluster.network.tx(src_node, wire_bytes)
+        else:
+            yield self.sim.timeout(self.cluster.network.spec.per_message_overhead_s)
+            if src_node != dst_node:
+                self.sim.process(
+                    self.cluster.network.tx(src_node, wire_bytes), name=f"tx:{msg.seq}"
+                )
+        self.sim.process(self._deliver(msg, wire_bytes), name=f"deliver:{msg.seq}")
+        ctx.stats.send_time += self.sim.now - start
+        return msg
+
+    def control_send(
+        self,
+        ctx: RankContext,
+        dst: int,
+        tag: int,
+        payload: Any = None,
+        nbytes: Optional[int] = None,
+        kind: MessageKind = MessageKind.CONTROL,
+    ) -> Generator[Event, None, Message]:
+        """Send a protocol control message (not logged, not traced, not S/R-counted)."""
+        size = nbytes if nbytes is not None else self.config.control_message_bytes
+        msg = self._make_message(ctx.rank, dst, size, tag, kind, payload=payload)
+        src_node = ctx.node_id
+        dst_node = self.ctx(dst).node_id
+        yield self.sim.timeout(self.cluster.network.spec.per_message_overhead_s)
+        if src_node != dst_node:
+            self.sim.process(self.cluster.network.tx(src_node, size), name=f"ctx:{msg.seq}")
+        self.sim.process(self._deliver(msg, size), name=f"deliver:{msg.seq}")
+        return msg
+
+    def _match(
+        self,
+        kind: Optional[MessageKind],
+        src: Optional[int],
+        tag: Optional[int],
+    ) -> Callable[[Message], bool]:
+        def matcher(m: Message) -> bool:
+            if kind is not None and m.kind is not kind:
+                return False
+            if src is not None and m.src != src:
+                return False
+            if tag is not None and m.tag != tag:
+                return False
+            return True
+
+        return matcher
+
+    def app_recv(
+        self,
+        ctx: RankContext,
+        src: Optional[int] = None,
+        tag: Optional[int] = None,
+        interruptible: bool = True,
+    ) -> Generator[Event, None, Message]:
+        """Blocking receive of an application message.
+
+        While blocked, pending checkpoint requests are honoured (the protocol
+        runs and the receive then continues), unless ``interruptible`` is
+        False (used internally by protocols that must not re-enter).
+        """
+        start = self.sim.now
+        get_ev = ctx.inbox.get(self._match(MessageKind.APP, src, tag))
+        while True:
+            if interruptible and not ctx.in_checkpoint and ctx.has_visible_request(self.sim.now):
+                yield from self.handle_pending_checkpoints(ctx)
+                continue
+            if get_ev.processed:
+                msg: Message = get_ev.value
+                break
+            if interruptible and not ctx.in_checkpoint:
+                if ctx.has_pending_request():
+                    # A request was delivered but is not visible yet; wake up
+                    # either when the message arrives or when it becomes visible.
+                    wait = max(ctx.next_visible_at() - self.sim.now, 0.0)
+                    yield self.sim.any_of([get_ev, self.sim.timeout(wait)])
+                else:
+                    yield self.sim.any_of([get_ev, ctx.signal_event])
+                if get_ev.processed:
+                    msg = get_ev.value
+                    break
+                # otherwise a checkpoint signal arrived or became visible; loop handles it
+            else:
+                yield get_ev
+                msg = get_ev.value
+                break
+        ctx.stats.recv_wait_time += self.sim.now - start
+        return msg
+
+    def control_recv(
+        self,
+        ctx: RankContext,
+        src: Optional[int] = None,
+        tag: Optional[int] = None,
+        kind: MessageKind = MessageKind.CONTROL,
+    ) -> Generator[Event, None, Message]:
+        """Blocking receive of a control/marker message (never interrupted)."""
+        get_ev = ctx.inbox.get(self._match(kind, src, tag))
+        yield get_ev
+        return get_ev.value
+
+    # ----------------------------------------------------- storage for protocols
+    def storage_write(self, ctx: RankContext, nbytes: int) -> Generator[Event, None, float]:
+        """Write ``nbytes`` to the configured checkpoint storage for this rank's node."""
+        result = yield from self.cluster.checkpoint_storage.write(ctx.node_id, nbytes)
+        return result
+
+    def storage_read(self, ctx: RankContext, nbytes: int) -> Generator[Event, None, float]:
+        """Read ``nbytes`` from the configured checkpoint storage for this rank's node."""
+        result = yield from self.cluster.checkpoint_storage.read(ctx.node_id, nbytes)
+        return result
+
+    # --------------------------------------------------------------- checkpoints
+    def handle_pending_checkpoints(self, ctx: RankContext) -> Generator[Event, None, None]:
+        """Run the protocol's checkpoint procedure for every *visible* pending request."""
+        while ctx.has_visible_request(self.sim.now):
+            request = ctx.pop_visible_request(self.sim.now)
+            if ctx.protocol is None:
+                continue
+            ctx.in_checkpoint = True
+            start = self.sim.now
+            try:
+                record = yield from ctx.protocol.checkpoint(request)
+            finally:
+                ctx.in_checkpoint = False
+            ctx.stats.checkpoint_time += self.sim.now - start
+            if record is not None:
+                ctx.stats.checkpoints.append(record)
+
+    # ------------------------------------------------------------------ execution
+    def _collective_tag(self, base_tag: int) -> int:
+        seq = self._collective_seq.get(base_tag, 0)
+        self._collective_seq[base_tag] = seq + 1
+        return self.config.collective_tag + base_tag
+
+    def _run_schedule(
+        self, ctx: RankContext, steps: Sequence[Tuple[str, int, int]], tag: int
+    ) -> Generator[Event, None, None]:
+        for action, peer, nbytes in steps:
+            if not ctx.in_checkpoint and ctx.has_visible_request(self.sim.now):
+                yield from self.handle_pending_checkpoints(ctx)
+            if action == "send":
+                yield from self.app_send(ctx, peer, nbytes, tag=tag)
+            elif action == "recv":
+                yield from self.app_recv(ctx, src=peer, tag=tag)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown schedule action {action!r}")
+
+    def execute_op(self, ctx: RankContext, op: Op) -> Generator[Event, None, None]:
+        """Interpret one application operation for ``ctx``."""
+        ctx.stats.ops_executed += 1
+        if isinstance(op, Compute):
+            node = self.cluster.nodes[ctx.node_id]
+            duration = node.compute_time(op.seconds)
+            if op.jitter and node.spec.os_jitter_sigma > 0:
+                duration = self.rng.lognormal_jitter(
+                    f"jitter:rank{ctx.rank}", duration, node.spec.os_jitter_sigma
+                )
+            ctx.stats.compute_time += duration
+            if duration > 0:
+                yield self.sim.timeout(duration)
+        elif isinstance(op, Send):
+            yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
+        elif isinstance(op, Isend):
+            yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=False)
+        elif isinstance(op, Recv):
+            yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+        elif isinstance(op, SendRecv):
+            yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
+            if op.src is not None:
+                yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+        elif isinstance(op, Wait):
+            if op.seconds > 0:
+                yield self.sim.timeout(op.seconds)
+        elif isinstance(op, Barrier):
+            participants = op.participants or tuple(range(self.n_ranks))
+            steps = coll.barrier_schedule(ctx.rank, participants)
+            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+        elif isinstance(op, Bcast):
+            participants = op.participants or tuple(range(self.n_ranks))
+            steps = coll.bcast_schedule(ctx.rank, op.root, participants, op.nbytes)
+            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+        elif isinstance(op, Reduce):
+            participants = op.participants or tuple(range(self.n_ranks))
+            steps = coll.reduce_schedule(ctx.rank, op.root, participants, op.nbytes)
+            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+        elif isinstance(op, Allreduce):
+            participants = op.participants or tuple(range(self.n_ranks))
+            steps = coll.allreduce_schedule(ctx.rank, participants, op.nbytes)
+            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+        elif isinstance(op, Allgather):
+            participants = op.participants or tuple(range(self.n_ranks))
+            steps = coll.allgather_schedule(ctx.rank, participants, op.nbytes)
+            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+        elif isinstance(op, Marker):
+            ctx.stats.progress_marks.append((self.sim.now, op.label))
+        else:
+            raise TypeError(f"unsupported operation type {type(op).__name__}")
+
+    def _run_rank(self, ctx: RankContext, program: Iterable[Op]) -> Generator[Event, None, None]:
+        ctx.stats.started_at = self.sim.now
+        for op in program:
+            if ctx.has_visible_request(self.sim.now):
+                yield from self.handle_pending_checkpoints(ctx)
+            yield from self.execute_op(ctx, op)
+        # Handle any request that was delivered but not yet handled, so group
+        # barriers never wait on a rank that has already exited.  Requests that
+        # are not yet visible are waited out first.
+        while ctx.has_pending_request():
+            if not ctx.has_visible_request(self.sim.now):
+                yield self.sim.timeout(max(ctx.next_visible_at() - self.sim.now, 0.0))
+            yield from self.handle_pending_checkpoints(ctx)
+        ctx.finished = True
+        ctx.stats.finished_at = self.sim.now
+
+    def launch(self, program_factory: ProgramFactory) -> List[SimProcess]:
+        """Start one simulation process per rank executing its script."""
+        if self._rank_processes:
+            raise RuntimeError("launch() may only be called once per runtime")
+        for ctx in self.contexts:
+            program = program_factory(ctx.rank)
+            proc = self.sim.process(self._run_rank(ctx, iter(program)), name=f"rank:{ctx.rank}")
+            self._rank_processes.append(proc)
+        return self._rank_processes
+
+    def run_to_completion(self, limit_s: Optional[float] = None) -> ApplicationResult:
+        """Run the simulation until every rank's script has finished."""
+        if not self._rank_processes:
+            raise RuntimeError("launch() must be called before run_to_completion()")
+        done = self.sim.all_of(self._rank_processes)
+        while not done.processed:
+            if limit_s is not None and self.sim.peek() > limit_s:
+                raise RuntimeError(f"application did not finish within {limit_s} simulated seconds")
+            self.sim.step()
+        makespan = max(
+            ctx.stats.finished_at for ctx in self.contexts if ctx.stats.finished_at is not None
+        )
+        return ApplicationResult(
+            n_ranks=self.n_ranks,
+            protocol_name=self.protocol_family.name if self.protocol_family else "none",
+            makespan=makespan,
+            contexts=self.contexts,
+            deliveries=self.deliveries,
+            trace=self.tracer.log if self.tracer is not None else None,
+        )

@@ -1,0 +1,187 @@
+"""Trace records, trace logs and communication matrices.
+
+The paper's group formation is driven by a light-weight MPI tracer whose
+output is a stream of *send records* ``(source, destination, size)``.  This
+module defines that record, a container with persistence (plain CSV-like
+text, so traces can be inspected and diffed), and aggregate views
+(pairwise communication matrix, per-channel totals) used both by the group
+formation algorithm (Algorithm 2 preprocessing) and by the analysis layer.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One send operation observed by the tracer.
+
+    ``timestamp`` and ``tag`` are extra context beyond the paper's
+    ``(SRC, DST, Z)`` triple; the group-formation preprocessing ignores them.
+    """
+
+    src: int
+    dst: int
+    nbytes: int
+    timestamp: float = 0.0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ValueError("ranks must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+# An unordered process pair, the unit Algorithm 2 aggregates over.
+Pair = Tuple[int, int]
+
+
+def unordered_pair(a: int, b: int) -> Pair:
+    """Canonical unordered pair key (smaller rank first)."""
+    return (a, b) if a <= b else (b, a)
+
+
+class TraceLog:
+    """A collection of :class:`TraceRecord` with aggregation and persistence."""
+
+    HEADER = "# repro-mpi-trace v1: src dst nbytes timestamp tag"
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None, n_ranks: int = 0) -> None:
+        self.records: List[TraceRecord] = list(records) if records is not None else []
+        self._n_ranks = n_ranks
+
+    # -- container protocol -------------------------------------------------
+    def append(self, record: TraceRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        """Add many records."""
+        self.records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # -- aggregate views ------------------------------------------------------
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks covered (max rank + 1, or the explicit constructor value)."""
+        observed = 0
+        for rec in self.records:
+            observed = max(observed, rec.src + 1, rec.dst + 1)
+        return max(observed, self._n_ranks)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes across all send records."""
+        return sum(r.nbytes for r in self.records)
+
+    @property
+    def total_messages(self) -> int:
+        """Total number of send records."""
+        return len(self.records)
+
+    def pair_totals(self) -> Dict[Pair, Tuple[int, int]]:
+        """Aggregate per unordered pair: ``{(a, b): (message_count, total_bytes)}``.
+
+        This is exactly the preprocessing step of the paper's Algorithm 2:
+        records with the same unordered source/destination pair are merged
+        into one tuple carrying the count and total size.
+        """
+        totals: Dict[Pair, Tuple[int, int]] = {}
+        for rec in self.records:
+            key = unordered_pair(rec.src, rec.dst)
+            count, size = totals.get(key, (0, 0))
+            totals[key] = (count + 1, size + rec.nbytes)
+        return totals
+
+    def communication_matrix(self, n_ranks: Optional[int] = None) -> np.ndarray:
+        """Directed bytes matrix ``M[src, dst]``."""
+        n = n_ranks if n_ranks is not None else self.n_ranks
+        if n < 1:
+            return np.zeros((0, 0), dtype=np.int64)
+        mat = np.zeros((n, n), dtype=np.int64)
+        for rec in self.records:
+            if rec.src < n and rec.dst < n:
+                mat[rec.src, rec.dst] += rec.nbytes
+        return mat
+
+    def message_count_matrix(self, n_ranks: Optional[int] = None) -> np.ndarray:
+        """Directed message-count matrix ``M[src, dst]``."""
+        n = n_ranks if n_ranks is not None else self.n_ranks
+        if n < 1:
+            return np.zeros((0, 0), dtype=np.int64)
+        mat = np.zeros((n, n), dtype=np.int64)
+        for rec in self.records:
+            if rec.src < n and rec.dst < n:
+                mat[rec.src, rec.dst] += 1
+        return mat
+
+    def bytes_between(self, a: int, b: int) -> int:
+        """Total bytes exchanged (both directions) between ranks ``a`` and ``b``."""
+        key = unordered_pair(a, b)
+        return sum(r.nbytes for r in self.records if unordered_pair(r.src, r.dst) == key)
+
+    def time_window(self, start: float, end: float) -> "TraceLog":
+        """Sub-trace of records with ``start <= timestamp < end``."""
+        if end < start:
+            raise ValueError("end must be >= start")
+        return TraceLog(
+            [r for r in self.records if start <= r.timestamp < end], n_ranks=self._n_ranks
+        )
+
+    # -- persistence ------------------------------------------------------------
+    def dumps(self) -> str:
+        """Serialise to a plain-text, line-per-record format."""
+        buf = io.StringIO()
+        buf.write(self.HEADER + "\n")
+        buf.write(f"# n_ranks {self.n_ranks}\n")
+        for r in self.records:
+            buf.write(f"{r.src} {r.dst} {r.nbytes} {r.timestamp!r} {r.tag}\n")
+        return buf.getvalue()
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path``."""
+        Path(path).write_text(self.dumps(), encoding="utf-8")
+
+    @classmethod
+    def loads(cls, text: str) -> "TraceLog":
+        """Parse a trace produced by :meth:`dumps`."""
+        records: List[TraceRecord] = []
+        n_ranks = 0
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) >= 2 and parts[0] == "n_ranks":
+                    n_ranks = int(parts[1])
+                continue
+            fields = line.split()
+            if len(fields) != 5:
+                raise ValueError(f"malformed trace line {lineno}: {line!r}")
+            src, dst, nbytes = int(fields[0]), int(fields[1]), int(fields[2])
+            ts, tag = float(fields[3]), int(fields[4])
+            records.append(TraceRecord(src=src, dst=dst, nbytes=nbytes, timestamp=ts, tag=tag))
+        return cls(records, n_ranks=n_ranks)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceLog":
+        """Read a trace from ``path``."""
+        return cls.loads(Path(path).read_text(encoding="utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TraceLog {len(self.records)} records, {self.total_bytes} bytes>"

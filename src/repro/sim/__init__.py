@@ -1,0 +1,43 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free, generator-based discrete-event simulation (DES)
+kernel in the style of SimPy.  Simulation *processes* are Python generators
+that ``yield`` waitable objects (:class:`Timeout`, :class:`Event`,
+:class:`AllOf`, :class:`AnyOf`, resource requests).  The :class:`Simulator`
+owns the event calendar and advances virtual time.
+
+Everything higher up in :mod:`repro` (the cluster model, the MPI-like runtime
+and the checkpoint protocols) is written against this kernel, so its semantics
+are documented carefully and tested extensively.
+"""
+
+from repro.sim.engine import Simulator, SimProcess, Interrupt, SimulationError
+from repro.sim.primitives import (
+    Event,
+    Timeout,
+    AllOf,
+    AnyOf,
+    Condition,
+    Resource,
+    ResourceRequest,
+    Store,
+    PriorityStore,
+)
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "SimProcess",
+    "Interrupt",
+    "SimulationError",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Resource",
+    "ResourceRequest",
+    "Store",
+    "PriorityStore",
+    "RandomStreams",
+]

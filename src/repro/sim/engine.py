@@ -1,0 +1,271 @@
+"""The discrete-event scheduler and process abstraction.
+
+The :class:`Simulator` keeps a priority queue of ``(time, tie, event)``
+entries.  :meth:`Simulator.run` repeatedly pops the earliest event, advances
+virtual time to it and invokes the event's callbacks.  A :class:`SimProcess`
+is itself an event (it fires when the underlying generator returns), and it
+registers a callback on whatever event its generator yields so it is resumed
+when that event fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.sim.primitives import AllOf, AnyOf, Event, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduler-level errors (deadlock, unhandled failures)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`SimProcess.interrupt`.
+
+    The ``cause`` attribute carries the object passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class SimProcess(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is resumed each time the event it is currently waiting on
+    fires; the fired value is sent into the generator (or the exception is
+    thrown, for failed events).  When the generator returns, the process
+    event fires with the generator's return value.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupts")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(f"SimProcess requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupts: List[Interrupt] = []
+        # Bootstrap: resume the process at time "now".
+        boot = Event(sim, name=f"init:{self.name}")
+        boot.callbacks.append(self._resume)
+        boot.succeed(None)
+
+    # -- public --------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event the process is currently blocked on (None if running/finished)."""
+        return self._waiting_on
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process stops waiting on its current event (which may still fire
+        later and is simply ignored) and resumes with the exception.
+        """
+        if not self.is_alive:
+            return
+        self._interrupts.append(Interrupt(cause))
+        wake = Event(self.sim, name=f"interrupt:{self.name}")
+        wake.callbacks.append(self._deliver_interrupt)
+        wake.succeed(None)
+
+    # -- internal ------------------------------------------------------
+    def _deliver_interrupt(self, _event: Event) -> None:
+        if not self.is_alive or not self._interrupts:
+            return
+        exc = self._interrupts.pop(0)
+        target = self._waiting_on
+        if target is not None and not target.processed and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(exc, is_exception=True)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            # Stale wake-up from an event we stopped waiting on (interrupt).
+            return
+        self._waiting_on = None
+        if event.ok:
+            self._step(event.value, is_exception=False)
+        else:
+            event.defused = True
+            self._step(event.value, is_exception=True)
+
+    def _step(self, value: Any, is_exception: bool) -> None:
+        self.sim._active_process = self
+        try:
+            if is_exception:
+                if isinstance(value, BaseException):
+                    target = self.generator.throw(value)
+                else:  # pragma: no cover - defensive
+                    target = self.generator.throw(SimulationError(str(value)))
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate as failed event
+            self.fail(exc)
+            return
+        finally:
+            self.sim._active_process = None
+
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event instances"
+            )
+            self.fail(err)
+            return
+        if target.processed:
+            # Already fired: resume immediately (at the current time).
+            wake = Event(self.sim, name=f"immediate:{self.name}")
+            self._waiting_on = wake
+            wake.callbacks.append(self._resume)
+            if target.ok:
+                wake.succeed(target.value)
+            else:
+                target.defused = True
+                wake.fail(target.value)
+        else:
+            self._waiting_on = target
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The discrete-event simulation kernel.
+
+    Attributes
+    ----------
+    now:
+        Current virtual time (seconds, by convention of this project).
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[tuple[float, int, Event]] = []
+        self._counter = 0
+        self._active_process: Optional[SimProcess] = None
+        self._event_count = 0
+        #: user-attachable bag of named objects (cluster, runtime, ...)
+        self.context: Dict[str, Any] = {}
+
+    # -- event factory helpers -----------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def process(self, generator: ProcessGenerator, name: str = "") -> SimProcess:
+        """Register ``generator`` as a simulation process starting now."""
+        return SimProcess(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing once all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing once any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Place ``event`` on the calendar ``delay`` after the current time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._counter += 1
+        heapq.heappush(self._heap, (self.now + delay, self._counter, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty calendar")
+        time, _, event = heapq.heappop(self._heap)
+        if time < self.now - 1e-12:  # pragma: no cover - defensive
+            raise SimulationError("event scheduled in the past")
+        self.now = time
+        self._event_count += 1
+        callbacks = event.callbacks or []
+        event._mark_processed()
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not event.defused:
+            exc = event.value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(f"unhandled failed event: {event!r}")
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the calendar is empty or ``until`` is reached.
+
+        Returns the final simulation time.
+        """
+        if until is not None and until < self.now:
+            raise ValueError("'until' must not be before the current time")
+        while self._heap:
+            if until is not None and self.peek() > until:
+                self.now = until
+                return self.now
+            self.step()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def run_until_complete(self, process: SimProcess, limit: Optional[float] = None) -> Any:
+        """Run until ``process`` finishes; return its value.
+
+        Raises :class:`SimulationError` if the calendar drains (deadlock) or
+        the time ``limit`` is exceeded before the process completes.
+        """
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} never completed and no events remain"
+                )
+            if limit is not None and self.peek() > limit:
+                raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
+            self.step()
+        if not process.ok:
+            exc = process.value
+            if isinstance(exc, BaseException):
+                raise exc
+            raise SimulationError(str(exc))
+        return process.value
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far."""
+        return self._event_count
+
+    @property
+    def active_process(self) -> Optional[SimProcess]:
+        """The process currently being stepped (None outside callbacks)."""
+        return self._active_process
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self.now:.6f} pending={len(self._heap)}>"

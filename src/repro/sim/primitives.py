@@ -1,0 +1,327 @@
+"""Waitable primitives for the discrete-event kernel.
+
+The kernel understands a single concept: an :class:`Event` that will *fire*
+at some point in virtual time, optionally carrying a value.  Processes wait
+on events by ``yield``-ing them.  Composite conditions (:class:`AllOf`,
+:class:`AnyOf`) and resources (:class:`Resource`, :class:`Store`) are built
+from plain events so the scheduler itself stays tiny.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; it is *triggered* (scheduled to fire) by
+    :meth:`succeed` or :meth:`fail` and becomes *processed* once the
+    simulator has delivered it to all waiting callbacks.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_triggered", "_processed", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: set to True when a failure has been handled (prevents the
+        #: simulator from escalating an unhandled failed event).
+        self.defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once all callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event fired successfully (not failed)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event fired with (or the exception if failed)."""
+        return self._value
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully after ``delay``."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire as a failure carrying ``exception``."""
+        if self._triggered:
+            raise RuntimeError(f"event {self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self, delay)
+        return self
+
+    def trigger(self, other: "Event") -> None:
+        """Fire with the same outcome as ``other`` (used by conditions)."""
+        if other.ok:
+            self.succeed(other.value)
+        else:
+            self.fail(other.value)
+
+    # -- internal ------------------------------------------------------
+    def _mark_processed(self) -> None:
+        self._processed = True
+        self.callbacks = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "") -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=name)
+        self.delay = delay
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay)
+
+
+class Condition(Event):
+    """Base for composite wait conditions over a set of events."""
+
+    __slots__ = ("events", "_n_fired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "") -> None:
+        super().__init__(sim, name=name)
+        self.events: List[Event] = list(events)
+        self._n_fired = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.sim is not sim:
+                raise ValueError("all events of a condition must share a simulator")
+            if ev.processed:
+                self._on_fire(ev)
+            else:
+                assert ev.callbacks is not None
+                ev.callbacks.append(self._on_fire)
+
+    def _on_fire(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defused = True
+            self.fail(event.value)
+            return
+        self._n_fired += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _collect(self) -> Any:
+        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+
+
+class AllOf(Condition):
+    """Fires when *all* constituent events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired == len(self.events)
+
+
+class AnyOf(Condition):
+    """Fires as soon as *any* constituent event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_fired >= 1
+
+
+class ResourceRequest(Event):
+    """A pending claim on a :class:`Resource` slot.
+
+    Use as a context manager or release explicitly via
+    :meth:`Resource.release`.
+    """
+
+    __slots__ = ("resource", "priority", "order")
+
+    def __init__(self, resource: "Resource", priority: float, order: int) -> None:
+        super().__init__(resource.sim, name=f"req:{resource.name}")
+        self.resource = resource
+        self.priority = priority
+        self.order = order
+
+    def __enter__(self) -> "ResourceRequest":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def __lt__(self, other: "ResourceRequest") -> bool:
+        return (self.priority, self.order) < (other.priority, other.order)
+
+
+class Resource:
+    """A counted resource with FIFO (optionally prioritised) queueing.
+
+    Models things like a node's NIC, a disk, or a shared checkpoint server:
+    at most ``capacity`` holders at a time; further requests queue.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._queue: List[ResourceRequest] = []
+        self._users: List[ResourceRequest] = []
+        self._order = 0
+
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self, priority: float = 0.0) -> ResourceRequest:
+        """Request a slot.  The returned event fires when the slot is granted."""
+        self._order += 1
+        req = ResourceRequest(self, priority, self._order)
+        heapq.heappush(self._queue, req)
+        self._grant()
+        return req
+
+    def release(self, request: ResourceRequest) -> None:
+        """Release a previously granted slot (no-op if never granted)."""
+        if request in self._users:
+            self._users.remove(request)
+        else:
+            # Cancelling a queued request.
+            try:
+                self._queue.remove(request)
+                heapq.heapify(self._queue)
+            except ValueError:
+                pass
+        self._grant()
+
+    def _grant(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            req = heapq.heappop(self._queue)
+            if req.triggered:
+                continue
+            self._users.append(req)
+            req.succeed(req)
+
+
+class Store:
+    """An unbounded FIFO buffer of items with blocking ``get``.
+
+    Used for per-channel message queues in the MPI runtime: ``put`` never
+    blocks, ``get`` returns an event that fires when an item (optionally one
+    matching ``filter``) becomes available.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "store") -> None:
+        self.sim = sim
+        self.name = name
+        self.items: List[Any] = []
+        self._getters: List[tuple[Event, Optional[Callable[[Any], bool]]]] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Deposit ``item`` and wake a matching waiter, if any."""
+        self.items.append(item)
+        self._dispatch()
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Return an event that fires with the next item matching ``filter``."""
+        ev = Event(self.sim, name=f"get:{self.name}")
+        self._getters.append((ev, filter))
+        self._dispatch()
+        return ev
+
+    def peek(self, filter: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
+        """Return (without removing) the first matching item, or ``None``."""
+        for item in self.items:
+            if filter is None or filter(item):
+                return item
+        return None
+
+    def _dispatch(self) -> None:
+        if not self._getters or not self.items:
+            return
+        remaining: List[tuple[Event, Optional[Callable[[Any], bool]]]] = []
+        for ev, flt in self._getters:
+            if ev.triggered:
+                continue
+            idx = None
+            for i, item in enumerate(self.items):
+                if flt is None or flt(item):
+                    idx = i
+                    break
+            if idx is None:
+                remaining.append((ev, flt))
+            else:
+                item = self.items.pop(idx)
+                ev.succeed(item)
+        self._getters = remaining
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that always yields the smallest item first."""
+
+    def put(self, item: Any) -> None:
+        self.items.append(item)
+        self.items.sort()
+        self._dispatch()

@@ -1,0 +1,81 @@
+"""Workload interface.
+
+A workload knows, for every rank, (a) the operation script it executes and
+(b) the resident memory it uses (which determines the checkpoint image size).
+Workloads are deterministic: the same parameters always produce the same
+scripts, so experiment repeats differ only through the runtime's seeded noise
+streams.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List
+
+from repro.mpi.ops import Op
+
+
+class Workload:
+    """Base class of all workload generators."""
+
+    #: short name used in reports ("hpl", "cg", "sp", ...)
+    name: str = "workload"
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        self.n_ranks = n_ranks
+
+    # -- interface ------------------------------------------------------------
+    def program(self, rank: int) -> Iterator[Op]:
+        """The operation script executed by ``rank``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def memory_bytes(self, rank: int) -> int:
+        """Resident set of the application on ``rank`` (bytes)."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name
+
+    # -- helpers ----------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+
+    def program_factory(self) -> Callable[[int], Iterable[Op]]:
+        """Factory usable directly by :meth:`repro.mpi.runtime.MpiRuntime.launch`."""
+        return self.program
+
+    def memory_map(self) -> List[int]:
+        """Memory per rank, indexable by rank (for :meth:`MpiRuntime.set_memory`)."""
+        return [self.memory_bytes(rank) for rank in range(self.n_ranks)]
+
+    def total_operations(self, rank: int) -> int:
+        """Number of operations in one rank's script (materialises the script)."""
+        return sum(1 for _ in self.program(rank))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} n_ranks={self.n_ranks}>"
+
+
+def coarsen_steps(natural_steps: int, max_steps: int) -> List[int]:
+    """Partition ``natural_steps`` algorithm steps into at most ``max_steps`` chunks.
+
+    Long-running applications (HPL has N/NB panel steps, NPB runs hundreds of
+    iterations) are coarsened so that the simulation executes a bounded number
+    of *simulated* steps, each representing a contiguous chunk of real steps.
+    Message volumes and compute times are summed over the chunk, so end-to-end
+    totals are preserved; only the interleaving granularity is reduced.
+
+    Returns a list whose i-th element is the number of real steps represented
+    by simulated step i (non-empty, sums to ``natural_steps``).
+    """
+    if natural_steps < 1:
+        raise ValueError("natural_steps must be >= 1")
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    n_sim = min(natural_steps, max_steps)
+    base = natural_steps // n_sim
+    extra = natural_steps % n_sim
+    return [base + (1 if i < extra else 0) for i in range(n_sim)]

@@ -1,0 +1,199 @@
+"""High Performance Linpack (HPL) communication-pattern workload.
+
+The paper runs HPL 1.0a with problem size N = 20000, block size NB = 120, on
+process grids with P fixed at 8 and Q = n/8, mapped in row-major order
+(Section 5.1).  The Figure 10 experiment uses N = 56000 on 128 processes.
+
+The protocol-relevant structure of HPL's main loop, reproduced here per panel
+step ``k`` (trailing matrix size ``m = N − k·NB``):
+
+1. **Panel factorisation** inside the process *column* owning panel ``k``:
+   pivot search/exchange and panel updates circulate within that column
+   (modelled as a small number of ring exchanges of the panel slice).
+2. **Panel broadcast** along every process *row*: the column owning the panel
+   sends it rightwards and each rank forwards it (HPL's increasing-ring
+   broadcast).
+3. **Row swaps (pdlaswp) + U broadcast** inside every process column: the
+   pivoted rows of the trailing matrix, of local width ``m/Q``, are exchanged
+   along the column.
+4. **Trailing-matrix update**: ``2·m²·NB/(P·Q)`` flops of DGEMM per rank.
+
+Calibration notes (documented because the exact byte counts matter for group
+formation): the per-step volume exchanged along a *column* pair exceeds the
+volume along a *row* pair, which is what makes the trace analysis of Section
+5.1 group the process columns together (Table 1).  The split factors below
+(``swap_fraction`` > ``bcast_fraction · Q/P``) encode that property while
+keeping total communication volume at the right order of magnitude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.mpi.ops import Compute, Marker, Op, Recv, Send, SendRecv
+from repro.workloads.base import Workload, coarsen_steps
+
+_BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class HplParameters:
+    """Tunable HPL model parameters (defaults match the paper's Section 5.1 runs)."""
+
+    problem_size: int = 20000
+    block_size: int = 120
+    grid_rows: int = 8
+    gflops_per_rank: float = 1.1
+    #: fraction of the full panel volume carried by one panel-broadcast hop
+    bcast_fraction: float = 0.40
+    #: fraction of the full row-swap volume carried along a column per step
+    swap_fraction: float = 1.0
+    #: ring exchanges used for panel factorisation within the owning column
+    factorization_exchanges: int = 2
+    #: cap on the number of simulated panel steps (real steps are coarsened)
+    max_steps: int = 48
+
+    def __post_init__(self) -> None:
+        if self.problem_size < 1 or self.block_size < 1:
+            raise ValueError("problem_size and block_size must be positive")
+        if self.grid_rows < 1:
+            raise ValueError("grid_rows must be >= 1")
+        if self.gflops_per_rank <= 0:
+            raise ValueError("gflops_per_rank must be positive")
+        if self.bcast_fraction < 0 or self.swap_fraction < 0:
+            raise ValueError("fractions must be non-negative")
+        if self.factorization_exchanges < 0:
+            raise ValueError("factorization_exchanges must be non-negative")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+
+class HplWorkload(Workload):
+    """HPL on a P×Q grid with row-major rank mapping."""
+
+    name = "hpl"
+
+    def __init__(self, n_ranks: int, params: HplParameters = HplParameters()) -> None:
+        super().__init__(n_ranks)
+        if n_ranks % params.grid_rows != 0:
+            raise ValueError(
+                f"n_ranks={n_ranks} must be a multiple of grid_rows P={params.grid_rows}"
+            )
+        self.params = params
+        self.P = params.grid_rows
+        self.Q = n_ranks // params.grid_rows
+        natural_steps = max(1, params.problem_size // params.block_size)
+        self._chunks = coarsen_steps(natural_steps, params.max_steps)
+
+    # -- grid geometry (row-major mapping, as in the paper) -----------------------
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(row, col) of ``rank`` on the P×Q grid under row-major mapping."""
+        self._check_rank(rank)
+        return rank // self.Q, rank % self.Q
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Rank at grid position (row, col)."""
+        if not 0 <= row < self.P or not 0 <= col < self.Q:
+            raise ValueError(f"({row}, {col}) outside {self.P}x{self.Q} grid")
+        return row * self.Q + col
+
+    def column_members(self, col: int) -> Tuple[int, ...]:
+        """Ranks in process column ``col`` (the natural checkpoint group)."""
+        return tuple(self.rank_of(r, col) for r in range(self.P))
+
+    def row_members(self, row: int) -> Tuple[int, ...]:
+        """Ranks in process row ``row``."""
+        return tuple(self.rank_of(row, c) for c in range(self.Q))
+
+    # -- sizing ------------------------------------------------------------------
+    def memory_bytes(self, rank: int) -> int:
+        """Local share of the N×N matrix plus ~10% workspace."""
+        self._check_rank(rank)
+        n = self.params.problem_size
+        local = _BYTES_PER_WORD * n * n / (self.P * self.Q)
+        return int(local * 1.10)
+
+    def total_flops(self) -> float:
+        """Total LU factorisation work, 2/3 · N³."""
+        n = float(self.params.problem_size)
+        return (2.0 / 3.0) * n ** 3
+
+    def estimated_compute_seconds(self) -> float:
+        """Compute-only lower bound on execution time."""
+        rate = self.params.gflops_per_rank * 1e9 * self.n_ranks
+        return self.total_flops() / rate
+
+    # -- per-step byte counts --------------------------------------------------------
+    def _panel_bytes(self, trailing: int) -> int:
+        """Bytes of one panel slice held by a single rank (NB columns × m/P rows)."""
+        return int(_BYTES_PER_WORD * self.params.block_size * max(trailing, 1) / self.P)
+
+    def _swap_bytes(self, trailing: int) -> int:
+        """Bytes of pivoted rows exchanged along a column (NB rows × m/Q local width)."""
+        return int(_BYTES_PER_WORD * self.params.block_size * max(trailing, 1) / self.Q)
+
+    def _step_compute_seconds(self, trailing: int, real_steps: int) -> float:
+        flops = 2.0 * trailing * trailing * self.params.block_size / (self.P * self.Q)
+        return real_steps * flops / (self.params.gflops_per_rank * 1e9)
+
+    # -- script ----------------------------------------------------------------------
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        p = self.params
+        row, col = self.coords(rank)
+        col_members = self.column_members(col)
+        row_members = self.row_members(row)
+        my_col_pos = col_members.index(rank)
+        my_row_pos = row_members.index(rank)
+        col_next = col_members[(my_col_pos + 1) % len(col_members)]
+        col_prev = col_members[(my_col_pos - 1) % len(col_members)]
+
+        real_step = 0
+        for sim_step, real_count in enumerate(self._chunks):
+            mid_step = real_step + real_count // 2
+            trailing = max(p.problem_size - mid_step * p.block_size, p.block_size)
+            owner_col = sim_step % self.Q
+            panel = int(self._panel_bytes(trailing) * p.bcast_fraction) * real_count
+            swap = int(self._swap_bytes(trailing) * p.swap_fraction) * real_count
+
+            yield Marker(label=f"step:{sim_step}", data={"trailing": trailing})
+
+            # 1. panel factorisation within the owning column
+            if col == owner_col and self.P > 1 and p.factorization_exchanges > 0:
+                fact_bytes = max(1, panel // p.factorization_exchanges)
+                for _ in range(p.factorization_exchanges):
+                    yield SendRecv(dst=col_next, send_nbytes=fact_bytes, src=col_prev, tag=1)
+                yield Compute(seconds=self._step_compute_seconds(trailing, real_count) * 0.08,
+                              label="panel-fact")
+
+            # 2. panel broadcast along the row (increasing ring, starting at owner_col)
+            if self.Q > 1 and panel > 0:
+                ring = [row_members[(row_members.index(self.rank_of(row, owner_col)) + i) % self.Q]
+                        for i in range(self.Q)]
+                pos = ring.index(rank)
+                if pos == 0:
+                    yield Send(dst=ring[1], nbytes=panel, tag=2)
+                else:
+                    yield Recv(src=ring[pos - 1], tag=2)
+                    if pos + 1 < self.Q:
+                        yield Send(dst=ring[pos + 1], nbytes=panel, tag=2)
+
+            # 3. row swaps + U broadcast along every column
+            if self.P > 1 and swap > 0:
+                yield SendRecv(dst=col_next, send_nbytes=swap, src=col_prev, tag=3)
+
+            # 4. trailing matrix update
+            yield Compute(seconds=self._step_compute_seconds(trailing, real_count),
+                          label="update")
+
+            real_step += real_count
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        p = self.params
+        return (
+            f"HPL N={p.problem_size} NB={p.block_size} on {self.P}x{self.Q} grid "
+            f"({self.n_ranks} ranks, {len(self._chunks)} simulated steps)"
+        )

@@ -1,0 +1,181 @@
+"""NAS Parallel Benchmarks CG — conjugate gradient communication pattern.
+
+CG partitions its sparse matrix over a ``nprows × npcols`` logical grid
+(``npcols`` is ``nprows`` or ``2·nprows`` depending on whether log2(p) is even
+or odd).  Every conjugate-gradient iteration performs a sparse matrix–vector
+product whose communication is:
+
+* a sequence of **row reductions**: each process exchanges partial result
+  segments with log2(npcols) partners inside its process row,
+* a **transpose exchange** with the process holding the transposed block, and
+* two small **global all-reduces** for the dot products / norms.
+
+CG is the paper's example of a "communication-non-stop" application — there
+is almost no compute between messages, so any process that pauses (e.g. while
+frozen in a checkpoint dump) quickly stalls the whole computation.  Class C
+parameters (na = 150000, ~36.7M non-zeros, 75 outer iterations) are used by
+default; the many real iterations are coarsened into ``max_steps`` simulated
+iterations with volumes and flops preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.mpi.ops import Allreduce, Compute, Marker, Op, SendRecv
+from repro.workloads.base import Workload, coarsen_steps
+
+_BYTES_PER_WORD = 8
+
+
+def cg_grid(n_ranks: int) -> Tuple[int, int]:
+    """The (nprows, npcols) layout NPB CG uses for ``n_ranks`` processes.
+
+    ``n_ranks`` must be a power of two (as NPB requires).  For an even power
+    the grid is square; for an odd power there are twice as many columns as
+    rows — e.g. 32 → 4×8, 128 → 8×16.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    log2 = n_ranks.bit_length() - 1
+    if 2 ** log2 != n_ranks:
+        raise ValueError(f"NPB CG requires a power-of-two process count, got {n_ranks}")
+    nprows = 2 ** (log2 // 2)
+    npcols = n_ranks // nprows
+    return nprows, npcols
+
+
+@dataclass(frozen=True)
+class CgParameters:
+    """CG model parameters (defaults are NPB class C)."""
+
+    na: int = 150000
+    nonzer: int = 15
+    outer_iterations: int = 75
+    inner_iterations: int = 25
+    #: effective sparse-kernel rate per rank (memory-bound, well below peak —
+    #: roughly 2 flops per 12 bytes at the P4's ~0.5 GB/s sustained bandwidth)
+    gflops_per_rank: float = 0.08
+    max_steps: int = 24
+
+    def __post_init__(self) -> None:
+        if self.na < 1 or self.nonzer < 1:
+            raise ValueError("na and nonzer must be positive")
+        if self.outer_iterations < 1 or self.inner_iterations < 1:
+            raise ValueError("iteration counts must be positive")
+        if self.gflops_per_rank <= 0:
+            raise ValueError("gflops_per_rank must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+    @property
+    def nnz(self) -> float:
+        """Approximate non-zero count of the CG matrix."""
+        return float(self.na) * (self.nonzer + 1) * (self.nonzer + 1)
+
+    @property
+    def total_matvecs(self) -> int:
+        """Sparse matrix–vector products over the whole run."""
+        return self.outer_iterations * self.inner_iterations
+
+
+class CgWorkload(Workload):
+    """NPB CG class C on a power-of-two process count."""
+
+    name = "cg"
+
+    def __init__(self, n_ranks: int, params: CgParameters = CgParameters()) -> None:
+        super().__init__(n_ranks)
+        self.params = params
+        self.nprows, self.npcols = cg_grid(n_ranks)
+        self._chunks = coarsen_steps(params.total_matvecs, params.max_steps)
+
+    # -- geometry ----------------------------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(proc_row, proc_col) of ``rank``; CG numbers ranks row-major."""
+        self._check_rank(rank)
+        return rank // self.npcols, rank % self.npcols
+
+    def rank_of(self, proc_row: int, proc_col: int) -> int:
+        """Rank at grid position (proc_row, proc_col)."""
+        if not 0 <= proc_row < self.nprows or not 0 <= proc_col < self.npcols:
+            raise ValueError(f"({proc_row}, {proc_col}) outside {self.nprows}x{self.npcols} grid")
+        return proc_row * self.npcols + proc_col
+
+    def row_members(self, proc_row: int) -> Tuple[int, ...]:
+        """Ranks in the given process row (the reduction partners)."""
+        return tuple(self.rank_of(proc_row, c) for c in range(self.npcols))
+
+    def transpose_partner(self, rank: int) -> int:
+        """The rank holding the transposed block (exchange partner).
+
+        On a square grid this is the mirrored grid position.  On the
+        rectangular (npcols = 2·nprows) grids CG uses for odd powers of two,
+        each square half of the grid is transposed within itself, which keeps
+        the pairing an involution (``partner(partner(r)) == r``) — a property
+        the pairwise exchange relies on.
+        """
+        proc_row, proc_col = self.coords(rank)
+        half = proc_col // self.nprows
+        folded_col = proc_col % self.nprows
+        return self.rank_of(folded_col, proc_row + self.nprows * half)
+
+    # -- sizing ---------------------------------------------------------------------
+    def memory_bytes(self, rank: int) -> int:
+        """Local share of the sparse matrix (values + indices) plus vectors."""
+        self._check_rank(rank)
+        p = self.params
+        matrix = p.nnz * (_BYTES_PER_WORD + 4) / self.n_ranks
+        vectors = 8.0 * p.na / self.npcols * 6
+        return int(matrix + vectors)
+
+    def segment_bytes(self) -> int:
+        """Bytes of one exchanged vector segment (na / npcols doubles)."""
+        return int(_BYTES_PER_WORD * self.params.na / self.npcols)
+
+    def _matvec_seconds(self) -> float:
+        flops = 2.0 * self.params.nnz / self.n_ranks
+        return flops / (self.params.gflops_per_rank * 1e9)
+
+    # -- script ------------------------------------------------------------------------
+    def _reduce_partners(self, rank: int) -> List[int]:
+        """Row partners at distances 1, 2, 4, ... within the process row."""
+        proc_row, proc_col = self.coords(rank)
+        members = self.row_members(proc_row)
+        partners = []
+        stage = 1
+        while stage < self.npcols:
+            partners.append(members[proc_col ^ stage])
+            stage *= 2
+        return partners
+
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        seg = self.segment_bytes()
+        partners = self._reduce_partners(rank)
+        transpose = self.transpose_partner(rank)
+        matvec_s = self._matvec_seconds()
+
+        for sim_step, real_count in enumerate(self._chunks):
+            yield Marker(label=f"iter:{sim_step}")
+            # local sparse matvec work for the chunk
+            yield Compute(seconds=matvec_s * real_count, label="matvec")
+            # row-wise reduction of partial results
+            for partner in partners:
+                yield SendRecv(dst=partner, send_nbytes=seg * real_count, src=partner, tag=11)
+            # exchange with the transpose partner
+            if transpose != rank:
+                yield SendRecv(dst=transpose, send_nbytes=seg * real_count, src=transpose, tag=12)
+            # global dot products / norms
+            yield Allreduce(nbytes=8, tag=13)
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        p = self.params
+        return (
+            f"NPB CG class-C-like (na={p.na}) on {self.nprows}x{self.npcols} grid "
+            f"({self.n_ranks} ranks, {len(self._chunks)} simulated iterations)"
+        )

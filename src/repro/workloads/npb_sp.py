@@ -1,0 +1,144 @@
+"""NAS Parallel Benchmarks SP — scalar pentadiagonal solver communication pattern.
+
+SP requires a *square* number of processes (the paper uses 64, 81, 100, 121)
+arranged in a √p × √p grid; the 3-D domain is decomposed so that every
+iteration performs alternating-direction implicit sweeps:
+
+* an **x-sweep** exchanging faces with the east/west neighbours (process
+  row), implemented as a multi-stage pipeline,
+* a **y-sweep** exchanging faces with the north/south neighbours (process
+  column),
+* a **z-sweep** that is local to each process, plus the ``copy_faces`` halo
+  exchange with all four neighbours at the start of each iteration.
+
+Message sizes follow the class C problem (162³ grid, 5 solution variables);
+the 400 real time steps are coarsened into ``max_steps`` simulated iterations
+with total volume and flops preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.mpi.ops import Compute, Marker, Op, SendRecv
+from repro.workloads.base import Workload, coarsen_steps
+
+_BYTES_PER_WORD = 8
+_N_VARIABLES = 5
+
+
+@dataclass(frozen=True)
+class SpParameters:
+    """SP model parameters (defaults are NPB class C)."""
+
+    grid_points: int = 162
+    time_steps: int = 400
+    #: effective per-rank rate of the stencil/solver kernels
+    gflops_per_rank: float = 0.45
+    #: flops per grid point per time step (ADI sweeps + RHS)
+    flops_per_point: float = 900.0
+    max_steps: int = 20
+
+    def __post_init__(self) -> None:
+        if self.grid_points < 1 or self.time_steps < 1:
+            raise ValueError("grid_points and time_steps must be positive")
+        if self.gflops_per_rank <= 0 or self.flops_per_point <= 0:
+            raise ValueError("rates must be positive")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+
+class SpWorkload(Workload):
+    """NPB SP class C on a square process grid."""
+
+    name = "sp"
+
+    def __init__(self, n_ranks: int, params: SpParameters = SpParameters()) -> None:
+        super().__init__(n_ranks)
+        side = math.isqrt(n_ranks)
+        if side * side != n_ranks:
+            raise ValueError(f"NPB SP requires a square process count, got {n_ranks}")
+        self.side = side
+        self.params = params
+        self._chunks = coarsen_steps(params.time_steps, params.max_steps)
+
+    # -- geometry -----------------------------------------------------------------
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(row, col) on the √p × √p grid."""
+        self._check_rank(rank)
+        return rank // self.side, rank % self.side
+
+    def rank_of(self, row: int, col: int) -> int:
+        """Rank at (row, col), with wrap-around (the sweeps are cyclic pipelines)."""
+        return (row % self.side) * self.side + (col % self.side)
+
+    def neighbours(self, rank: int) -> Tuple[int, int, int, int]:
+        """(east, west, north, south) neighbours of ``rank``."""
+        row, col = self.coords(rank)
+        return (
+            self.rank_of(row, col + 1),
+            self.rank_of(row, col - 1),
+            self.rank_of(row - 1, col),
+            self.rank_of(row + 1, col),
+        )
+
+    # -- sizing -----------------------------------------------------------------------
+    def memory_bytes(self, rank: int) -> int:
+        """Local share of the 162³×5-variable state (about 15 arrays of that size)."""
+        self._check_rank(rank)
+        g = self.params.grid_points
+        per_rank_points = g * g * g / self.n_ranks
+        return int(per_rank_points * _N_VARIABLES * _BYTES_PER_WORD * 3.0)
+
+    def face_bytes(self) -> int:
+        """Bytes of one exchanged face (local cross-section × 5 variables)."""
+        g = self.params.grid_points
+        local_side = g / self.side
+        return int(local_side * g * _N_VARIABLES * _BYTES_PER_WORD)
+
+    def _step_compute_seconds(self) -> float:
+        g = self.params.grid_points
+        flops = g * g * g * self.params.flops_per_point / self.n_ranks
+        return flops / (self.params.gflops_per_rank * 1e9)
+
+    # -- script ---------------------------------------------------------------------------
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        east, west, north, south = self.neighbours(rank)
+        face = self.face_bytes()
+        compute_s = self._step_compute_seconds()
+
+        for sim_step, real_count in enumerate(self._chunks):
+            yield Marker(label=f"iter:{sim_step}")
+            face_bytes = face * real_count
+
+            # copy_faces: halo exchange with all four neighbours
+            if self.side > 1:
+                yield SendRecv(dst=east, send_nbytes=face_bytes // 2, src=west, tag=21)
+                yield SendRecv(dst=west, send_nbytes=face_bytes // 2, src=east, tag=22)
+                yield SendRecv(dst=south, send_nbytes=face_bytes // 2, src=north, tag=23)
+                yield SendRecv(dst=north, send_nbytes=face_bytes // 2, src=south, tag=24)
+
+            # RHS + x-sweep compute, then x-direction pipeline exchange
+            yield Compute(seconds=compute_s * real_count * 0.4, label="rhs+x")
+            if self.side > 1:
+                yield SendRecv(dst=east, send_nbytes=face_bytes, src=west, tag=25)
+
+            # y-sweep compute, then y-direction pipeline exchange
+            yield Compute(seconds=compute_s * real_count * 0.3, label="y-sweep")
+            if self.side > 1:
+                yield SendRecv(dst=south, send_nbytes=face_bytes, src=north, tag=26)
+
+            # z-sweep is local
+            yield Compute(seconds=compute_s * real_count * 0.3, label="z-sweep")
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        p = self.params
+        return (
+            f"NPB SP class-C-like ({p.grid_points}^3) on {self.side}x{self.side} grid "
+            f"({self.n_ranks} ranks, {len(self._chunks)} simulated iterations)"
+        )

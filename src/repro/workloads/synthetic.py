@@ -1,0 +1,153 @@
+"""Small parametric workloads used by tests, examples and ablations.
+
+These exercise the same runtime/protocol code paths as the HPL/NPB workloads
+but with fully controllable shapes:
+
+* :class:`RingWorkload` — each rank repeatedly exchanges with its ring
+  neighbour (a single communication "community": trace analysis should keep
+  neighbours together),
+* :class:`Halo2DWorkload` — nearest-neighbour halo exchange on a 2-D grid,
+* :class:`MasterWorkerWorkload` — rank 0 scatters work and gathers results
+  (a hub pattern that should *not* force everything into one group),
+* :class:`AllToAllWorkload` — every rank sends to every other rank each
+  iteration (the worst case for message logging).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.mpi.ops import Compute, Marker, Op, Recv, Send, SendRecv
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class SyntheticParameters:
+    """Shared knobs of the synthetic workloads."""
+
+    iterations: int = 10
+    message_bytes: int = 64 * 1024
+    compute_seconds: float = 0.05
+    memory_bytes: int = 48 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.message_bytes < 0:
+            raise ValueError("message_bytes must be non-negative")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+        if self.memory_bytes < 0:
+            raise ValueError("memory_bytes must be non-negative")
+
+
+class _SyntheticBase(Workload):
+    """Common plumbing of the synthetic workloads."""
+
+    def __init__(self, n_ranks: int, params: SyntheticParameters = SyntheticParameters()) -> None:
+        super().__init__(n_ranks)
+        self.params = params
+
+    def memory_bytes(self, rank: int) -> int:
+        """Constant per-rank footprint."""
+        self._check_rank(rank)
+        return self.params.memory_bytes
+
+
+class RingWorkload(_SyntheticBase):
+    """Each rank exchanges with its right neighbour every iteration."""
+
+    name = "ring"
+
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        p = self.params
+        right = (rank + 1) % self.n_ranks
+        left = (rank - 1) % self.n_ranks
+        for it in range(p.iterations):
+            yield Marker(label=f"iter:{it}")
+            yield Compute(seconds=p.compute_seconds)
+            if self.n_ranks > 1:
+                yield SendRecv(dst=right, send_nbytes=p.message_bytes, src=left, tag=1)
+
+
+class Halo2DWorkload(_SyntheticBase):
+    """Nearest-neighbour halo exchange on an (approximately square) 2-D grid."""
+
+    name = "halo2d"
+
+    def __init__(self, n_ranks: int, params: SyntheticParameters = SyntheticParameters()) -> None:
+        super().__init__(n_ranks, params)
+        self.cols = max(1, math.isqrt(n_ranks))
+        while n_ranks % self.cols != 0:
+            self.cols -= 1
+        self.rows = n_ranks // self.cols
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(row, col) of ``rank`` on the rows×cols grid."""
+        self._check_rank(rank)
+        return rank // self.cols, rank % self.cols
+
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        p = self.params
+        row, col = self.coords(rank)
+        east = row * self.cols + (col + 1) % self.cols
+        west = row * self.cols + (col - 1) % self.cols
+        south = ((row + 1) % self.rows) * self.cols + col
+        north = ((row - 1) % self.rows) * self.cols + col
+        for it in range(p.iterations):
+            yield Marker(label=f"iter:{it}")
+            yield Compute(seconds=p.compute_seconds)
+            if self.cols > 1:
+                yield SendRecv(dst=east, send_nbytes=p.message_bytes, src=west, tag=1)
+                yield SendRecv(dst=west, send_nbytes=p.message_bytes, src=east, tag=2)
+            if self.rows > 1:
+                yield SendRecv(dst=south, send_nbytes=p.message_bytes, src=north, tag=3)
+                yield SendRecv(dst=north, send_nbytes=p.message_bytes, src=south, tag=4)
+
+
+class MasterWorkerWorkload(_SyntheticBase):
+    """Rank 0 hands out work items and collects results."""
+
+    name = "master-worker"
+
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        p = self.params
+        workers = list(range(1, self.n_ranks))
+        for it in range(p.iterations):
+            yield Marker(label=f"iter:{it}")
+            if rank == 0:
+                for w in workers:
+                    yield Send(dst=w, nbytes=p.message_bytes, tag=1)
+                for w in workers:
+                    yield Recv(src=w, tag=2)
+            else:
+                yield Recv(src=0, tag=1)
+                yield Compute(seconds=p.compute_seconds)
+                yield Send(dst=0, nbytes=p.message_bytes // 4, tag=2)
+
+
+class AllToAllWorkload(_SyntheticBase):
+    """Every rank sends to every other rank each iteration (logging worst case)."""
+
+    name = "all-to-all"
+
+    def program(self, rank: int) -> Iterator[Op]:
+        """Operation script of ``rank``."""
+        self._check_rank(rank)
+        p = self.params
+        others = [r for r in range(self.n_ranks) if r != rank]
+        for it in range(p.iterations):
+            yield Marker(label=f"iter:{it}")
+            yield Compute(seconds=p.compute_seconds)
+            for peer in others:
+                yield Send(dst=peer, nbytes=p.message_bytes, tag=1)
+            for peer in others:
+                yield Recv(src=peer, tag=1)

@@ -1,0 +1,174 @@
+"""Tests for the analysis layer: metrics, trace statistics, reporting, advisor."""
+
+import pytest
+
+from repro.analysis.advisor import (
+    expected_overhead_fraction,
+    suggest_checkpoint_interval,
+    young_interval,
+)
+from repro.analysis.metrics import (
+    aggregate_checkpoint_time,
+    aggregate_coordination_time,
+    aggregate_restart_time,
+    mean_checkpoint_duration,
+    stage_breakdown,
+)
+from repro.analysis.reporting import Series, Table, format_table, series_table
+from repro.analysis.trace_analysis import (
+    communication_summary,
+    imbalance_factor,
+    pair_volume_histogram,
+    top_pairs,
+    volume_by_rank,
+)
+from repro.ckpt.base import CheckpointRecord, RestartRecord, STAGE_CHECKPOINT
+from repro.mpi.trace import TraceLog, TraceRecord
+
+
+def make_record(rank=0, start=0.0, end=5.0, checkpoint=2.0, coordination=2.5):
+    return CheckpointRecord(
+        rank=rank, ckpt_id=0, group_id=0, start=start, end=end,
+        stages={"lock_mpi": 0.3, "coordination": coordination,
+                STAGE_CHECKPOINT: checkpoint, "finalize": 0.2},
+    )
+
+
+# -------------------------------------------------------------------------------- metrics
+def test_aggregate_checkpoint_and_coordination_time():
+    records = [make_record(rank=r) for r in range(4)]
+    assert aggregate_checkpoint_time(records) == pytest.approx(20.0)
+    assert aggregate_coordination_time(records) == pytest.approx(4 * 3.0)
+
+
+def test_mean_checkpoint_duration_empty_is_zero():
+    assert mean_checkpoint_duration([]) == 0.0
+    assert mean_checkpoint_duration([make_record()]) == pytest.approx(5.0)
+
+
+def test_stage_breakdown_averages_across_records():
+    records = [make_record(checkpoint=2.0), make_record(checkpoint=4.0)]
+    breakdown = stage_breakdown(records)
+    assert breakdown.n_records == 2
+    assert breakdown.stages[STAGE_CHECKPOINT] == pytest.approx(3.0)
+    assert breakdown.total == pytest.approx(sum(breakdown.stages.values()))
+    assert len(breakdown.as_row()) == 4
+    assert stage_breakdown([]).n_records == 0
+
+
+def test_aggregate_restart_time():
+    records = [RestartRecord(rank=r, start=0.0, end=2.0) for r in range(3)]
+    assert aggregate_restart_time(records) == pytest.approx(6.0)
+
+
+# -------------------------------------------------------------------------- trace analysis
+def _trace():
+    return TraceLog(
+        [TraceRecord(0, 1, 1000), TraceRecord(0, 1, 500), TraceRecord(2, 3, 100),
+         TraceRecord(1, 0, 50)],
+        n_ranks=4,
+    )
+
+
+def test_communication_summary():
+    summary = communication_summary(_trace())
+    assert summary.total_messages == 4
+    assert summary.total_bytes == 1650
+    assert summary.distinct_pairs == 2
+    assert summary.max_pair_bytes == 1550
+    assert "msgs" in summary.describe()
+
+
+def test_top_pairs_ordering():
+    pairs = top_pairs(_trace(), k=2)
+    assert pairs[0][0] == (0, 1)
+    assert pairs[0][2] == 1550
+    assert len(top_pairs(_trace(), k=1)) == 1
+    with pytest.raises(ValueError):
+        top_pairs(_trace(), k=-1)
+
+
+def test_pair_volume_histogram():
+    hist = pair_volume_histogram(_trace(), n_bins=4)
+    assert sum(hist["counts"]) == 2
+    assert pair_volume_histogram(TraceLog(), n_bins=3) == {"edges": [], "counts": []}
+    with pytest.raises(ValueError):
+        pair_volume_histogram(_trace(), n_bins=0)
+
+
+def test_volume_by_rank_and_imbalance():
+    volumes = volume_by_rank(_trace())
+    assert volumes[0] == (1500, 50)
+    assert imbalance_factor(_trace()) > 1.0
+    assert imbalance_factor(TraceLog()) == 1.0
+
+
+# ------------------------------------------------------------------------------- reporting
+def test_series_append_and_dict():
+    s = Series(name="x")
+    s.append(1, 10)
+    s.append(2, 20)
+    assert s.as_dict() == {1: 10, 2: 20}
+    assert len(s) == 2
+    with pytest.raises(ValueError):
+        Series(name="bad", x=[1], y=[])
+
+
+def test_table_add_row_and_column():
+    t = Table(title="t", columns=["a", "b"])
+    t.add_row(1, 2)
+    assert t.column("b") == [2]
+    with pytest.raises(ValueError):
+        t.add_row(1)
+    with pytest.raises(KeyError):
+        t.column("missing")
+
+
+def test_format_table_renders_all_rows():
+    t = Table(title="demo", columns=["n", "value"])
+    t.add_row(16, 1.2345)
+    t.add_row(128, 10000.0)
+    text = format_table(t)
+    assert "demo" in text and "128" in text and "n" in text
+    assert len(text.splitlines()) == 5
+
+
+def test_series_table_merges_x_values():
+    a = Series(name="a", x=[1, 2], y=[10, 20])
+    b = Series(name="b", x=[2, 3], y=[200, 300])
+    table = series_table("merged", [a, b], x_label="n")
+    assert table.columns == ["n", "a", "b"]
+    assert len(table.rows) == 3
+    assert table.rows[0] == [1, 10, ""]
+
+
+# --------------------------------------------------------------------------------- advisor
+def test_young_interval_formula():
+    assert young_interval(10.0, 2000.0) == pytest.approx((2 * 10 * 2000) ** 0.5)
+    with pytest.raises(ValueError):
+        young_interval(0.0, 100.0)
+    with pytest.raises(ValueError):
+        young_interval(1.0, 0.0)
+
+
+def test_suggestion_respects_floor_and_logging_overhead():
+    base = suggest_checkpoint_interval(10.0, 10000.0)
+    cheaper = suggest_checkpoint_interval(10.0, 10000.0, logging_overhead_fraction=0.5)
+    assert cheaper.interval_s < base.interval_s
+    floored = suggest_checkpoint_interval(10.0, 10000.0, min_interval_s=1000.0)
+    assert floored.interval_s == 1000.0
+    assert base.expected_checkpoints_per_failure > 1
+    with pytest.raises(ValueError):
+        suggest_checkpoint_interval(10.0, 1000.0, logging_overhead_fraction=1.5)
+
+
+def test_expected_overhead_fraction_tradeoff():
+    # very frequent checkpoints: checkpoint term dominates
+    frequent = expected_overhead_fraction(10.0, 5.0, 100000.0)
+    # very rare checkpoints: rework term dominates
+    rare = expected_overhead_fraction(50000.0, 5.0, 100000.0)
+    optimal = expected_overhead_fraction(young_interval(5.0, 100000.0), 5.0, 100000.0)
+    assert optimal < frequent
+    assert optimal < rare
+    with pytest.raises(ValueError):
+        expected_overhead_fraction(0.0, 1.0, 100.0)

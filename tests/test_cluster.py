@@ -1,0 +1,357 @@
+"""Tests for the cluster substrate: nodes, network, storage, topology, failures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.failure import (
+    ExponentialFailureModel,
+    FailureEvent,
+    TraceFailureModel,
+    expected_lost_work,
+)
+from repro.cluster.network import FAST_ETHERNET, GIGABIT_ETHERNET, Network, NetworkSpec
+from repro.cluster.node import MB, Node, NodeSpec
+from repro.cluster.storage import (
+    LOCAL_IDE_DISK,
+    LocalDiskArray,
+    RemoteStorageServers,
+    StorageSpec,
+)
+from repro.cluster.topology import GIDEON_300, Cluster, ClusterSpec
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+# ----------------------------------------------------------------------------- nodes
+def test_node_spec_defaults_match_gideon():
+    spec = NodeSpec()
+    assert spec.cpu_ghz == 2.0
+    assert spec.memory_bytes == 512 * MB
+    assert spec.speed_factor == 1.0
+
+
+def test_node_spec_validation():
+    with pytest.raises(ValueError):
+        NodeSpec(cpu_ghz=0)
+    with pytest.raises(ValueError):
+        NodeSpec(memory_bytes=0)
+    with pytest.raises(ValueError):
+        NodeSpec(cores=0)
+
+
+def test_node_compute_time_scales_with_clock():
+    fast = Node(0, NodeSpec(cpu_ghz=4.0))
+    assert fast.compute_time(2.0) == pytest.approx(1.0)
+
+
+def test_node_rank_placement_respects_cores():
+    node = Node(0, NodeSpec(cores=1))
+    node.place_rank(3)
+    with pytest.raises(ValueError):
+        node.place_rank(4)
+    with pytest.raises(ValueError):
+        node.place_rank(3)
+
+
+def test_node_remove_rank():
+    node = Node(0, NodeSpec(cores=2))
+    node.place_rank(1)
+    node.remove_rank(1)
+    with pytest.raises(ValueError):
+        node.remove_rank(1)
+
+
+def test_node_memory_reservation():
+    node = Node(0, NodeSpec(memory_bytes=100))
+    node.reserve_memory(60)
+    assert node.free_memory == 40
+    with pytest.raises(MemoryError):
+        node.reserve_memory(50)
+    node.release_memory(60)
+    with pytest.raises(ValueError):
+        node.release_memory(1)
+
+
+# ----------------------------------------------------------------------------- network
+def test_network_spec_validation():
+    with pytest.raises(ValueError):
+        NetworkSpec(bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        NetworkSpec(latency_s=-1)
+
+
+def test_fast_ethernet_slower_than_gigabit():
+    nbytes = 1_000_000
+    assert FAST_ETHERNET.serialization_time(nbytes) > GIGABIT_ETHERNET.serialization_time(nbytes)
+
+
+def test_transfer_time_monotone_in_size():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 2)
+    assert net.transfer_time(10_000) < net.transfer_time(1_000_000)
+
+
+def test_transfer_simulated_matches_closed_form_when_uncontended():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 2)
+
+    def proc():
+        yield from net.transfer(0, 1, 500_000)
+        return sim.now
+
+    elapsed = sim.run_until_complete(sim.process(proc()))
+    expected = (
+        FAST_ETHERNET.per_message_overhead_s
+        + FAST_ETHERNET.latency_s
+        + 2 * FAST_ETHERNET.serialization_time(500_000)
+    )
+    assert elapsed == pytest.approx(expected, rel=1e-9)
+
+
+def test_local_transfer_only_costs_overhead():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 2)
+
+    def proc():
+        yield from net.transfer(0, 0, 10_000_000)
+        return sim.now
+
+    assert sim.run_until_complete(sim.process(proc())) == pytest.approx(
+        FAST_ETHERNET.per_message_overhead_s
+    )
+
+
+def test_network_node_range_checked():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 2)
+    with pytest.raises(ValueError):
+        list(net.transfer(0, 5, 10))
+
+
+def test_tx_contention_serialises_senders():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 3)
+    done = []
+
+    def sender(dst):
+        yield from net.tx(0, 1_000_000)
+        done.append(sim.now)
+
+    sim.process(sender(1))
+    sim.process(sender(2))
+    sim.run()
+    # the second message must wait for the first one's serialisation
+    assert done[1] >= done[0] + FAST_ETHERNET.serialization_time(1_000_000) * 0.99
+
+
+def test_network_accounting():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 2)
+
+    def proc():
+        yield from net.transfer(0, 1, 1000)
+        yield from net.transfer(1, 0, 2000)
+
+    sim.process(proc())
+    sim.run()
+    assert net.total_messages == 2
+    assert net.total_bytes == 3000
+
+
+# ----------------------------------------------------------------------------- storage
+def test_storage_spec_validation():
+    with pytest.raises(ValueError):
+        StorageSpec(write_bandwidth_bytes_per_s=0)
+    with pytest.raises(ValueError):
+        StorageSpec(concurrency=0)
+
+
+def test_storage_write_read_times():
+    spec = StorageSpec(write_bandwidth_bytes_per_s=10e6, read_bandwidth_bytes_per_s=20e6,
+                       op_overhead_s=0.01)
+    assert spec.write_time(10_000_000) == pytest.approx(1.01)
+    assert spec.read_time(10_000_000) == pytest.approx(0.51)
+
+
+def test_local_disk_array_parallel_across_nodes():
+    sim = Simulator()
+    disks = LocalDiskArray(sim, 2, LOCAL_IDE_DISK)
+    times = {}
+
+    def writer(node):
+        elapsed = yield from disks.write(node, 35_000_000)
+        times[node] = elapsed
+
+    sim.process(writer(0))
+    sim.process(writer(1))
+    sim.run()
+    # independent disks: both take ~1 second, not 2
+    assert times[0] == pytest.approx(times[1], rel=1e-6)
+    assert sim.now < 1.5
+
+
+def test_local_disk_serialises_same_node():
+    sim = Simulator()
+    disks = LocalDiskArray(sim, 1, LOCAL_IDE_DISK)
+
+    def writer():
+        yield from disks.write(0, 35_000_000)
+
+    sim.process(writer())
+    sim.process(writer())
+    sim.run()
+    assert sim.now > 2.0
+    assert disks.write_ops == 2
+
+
+def test_remote_storage_round_robin_assignment():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 8)
+    servers = RemoteStorageServers(sim, net, n_servers=4)
+    assert servers.server_for(0) == 0
+    assert servers.server_for(5) == 1
+    with pytest.raises(ValueError):
+        servers.server_for(-1)
+
+
+def test_remote_storage_contention_slower_than_local():
+    nbytes = 40_000_000
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 8)
+    remote = RemoteStorageServers(sim, net, n_servers=1)
+
+    def writer(node):
+        yield from remote.write(node, nbytes)
+
+    for node in range(4):
+        sim.process(writer(node))
+    sim.run()
+    remote_time = sim.now
+
+    sim2 = Simulator()
+    local = LocalDiskArray(sim2, 4)
+
+    def lwriter(node):
+        yield from local.write(node, nbytes)
+
+    for node in range(4):
+        sim2.process(lwriter(node))
+    sim2.run()
+    assert remote_time > sim2.now
+
+
+def test_remote_storage_accounting_per_server():
+    sim = Simulator()
+    net = Network(sim, FAST_ETHERNET, 4)
+    servers = RemoteStorageServers(sim, net, n_servers=2)
+
+    def writer(node):
+        yield from servers.write(node, 1000)
+
+    for node in range(4):
+        sim.process(writer(node))
+    sim.run()
+    assert servers.per_server_bytes == [2000, 2000]
+    assert servers.written_bytes == 4000
+
+
+# ----------------------------------------------------------------------------- topology
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(n_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(checkpoint_storage="tape")
+
+
+def test_gideon_spec_matches_paper():
+    assert GIDEON_300.n_nodes == 128
+    assert GIDEON_300.node.cpu_ghz == 2.0
+    assert GIDEON_300.network.name == "fast-ethernet"
+    assert GIDEON_300.checkpoint_storage == "local"
+
+
+def test_cluster_spec_with_helpers():
+    spec = GIDEON_300.with_nodes(32).with_remote_checkpointing(2)
+    assert spec.n_nodes == 32
+    assert spec.checkpoint_storage == "remote"
+    assert spec.n_checkpoint_servers == 2
+
+
+def test_cluster_places_one_rank_per_node():
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(8))
+    mapping = cluster.place_ranks(8)
+    assert sorted(mapping) == list(range(8))
+    assert len(set(mapping.values())) == 8
+    assert cluster.node_of(3) == mapping[3]
+
+
+def test_cluster_placement_overflow_rejected():
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(4))
+    with pytest.raises(ValueError):
+        cluster.place_ranks(5)
+
+
+def test_cluster_node_of_unplaced_rank_raises():
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(4))
+    with pytest.raises(KeyError):
+        cluster.node_of(0)
+
+
+def test_cluster_checkpoint_storage_selection():
+    sim = Simulator()
+    local = Cluster(sim, GIDEON_300.with_nodes(4))
+    assert local.checkpoint_storage is local.local_disks
+    sim2 = Simulator()
+    remote = Cluster(sim2, GIDEON_300.with_nodes(4).with_remote_checkpointing())
+    assert remote.checkpoint_storage is remote.remote_storage
+
+
+# ----------------------------------------------------------------------------- failures
+def test_failure_event_validation():
+    with pytest.raises(ValueError):
+        FailureEvent(time=-1.0, node=0)
+    with pytest.raises(ValueError):
+        FailureEvent(time=0.0, node=-1)
+
+
+def test_exponential_failures_within_horizon_and_sorted():
+    model = ExponentialFailureModel(mtbf_per_node_s=1000.0, rng=RandomStreams(1))
+    failures = model.failures(horizon=5000.0, n_nodes=4)
+    assert all(0 <= f.time < 5000.0 for f in failures)
+    assert failures == sorted(failures)
+
+
+def test_exponential_failures_deterministic_for_seed():
+    a = ExponentialFailureModel(1000.0, rng=RandomStreams(3)).failures(2000.0, 3)
+    b = ExponentialFailureModel(1000.0, rng=RandomStreams(3)).failures(2000.0, 3)
+    assert a == b
+
+
+def test_system_mtbf_scales_inversely_with_nodes():
+    model = ExponentialFailureModel(128_000.0)
+    assert model.system_mtbf(128) == pytest.approx(1000.0)
+
+
+def test_trace_failure_model_filters_horizon_and_nodes():
+    events = [FailureEvent(10.0, 1), FailureEvent(50.0, 5), FailureEvent(99.0, 0)]
+    model = TraceFailureModel(events)
+    out = model.failures(horizon=60.0, n_nodes=4)
+    assert out == [FailureEvent(10.0, 1)]
+
+
+def test_expected_lost_work_uses_latest_checkpoint():
+    assert expected_lost_work(60.0, 150.0, [60.0, 120.0]) == pytest.approx(30.0)
+    assert expected_lost_work(60.0, 50.0, []) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        expected_lost_work(60.0, 50.0, [-1.0])
+
+
+@given(n_nodes=st.integers(min_value=1, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_failure_counts_grow_with_system_size(n_nodes):
+    model = ExponentialFailureModel(mtbf_per_node_s=500.0, rng=RandomStreams(11))
+    failures = model.failures(horizon=1000.0, n_nodes=n_nodes)
+    assert all(f.node < n_nodes for f in failures)

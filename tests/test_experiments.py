@@ -1,0 +1,196 @@
+"""Tests for the experiment harness (configs, runner, figure generators)."""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.ckpt.scheduler import one_shot
+from repro.cluster.topology import GIDEON_300
+from repro.experiments import figures
+from repro.experiments.config import FULL, QUICK, ScenarioConfig, profile_by_name
+from repro.experiments.failures import (
+    expected_work_loss_experiment,
+    mtbf_overhead_experiment,
+    rollback_scope_experiment,
+)
+from repro.experiments.runner import (
+    build_family,
+    build_workload,
+    obtain_groups,
+    run_scenario,
+)
+
+
+# --------------------------------------------------------------------------------- config
+def test_scenario_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(workload="hpl", n_ranks=0)
+    with pytest.raises(ValueError):
+        ScenarioConfig(workload="hpl", n_ranks=8, method="BOGUS")
+    cfg = ScenarioConfig(workload="ring", n_ranks=4)
+    assert cfg.with_method("NORM").method == "NORM"
+    assert cfg.with_seed(9).seed == 9
+
+
+def test_profiles_lookup_and_contents():
+    assert profile_by_name("full") is FULL
+    assert profile_by_name("quick") is QUICK
+    with pytest.raises(ValueError):
+        profile_by_name("enormous")
+    assert FULL.hpl_scales[-1] == 128
+    assert FULL.sp_scales == (64, 81, 100, 121)
+    assert QUICK.hpl_scales[-1] <= 32
+
+
+# --------------------------------------------------------------------------------- runner
+def test_build_workload_by_name():
+    assert build_workload("hpl", 16).name == "hpl"
+    assert build_workload("cg", 16).name == "cg"
+    assert build_workload("sp", 16).name == "sp"
+    assert build_workload("ring", 4).name == "ring"
+    with pytest.raises(ValueError):
+        build_workload("mystery", 4)
+
+
+def test_build_family_by_method():
+    assert build_family("NORM", 8, "ring", GIDEON_300).name == "NORM"
+    assert build_family("GP1", 8, "ring", GIDEON_300).name == "GP1"
+    assert build_family("GP4", 8, "ring", GIDEON_300).name == "GP4"
+    assert build_family("VCL", 8, "ring", GIDEON_300).name == "VCL"
+    with pytest.raises(ValueError):
+        build_family("BOGUS", 8, "ring", GIDEON_300)
+
+
+def test_obtain_groups_for_hpl_quick_matches_columns():
+    groups = obtain_groups("hpl", 16, GIDEON_300, QUICK.hpl_options, max_group_size=8)
+    # 16 ranks on an 8x2 grid: two columns of 8
+    assert groups.members(0) == (0, 2, 4, 6, 8, 10, 12, 14)
+    assert groups.members(1) == (1, 3, 5, 7, 9, 11, 13, 15)
+
+
+def test_run_scenario_ring_norm_end_to_end():
+    result = run_scenario(
+        ScenarioConfig(
+            workload="ring",
+            n_ranks=4,
+            method="NORM",
+            schedule=one_shot(0.2),
+            workload_options={"iterations": 10, "compute_seconds": 0.05},
+        )
+    )
+    assert result.makespan > 0
+    assert result.checkpoints_completed == 1
+    assert result.aggregate_checkpoint_time > 0
+    assert result.restart is not None
+    assert result.aggregate_restart_time > 0
+    assert result.resend_bytes == 0  # NORM never replays
+    assert result.breakdown().n_records == 4
+
+
+def test_run_scenario_without_schedule_skips_restart():
+    result = run_scenario(
+        ScenarioConfig(workload="ring", n_ranks=3, method="GP1", schedule=None,
+                       workload_options={"iterations": 5})
+    )
+    assert result.restart is None
+    assert result.checkpoints_completed == 0
+    assert result.gap_fraction == 0.0
+
+
+# -------------------------------------------------------------------------------- figures
+def test_table1_reproduces_round_robin_groups():
+    out = figures.table1(QUICK, n_ranks=32)
+    groupset = out["groupset"]
+    assert groupset.members(0) == (0, 4, 8, 12, 16, 20, 24, 28)
+    assert len(out["table"].rows) == 4
+    assert out["formation"].intra_fraction > 0.5
+
+
+def test_figure1_series_is_increasing_overall():
+    out = figures.figure1(QUICK)
+    series = out["series"][0]
+    assert len(series) == len(QUICK.coordination_scales)
+    assert series.y[-1] > series.y[0]
+    assert "Figure 1" in format_table(out["table"])
+
+
+def test_figure3_orders_schemes_by_logging():
+    out = figures.figure3(QUICK)
+    table = out["table"]
+    logged = dict(zip(table.column("scheme"), table.column("logged bytes fraction")))
+    assert logged["coordinated (NORM)"] == 0.0
+    assert logged["message logging (GP1)"] == 1.0
+    assert 0.0 < logged["group-based (GP)"] < 1.0
+    scope = dict(zip(table.column("scheme"), table.column("coordination scope")))
+    assert scope["coordinated (NORM)"] > scope["group-based (GP)"] > scope["message logging (GP1)"]
+
+
+def test_figures_5_to_9_share_the_same_sweep():
+    figures.clear_sweep_cache()
+    f5 = figures.figure5(QUICK)
+    f6 = figures.figure6(QUICK)
+    f7 = figures.figure7(QUICK)
+    f8 = figures.figure8(QUICK)
+    f9 = figures.figure9(QUICK)
+    # Figure 5: every method has one point per scale; NORM difference is zero
+    for series in f5["series"]:
+        assert len(series) == len(QUICK.hpl_scales)
+    norm_diff = next(s for s in f5["diff_series"] if s.name.startswith("NORM"))
+    assert all(abs(v) < 1e-9 for v in norm_diff.y)
+    # Figure 6: grouped checkpointing beats global coordination at the largest scale
+    ckpt = {s.name: s for s in f6["checkpoint_series"]}
+    largest = QUICK.hpl_scales[-1]
+    assert ckpt["GP"].as_dict()[largest] < ckpt["NORM"].as_dict()[largest]
+    assert ckpt["GP1"].as_dict()[largest] <= ckpt["GP"].as_dict()[largest]
+    # Figure 7/8: resend volumes and operations are reported for GP/GP1/GP4 only
+    assert {s.name for s in f7["series"]} == {"GP", "GP1", "GP4"}
+    assert {s.name for s in f8["series"]} == {"GP", "GP1", "GP4"}
+    gp1_resend = next(s for s in f7["series"] if s.name == "GP1")
+    gp_resend = next(s for s in f7["series"] if s.name == "GP")
+    assert all(a >= b for a, b in zip(gp1_resend.y, gp_resend.y))
+    # Figure 9: one breakdown row per (scale, method) with non-negative stages
+    assert len(f9["table"].rows) == 2 * 4
+    for row in f9["table"].rows:
+        assert all(v >= 0 for v in row[2:])
+
+
+def test_figure10_interval_zero_has_no_checkpoints():
+    out = figures.figure10(QUICK, n_ranks=16)
+    count = next(s for s in out["series"] if s.name == "NORM #CKPT")
+    assert count.as_dict()[0.0] == 0
+    gp_time = next(s for s in out["series"] if s.name == "GP time")
+    norm_time = next(s for s in out["series"] if s.name == "NORM time")
+    # with no checkpoints GP can only be slower or equal (logging overhead)
+    assert gp_time.as_dict()[0.0] >= norm_time.as_dict()[0.0] - 1e-6
+
+
+def test_figure13_and_14_compare_gp_and_vcl():
+    figures.clear_sweep_cache()
+    f13 = figures.figure13(QUICK)
+    f14 = figures.figure14(QUICK)
+    names13 = {s.name for s in f13["series"]}
+    assert names13 == {"GP time", "VCL time", "GP #CKPT", "VCL #CKPT"}
+    assert {s.name for s in f14["series"]} == {"GP", "VCL"}
+    for s in f14["series"]:
+        assert all(v > 0 for v in s.y)
+
+
+# -------------------------------------------------------------------------------- failures
+def test_rollback_scope_experiment_orders_methods():
+    out = rollback_scope_experiment(QUICK, n_ranks=16)
+    scope = out["scope"]
+    assert scope["NORM"] == 16
+    assert scope["GP1"] == 1
+    assert 1 < scope["GP"] < 16
+
+
+def test_expected_work_loss_experiment_reports_points():
+    out = expected_work_loss_experiment(QUICK, n_ranks=16, intervals=(2.0, 4.0))
+    assert len(out["points"]) == 4
+    assert all(p.expected_loss_s >= 0 for p in out["points"])
+
+
+def test_mtbf_overhead_experiment():
+    out = mtbf_overhead_experiment({"GP": 2.0, "NORM": 10.0}, mtbf_per_node_s=1e6, n_nodes=100)
+    results = out["results"]
+    assert results["GP"]["interval_s"] < results["NORM"]["interval_s"]
+    assert results["GP"]["overhead"] < results["NORM"]["overhead"]

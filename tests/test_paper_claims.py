@@ -1,0 +1,144 @@
+"""End-to-end tests of the paper's headline claims at reduced (test) scale.
+
+Each test states the claim from the paper it checks.  These are the
+"shape" checks — orderings and trends, not absolute seconds.
+"""
+
+import pytest
+
+from repro.ckpt import one_shot
+from repro.ckpt.base import ProtocolConfig
+from repro.ckpt.presets import gp1_family, gp_family, norm_family
+from repro.cluster.topology import GIDEON_300, Cluster
+from repro.core import CheckpointCoordinator, form_groups, simulate_restart
+from repro.core.groups import GroupSet
+from repro.experiments.config import QUICK
+from repro.experiments.runner import obtain_trace, run_scenario
+from repro.experiments.config import ScenarioConfig
+from repro.mpi.runtime import MpiRuntime
+from repro.mpi.tracer import Tracer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workloads.hpl import HplParameters, HplWorkload
+
+QUIET = ProtocolConfig(channel_stall_probability=0.0, unexpected_delay_probability=0.0)
+HPL_OPTS = {"problem_size": 6000, "block_size": 200, "max_steps": 12}
+
+
+def hpl_scenario(n, method, ckpt_at=2.0, seed=3):
+    return ScenarioConfig(
+        workload="hpl", n_ranks=n, method=method, schedule=one_shot(ckpt_at),
+        workload_options=dict(HPL_OPTS), max_group_size=8, seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def hpl32():
+    """Shared HPL-32 runs for all four grouping methods."""
+    return {m: run_scenario(hpl_scenario(32, m)) for m in ("GP", "GP1", "GP4", "NORM")}
+
+
+def test_claim_group_formation_matches_process_grid():
+    """Section 5.1 / Table 1: trace analysis groups each process column together."""
+    trace = obtain_trace("hpl", 32, GIDEON_300, HPL_OPTS)
+    groupset = form_groups(trace, max_group_size=8, n_ranks=32).groupset
+    expected = {tuple(range(c, 32, 4)) for c in range(4)}
+    assert set(groupset.groups) == expected
+
+
+def test_claim_group_checkpoint_cheaper_than_global(hpl32):
+    """Figure 6a: GP's summed checkpoint time is well below NORM's."""
+    assert hpl32["GP"].aggregate_checkpoint_time < hpl32["NORM"].aggregate_checkpoint_time
+    # the paper reports >80% reduction at full scale; at test scale demand >30%
+    assert (
+        hpl32["GP"].aggregate_checkpoint_time
+        < 0.7 * hpl32["NORM"].aggregate_checkpoint_time
+    )
+
+
+def test_claim_uncoordinated_checkpoint_is_cheapest(hpl32):
+    """Figure 6a: GP1 (no coordination at all) has the lowest checkpoint cost."""
+    for other in ("GP", "GP4", "NORM"):
+        assert hpl32["GP1"].aggregate_checkpoint_time <= hpl32[other].aggregate_checkpoint_time
+
+
+def test_claim_even_adhoc_grouping_beats_global(hpl32):
+    """Section 5.1: even the ad-hoc GP4 grouping checkpoints faster than NORM."""
+    assert hpl32["GP4"].aggregate_checkpoint_time < hpl32["NORM"].aggregate_checkpoint_time
+
+
+def test_claim_global_restart_needs_no_replay(hpl32):
+    """Figure 7: globally coordinated checkpoints never resend messages on restart."""
+    assert hpl32["NORM"].resend_bytes == 0
+    assert hpl32["NORM"].resend_operations == 0
+
+
+def test_claim_gp1_resends_at_least_as_much_as_gp(hpl32):
+    """Figures 7/8: uncoordinated checkpointing resends the most data on restart."""
+    assert hpl32["GP1"].resend_bytes >= hpl32["GP"].resend_bytes
+    assert hpl32["GP1"].resend_operations >= hpl32["GP"].resend_operations
+
+
+def test_claim_gp_restart_close_to_norm(hpl32):
+    """Figure 6b: GP restarts only slightly slower than NORM (small replays only)."""
+    assert hpl32["GP"].aggregate_restart_time <= 1.25 * hpl32["NORM"].aggregate_restart_time
+
+
+def test_claim_execution_time_with_checkpoint_competitive(hpl32):
+    """Figure 5: with one checkpoint, GP's end-to-end time is at least competitive with NORM."""
+    assert hpl32["GP"].makespan <= hpl32["NORM"].makespan * 1.05
+
+
+def test_claim_coordination_cost_grows_with_system_size():
+    """Figure 1: NORM's aggregate coordination time grows with the process count."""
+    small = run_scenario(hpl_scenario(16, "NORM"))
+    large = run_scenario(hpl_scenario(32, "NORM"))
+    assert large.aggregate_coordination_time > small.aggregate_coordination_time
+
+
+def test_claim_group_checkpoint_time_roughly_scale_independent():
+    """Section 5.1: GP spends almost the same *per-process* checkpoint time as it scales."""
+    small = run_scenario(hpl_scenario(16, "GP"))
+    large = run_scenario(hpl_scenario(32, "GP"))
+    per_proc_small = small.aggregate_checkpoint_time / 16
+    per_proc_large = large.aggregate_checkpoint_time / 32
+    assert per_proc_large < per_proc_small * 2.0
+    # whereas NORM's per-process cost grows faster
+    norm_small = run_scenario(hpl_scenario(16, "NORM"))
+    norm_large = run_scenario(hpl_scenario(32, "NORM"))
+    growth_norm = (norm_large.aggregate_checkpoint_time / 32) / (
+        norm_small.aggregate_checkpoint_time / 16
+    )
+    growth_gp = per_proc_large / per_proc_small
+    assert growth_norm > growth_gp
+
+
+def test_claim_logging_overhead_without_checkpoints():
+    """Figure 10, interval 0: with no checkpoints the group-based scheme is the slower one
+    (message logging overhead), which is the price paid for cheaper checkpoints."""
+    gp = run_scenario(
+        ScenarioConfig(workload="hpl", n_ranks=16, method="GP1", schedule=None,
+                       workload_options=dict(HPL_OPTS), do_restart=False, seed=3)
+    )
+    norm = run_scenario(
+        ScenarioConfig(workload="hpl", n_ranks=16, method="NORM", schedule=None,
+                       workload_options=dict(HPL_OPTS), do_restart=False, seed=3)
+    )
+    assert gp.makespan >= norm.makespan
+
+
+def test_claim_flexible_group_choice_is_user_controllable():
+    """Section 6: unlike architecture-fixed schemes, any group formation can be supplied."""
+    n = 16
+    custom = GroupSet.from_lists([[0, 5, 10, 15], [1, 2, 3, 4]], n_ranks=n)
+    family = gp_family(custom, QUIET)
+    workload = HplWorkload(n, HplParameters(**HPL_OPTS))
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(n))
+    runtime = MpiRuntime(sim, cluster, n, protocol_family=family, rng=RandomStreams(0))
+    runtime.set_memory(workload.memory_map())
+    CheckpointCoordinator(runtime, family, one_shot(2.0)).start()
+    runtime.launch(workload.program_factory())
+    result = runtime.run_to_completion(limit_s=1e6)
+    sizes = {rec.group_size for rec in result.checkpoint_records}
+    assert 4 in sizes and 1 in sizes  # custom groups and implicit singletons both checkpointed

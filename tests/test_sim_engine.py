@@ -1,0 +1,345 @@
+"""Tests for the discrete-event kernel (repro.sim.engine)."""
+
+import pytest
+
+from repro.sim.engine import Interrupt, SimProcess, SimulationError, Simulator
+from repro.sim.primitives import Event
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_time():
+    sim = Simulator()
+    sim.timeout(5.0)
+    assert sim.run() == 5.0
+
+
+def test_run_with_until_stops_early():
+    sim = Simulator()
+    sim.timeout(10.0)
+    assert sim.run(until=3.0) == 3.0
+    assert sim.now == 3.0
+
+
+def test_run_until_before_now_rejected():
+    sim = Simulator()
+    sim.timeout(1.0)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.run(until=0.5)
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_negative_schedule_delay_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(ValueError):
+        sim.schedule(ev, delay=-0.1)
+
+
+def test_step_on_empty_calendar_raises():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_peek_empty_is_infinite():
+    assert Simulator().peek() == float("inf")
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        ev = sim.timeout(delay, value=delay)
+        ev.callbacks.append(lambda e: order.append(e.value))
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for label in ("a", "b", "c"):
+        ev = sim.timeout(1.0, value=label)
+        ev.callbacks.append(lambda e: order.append(e.value))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_event_succeed_carries_value():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(42)
+    sim.run()
+    assert ev.processed and ev.ok and ev.value == 42
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")
+
+
+def test_unhandled_failed_event_raises_from_run():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()
+
+
+def test_defused_failed_event_does_not_raise():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(RuntimeError("boom"))
+    ev.defused = True
+    sim.run()
+    assert ev.processed and not ev.ok
+
+
+def test_process_runs_and_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return "done"
+
+    p = sim.process(proc())
+    value = sim.run_until_complete(p)
+    assert value == "done"
+    assert sim.now == 2.0
+
+
+def test_process_requires_generator():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        SimProcess(sim, lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_yielding_non_event_fails():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    p = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run_until_complete(p)
+
+
+def test_process_exception_propagates():
+    sim = Simulator()
+
+    def boom():
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    p = sim.process(boom())
+    with pytest.raises(ValueError, match="inner"):
+        sim.run_until_complete(p)
+
+
+def test_process_waits_on_event_value():
+    sim = Simulator()
+    ev = sim.event()
+    results = []
+
+    def waiter():
+        value = yield ev
+        results.append(value)
+
+    def trigger():
+        yield sim.timeout(3.0)
+        ev.succeed("payload")
+
+    sim.process(waiter())
+    sim.process(trigger())
+    sim.run()
+    assert results == ["payload"]
+
+
+def test_process_chaining_waits_for_subprocess():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(2.0)
+        return 7
+
+    def parent():
+        value = yield sim.process(child())
+        return value + 1
+
+    assert sim.run_until_complete(sim.process(parent())) == 8
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.timeout(0.5, value="x")
+
+    def proc():
+        yield sim.timeout(1.0)  # ev is processed by now
+        value = yield ev
+        return value
+
+    assert sim.run_until_complete(sim.process(proc())) == "x"
+    assert sim.now == 1.0
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+
+    def stuck():
+        yield ev
+
+    p = sim.process(stuck())
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(p)
+
+
+def test_run_until_complete_respects_limit():
+    sim = Simulator()
+
+    def slow():
+        yield sim.timeout(100.0)
+
+    p = sim.process(slow())
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_complete(p, limit=10.0)
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def victim():
+        try:
+            yield ev
+        except Interrupt as exc:
+            caught.append(exc.cause)
+        yield sim.timeout(1.0)
+        return "recovered"
+
+    p = sim.process(victim())
+
+    def attacker():
+        yield sim.timeout(2.0)
+        p.interrupt("stop")
+
+    sim.process(attacker())
+    assert sim.run_until_complete(p) == "recovered"
+    assert caught == ["stop"]
+    assert sim.now == 3.0
+
+
+def test_interrupt_on_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.1)
+
+    p = sim.process(quick())
+    sim.run()
+    p.interrupt("late")  # must not raise
+    sim.run()
+    assert p.processed
+
+
+def test_all_of_collects_all_values():
+    sim = Simulator()
+    evs = [sim.timeout(d, value=d) for d in (1.0, 2.0, 3.0)]
+
+    def proc():
+        values = yield sim.all_of(evs)
+        return sorted(values.values())
+
+    assert sim.run_until_complete(sim.process(proc())) == [1.0, 2.0, 3.0]
+    assert sim.now == 3.0
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    evs = [sim.timeout(5.0, value="slow"), sim.timeout(1.0, value="fast")]
+
+    def proc():
+        yield sim.any_of(evs)
+        return sim.now
+
+    assert sim.run_until_complete(sim.process(proc())) == 1.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    cond = sim.all_of([])
+    sim.run()
+    assert cond.processed and cond.ok
+
+
+def test_condition_requires_same_simulator():
+    sim_a, sim_b = Simulator(), Simulator()
+    ev_a = sim_a.event()
+    ev_b = sim_b.event()
+    with pytest.raises(ValueError):
+        sim_a.all_of([ev_a, ev_b])
+
+
+def test_processed_events_counter_increases():
+    sim = Simulator()
+    for _ in range(5):
+        sim.timeout(1.0)
+    sim.run()
+    assert sim.processed_events == 5
+
+
+def test_active_process_visible_during_step():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        seen.append(sim.active_process)
+        yield sim.timeout(1.0)
+
+    p = sim.process(proc())
+    sim.run()
+    assert seen == [p]
+    assert sim.active_process is None
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def worker(name, delay):
+        for i in range(3):
+            yield sim.timeout(delay)
+            log.append((name, sim.now))
+
+    sim.process(worker("a", 1.0))
+    sim.process(worker("b", 1.5))
+    sim.run()
+    assert [entry for entry in log if entry[0] == "a"] == [("a", 1.0), ("a", 2.0), ("a", 3.0)]
+    assert [entry for entry in log if entry[0] == "b"] == [("b", 1.5), ("b", 3.0), ("b", 4.5)]
+    assert [t for _, t in log] == sorted(t for _, t in log)
+
+
+def test_context_dictionary_available():
+    sim = Simulator()
+    sim.context["cluster"] = "x"
+    assert sim.context["cluster"] == "x"

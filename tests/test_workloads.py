@@ -1,0 +1,314 @@
+"""Tests for the workload generators (HPL, NPB CG, NPB SP, synthetic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.ops import Compute, Op, Recv, Send, SendRecv
+from repro.workloads.base import Workload, coarsen_steps
+from repro.workloads.hpl import HplParameters, HplWorkload
+from repro.workloads.npb_cg import CgParameters, CgWorkload, cg_grid
+from repro.workloads.npb_sp import SpParameters, SpWorkload
+from repro.workloads.synthetic import (
+    AllToAllWorkload,
+    Halo2DWorkload,
+    MasterWorkerWorkload,
+    RingWorkload,
+    SyntheticParameters,
+)
+
+
+# ------------------------------------------------------------------------------ helpers
+def total_sent_bytes(workload: Workload) -> dict:
+    """Total bytes each rank sends according to its script (without running the sim)."""
+    out = {}
+    for rank in range(workload.n_ranks):
+        sent = 0
+        for op in workload.program(rank):
+            if isinstance(op, Send):
+                sent += op.nbytes
+            elif isinstance(op, SendRecv):
+                sent += op.send_nbytes
+        out[rank] = sent
+    return out
+
+
+# -------------------------------------------------------------------------------- base
+def test_coarsen_steps_preserves_total():
+    chunks = coarsen_steps(167, 48)
+    assert sum(chunks) == 167
+    assert len(chunks) == 48
+    assert max(chunks) - min(chunks) <= 1
+    assert coarsen_steps(5, 100) == [1, 1, 1, 1, 1]
+    with pytest.raises(ValueError):
+        coarsen_steps(0, 10)
+
+
+def test_workload_base_validation():
+    with pytest.raises(ValueError):
+        RingWorkload(0)
+    wl = RingWorkload(4)
+    with pytest.raises(ValueError):
+        wl.memory_bytes(9)
+
+
+# --------------------------------------------------------------------------------- HPL
+def test_hpl_requires_multiple_of_grid_rows():
+    with pytest.raises(ValueError):
+        HplWorkload(30, HplParameters(grid_rows=8))
+
+
+def test_hpl_grid_geometry_row_major():
+    wl = HplWorkload(32, HplParameters(grid_rows=8))
+    assert wl.P == 8 and wl.Q == 4
+    assert wl.coords(0) == (0, 0)
+    assert wl.coords(5) == (1, 1)
+    assert wl.rank_of(1, 1) == 5
+    with pytest.raises(ValueError):
+        wl.rank_of(9, 0)
+
+
+def test_hpl_column_members_match_table1():
+    wl = HplWorkload(32, HplParameters(grid_rows=8))
+    assert wl.column_members(0) == (0, 4, 8, 12, 16, 20, 24, 28)
+    assert wl.row_members(0) == (0, 1, 2, 3)
+
+
+def test_hpl_memory_fits_gideon_nodes():
+    for n in (16, 32, 64, 128):
+        wl = HplWorkload(n)
+        assert wl.memory_bytes(0) < 512 * 1024 * 1024
+    # memory per rank shrinks as the problem is divided
+    assert HplWorkload(128).memory_bytes(0) < HplWorkload(16).memory_bytes(0)
+
+
+def test_hpl_total_flops_and_compute_estimate():
+    wl = HplWorkload(16)
+    assert wl.total_flops() == pytest.approx((2 / 3) * 20000 ** 3)
+    assert wl.estimated_compute_seconds() > 100
+
+
+def test_hpl_program_has_expected_structure():
+    wl = HplWorkload(16, HplParameters(problem_size=4000, block_size=200, grid_rows=4,
+                                       max_steps=6))
+    ops = list(wl.program(0))
+    assert any(isinstance(op, Compute) for op in ops)
+    assert any(isinstance(op, (Send, SendRecv)) for op in ops)
+    # message sizes shrink as the factorisation proceeds (trailing matrix shrinks)
+    sizes = [op.send_nbytes for op in ops if isinstance(op, SendRecv)]
+    assert sizes[0] > sizes[-1]
+
+
+def test_hpl_column_traffic_dominates_row_traffic():
+    """The property that makes Algorithm 2 recover process-column groups (Table 1)."""
+    wl = HplWorkload(32, HplParameters(problem_size=8000, block_size=200, max_steps=8))
+    col_bytes = 0
+    row_bytes = 0
+    for rank in range(wl.n_ranks):
+        _, col = wl.coords(rank)
+        col_set = set(wl.column_members(col))
+        for op in wl.program(rank):
+            if isinstance(op, SendRecv):
+                target_set = col_set
+                if op.dst in target_set:
+                    col_bytes += op.send_nbytes
+                else:
+                    row_bytes += op.send_nbytes
+            elif isinstance(op, Send):
+                if op.dst in col_set:
+                    col_bytes += op.nbytes
+                else:
+                    row_bytes += op.nbytes
+    assert col_bytes > row_bytes
+
+
+def test_hpl_parameter_validation():
+    with pytest.raises(ValueError):
+        HplParameters(problem_size=0)
+    with pytest.raises(ValueError):
+        HplParameters(gflops_per_rank=0)
+    with pytest.raises(ValueError):
+        HplParameters(max_steps=0)
+
+
+# ---------------------------------------------------------------------------------- CG
+def test_cg_grid_layouts():
+    assert cg_grid(16) == (4, 4)
+    assert cg_grid(32) == (4, 8)
+    assert cg_grid(64) == (8, 8)
+    assert cg_grid(128) == (8, 16)
+    with pytest.raises(ValueError):
+        cg_grid(24)
+
+
+def test_cg_transpose_partner_is_involution():
+    for n in (16, 32, 64, 128):
+        wl = CgWorkload(n)
+        for rank in range(n):
+            partner = wl.transpose_partner(rank)
+            assert 0 <= partner < n
+            assert wl.transpose_partner(partner) == rank
+
+
+def test_cg_reduce_partners_symmetric():
+    wl = CgWorkload(32)
+    for rank in range(32):
+        for partner in wl._reduce_partners(rank):
+            assert rank in wl._reduce_partners(partner)
+
+
+def test_cg_program_is_communication_heavy():
+    wl = CgWorkload(16, CgParameters(na=30000, max_steps=4))
+    ops = list(wl.program(0))
+    comm_ops = [op for op in ops if not isinstance(op, Compute)]
+    assert len(comm_ops) > len(ops) / 2
+
+
+def test_cg_memory_and_segments_scale_down_with_ranks():
+    assert CgWorkload(128).memory_bytes(0) < CgWorkload(16).memory_bytes(0)
+    assert CgWorkload(128).segment_bytes() < CgWorkload(16).segment_bytes()
+
+
+def test_cg_parameter_validation():
+    with pytest.raises(ValueError):
+        CgParameters(na=0)
+    with pytest.raises(ValueError):
+        CgParameters(gflops_per_rank=0)
+    with pytest.raises(ValueError):
+        CgWorkload(24)
+
+
+# ---------------------------------------------------------------------------------- SP
+def test_sp_requires_square_process_count():
+    with pytest.raises(ValueError):
+        SpWorkload(60)
+    assert SpWorkload(81).side == 9
+
+
+def test_sp_neighbours_wrap_around():
+    wl = SpWorkload(16)
+    east, west, north, south = wl.neighbours(3)  # (0, 3) on a 4x4 grid
+    assert east == wl.rank_of(0, 0)
+    assert west == wl.rank_of(0, 2)
+    assert north == wl.rank_of(3, 3)
+    assert south == wl.rank_of(1, 3)
+
+
+def test_sp_face_bytes_and_memory_scale():
+    assert SpWorkload(121).face_bytes() < SpWorkload(64).face_bytes()
+    assert SpWorkload(121).memory_bytes(0) < SpWorkload(64).memory_bytes(0)
+
+
+def test_sp_program_balanced_across_ranks():
+    wl = SpWorkload(16, SpParameters(grid_points=64, time_steps=20, max_steps=4))
+    sent = total_sent_bytes(wl)
+    values = set(sent.values())
+    assert len(values) == 1  # perfectly symmetric pattern
+
+
+def test_sp_parameter_validation():
+    with pytest.raises(ValueError):
+        SpParameters(grid_points=0)
+    with pytest.raises(ValueError):
+        SpParameters(max_steps=0)
+
+
+# ----------------------------------------------------------------------------- synthetic
+def test_synthetic_parameter_validation():
+    with pytest.raises(ValueError):
+        SyntheticParameters(iterations=0)
+    with pytest.raises(ValueError):
+        SyntheticParameters(message_bytes=-1)
+
+
+def test_ring_workload_sends_to_right_neighbour_only():
+    wl = RingWorkload(4, SyntheticParameters(iterations=3))
+    for rank in range(4):
+        for op in wl.program(rank):
+            if isinstance(op, SendRecv):
+                assert op.dst == (rank + 1) % 4
+                assert op.src == (rank - 1) % 4
+
+
+def test_halo2d_grid_dimensions_cover_all_ranks():
+    wl = Halo2DWorkload(12)
+    assert wl.rows * wl.cols == 12
+    coords = {wl.coords(r) for r in range(12)}
+    assert len(coords) == 12
+
+
+def test_master_worker_rank0_is_the_hub():
+    wl = MasterWorkerWorkload(5, SyntheticParameters(iterations=2))
+    sent = total_sent_bytes(wl)
+    assert sent[0] > max(sent[r] for r in range(1, 5))
+    # workers only talk to rank 0
+    for rank in range(1, 5):
+        for op in wl.program(rank):
+            if isinstance(op, Send):
+                assert op.dst == 0
+
+
+def test_all_to_all_workload_sends_to_everyone():
+    wl = AllToAllWorkload(4, SyntheticParameters(iterations=1))
+    for rank in range(4):
+        dsts = {op.dst for op in wl.program(rank) if isinstance(op, Send)}
+        assert dsts == set(range(4)) - {rank}
+
+
+def test_single_rank_workloads_have_no_communication():
+    for cls in (RingWorkload, Halo2DWorkload, AllToAllWorkload):
+        wl = cls(1, SyntheticParameters(iterations=2))
+        assert all(not isinstance(op, (Send, SendRecv, Recv)) for op in wl.program(0))
+
+
+# ------------------------------------------------------------- global send/recv matching
+def _communication_is_closed(workload: Workload) -> bool:
+    """Every (src, dst, tag) send has a matching receive and vice versa."""
+    sends = {}
+    recvs = {}
+    for rank in range(workload.n_ranks):
+        for op in workload.program(rank):
+            if isinstance(op, Send):
+                sends[(rank, op.dst, op.tag)] = sends.get((rank, op.dst, op.tag), 0) + 1
+            elif isinstance(op, SendRecv):
+                sends[(rank, op.dst, op.tag)] = sends.get((rank, op.dst, op.tag), 0) + 1
+                if op.src is not None:
+                    recvs[(op.src, rank, op.tag)] = recvs.get((op.src, rank, op.tag), 0) + 1
+            elif isinstance(op, Recv):
+                if op.src is not None:
+                    recvs[(op.src, rank, op.tag)] = recvs.get((op.src, rank, op.tag), 0) + 1
+    return sends == recvs
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [
+        HplWorkload(16, HplParameters(problem_size=4000, block_size=200, grid_rows=4, max_steps=6)),
+        HplWorkload(32, HplParameters(problem_size=4000, block_size=400, max_steps=4)),
+        CgWorkload(16, CgParameters(na=30000, max_steps=3)),
+        CgWorkload(32, CgParameters(na=30000, max_steps=3)),
+        SpWorkload(16, SpParameters(grid_points=64, time_steps=12, max_steps=3)),
+        RingWorkload(5, SyntheticParameters(iterations=3)),
+        Halo2DWorkload(6, SyntheticParameters(iterations=2)),
+        MasterWorkerWorkload(4, SyntheticParameters(iterations=2)),
+        AllToAllWorkload(4, SyntheticParameters(iterations=2)),
+    ],
+    ids=lambda wl: f"{wl.name}-{wl.n_ranks}",
+)
+def test_point_to_point_communication_is_closed(workload):
+    """Every explicit point-to-point send is received exactly once (no orphan messages)."""
+    assert _communication_is_closed(workload)
+
+
+@given(n_ranks=st.sampled_from([4, 8, 16]), iterations=st.integers(min_value=1, max_value=5))
+@settings(max_examples=15, deadline=None)
+def test_ring_workload_communication_closed_property(n_ranks, iterations):
+    wl = RingWorkload(n_ranks, SyntheticParameters(iterations=iterations))
+    assert _communication_is_closed(wl)
+
+
+def test_program_factory_and_memory_map_helpers():
+    wl = RingWorkload(3)
+    factory = wl.program_factory()
+    assert isinstance(next(iter(factory(0))), Op)
+    assert len(wl.memory_map()) == 3
+    assert wl.total_operations(0) > 0
