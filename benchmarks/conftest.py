@@ -8,10 +8,23 @@ Every benchmark regenerates one table/figure of the paper at the FULL profile
 produces the complete reproduction report.  Each experiment is executed once
 per benchmark (``rounds=1``) because a single data point already involves
 dozens of simulated application runs.
+
+The figure sweeps run through the :mod:`repro.campaign` engine against a
+persistent store (``benchmarks/.campaign.sqlite`` by default), so:
+
+* a cold pass can use several worker processes (``REPRO_BENCH_WORKERS``,
+  default: all cores),
+* a repeated invocation re-runs nothing — every scenario is served from the
+  store's ``done`` rows and the full report prints in seconds,
+* an interrupted pass resumes where it stopped.
+
+Delete the store file (or point ``REPRO_BENCH_DB`` elsewhere) to force a
+fresh run, e.g. after changing simulator internals.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict
 
 import pytest
@@ -27,6 +40,24 @@ def run_experiment(benchmark, experiment: Callable[[], Dict[str, object]]) -> Di
             print()
             print(format_table(result[key]))
     return result
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_campaign():
+    """Install the persistent benchmark campaign behind the figure sweeps."""
+    from repro.campaign import Campaign, CampaignStore, set_default_campaign
+
+    path = os.environ.get(
+        "REPRO_BENCH_DB", os.path.join(os.path.dirname(__file__), ".campaign.sqlite")
+    )
+    n_workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0) or (os.cpu_count() or 1)
+    campaign = Campaign(CampaignStore(path), n_workers=n_workers)
+    set_default_campaign(campaign)
+    yield campaign
+    counts = campaign.counts()
+    print(f"\n[campaign] {path}: {counts}")
+    set_default_campaign(None)
+    campaign.store.close()
 
 
 @pytest.fixture(scope="session")

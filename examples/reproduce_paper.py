@@ -5,7 +5,12 @@ By default this uses the QUICK profile (reduced scales, minutes of runtime);
 pass ``--full`` to run the paper-scale sweeps (the same data the benchmark
 harness produces, tens of minutes).
 
+The sweeps run through the campaign engine: pass ``--db`` to keep the results
+in a persistent store (interrupt + rerun = resume; a repeated invocation
+re-runs nothing) and ``--workers`` to use several simulation processes.
+
 Run:  python examples/reproduce_paper.py [--full] [--only figure6 figure14 ...]
+                                         [--db results.sqlite] [--workers N]
 """
 
 import argparse
@@ -13,6 +18,7 @@ import sys
 import time
 
 from repro.analysis.reporting import format_table
+from repro.campaign import Campaign, CampaignStore, set_default_campaign
 from repro.experiments import figures
 from repro.experiments.config import FULL, QUICK
 
@@ -23,7 +29,16 @@ def main(argv=None) -> int:
                         help="use the paper-scale FULL profile (slow)")
     parser.add_argument("--only", nargs="*", default=None,
                         help="subset of experiments to run (e.g. figure6 table1)")
+    parser.add_argument("--db", default=None,
+                        help="persistent campaign store (default: in-memory)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel simulation workers (needs --db)")
     args = parser.parse_args(argv)
+
+    if args.workers > 1 and args.db is None:
+        parser.error("--workers > 1 needs a file-backed store; pass --db as well")
+    if args.db is not None:
+        set_default_campaign(Campaign(CampaignStore(args.db), n_workers=args.workers))
 
     profile = FULL if args.full else QUICK
     targets = args.only if args.only else list(figures.ALL_EXPERIMENTS)

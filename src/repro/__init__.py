@@ -12,7 +12,9 @@ The package is organised bottom-up:
   trace-assisted group formation, the checkpoint coordinator and restart,
 * :mod:`repro.workloads` — HPL / NPB CG / NPB SP communication patterns,
 * :mod:`repro.analysis` — metrics and report builders,
-* :mod:`repro.experiments` — one entry point per paper figure/table.
+* :mod:`repro.experiments` — one entry point per paper figure/table,
+* :mod:`repro.campaign` — persistent, parallel, resumable experiment sweeps
+  (parameter grids → sqlite store → worker pool → exports).
 """
 
 from repro.sim import Simulator, RandomStreams
@@ -35,6 +37,7 @@ from repro.core import (
     simulate_restart,
 )
 from repro.workloads import HplWorkload, CgWorkload, SpWorkload
+from repro.campaign import Campaign, CampaignStore, ParameterGrid
 
 __version__ = "1.0.0"
 
@@ -65,5 +68,8 @@ __all__ = [
     "HplWorkload",
     "CgWorkload",
     "SpWorkload",
+    "Campaign",
+    "CampaignStore",
+    "ParameterGrid",
     "__version__",
 ]

@@ -1,0 +1,85 @@
+"""Campaign engine: persistent, parallel experiment sweeps.
+
+Every figure of the paper is the product of a sweep (method × workload ×
+rank-count × seed); this subsystem turns those sweeps into *campaigns*:
+
+* :mod:`repro.campaign.grid` — declarative parameter grids that expand into
+  :class:`~repro.experiments.config.ScenarioConfig` sets (cartesian products
+  with per-axis-value overrides),
+* :mod:`repro.campaign.store` — a persistent result store on stdlib
+  ``sqlite3``, keyed by a stable content-hash of the scenario config and
+  tracking status (``pending``/``running``/``done``/``failed``), the metrics
+  payload, timing and error tracebacks,
+* :mod:`repro.campaign.executor` — a ``ProcessPoolExecutor``-based runner
+  whose workers claim open experiments from the store, execute them and write
+  results back; supports ``resume()`` after crashes and serves ``done`` rows
+  straight from the store without re-running anything,
+* :mod:`repro.campaign.results` — the stored-metrics result object that
+  mirrors :class:`~repro.experiments.runner.ScenarioResult`'s metric API,
+* :mod:`repro.campaign.export` — turn stored rows into the
+  :mod:`repro.analysis.reporting` ``Series``/``Table`` objects and CSV.
+
+Workflow (PyExperimenter-style)::
+
+    from repro.campaign import Campaign, CampaignStore, ParameterGrid
+
+    grid = ParameterGrid(
+        axes={"n_ranks": (16, 32), "method": ("GP", "NORM"), "seed": (1, 2)},
+        base={"workload": "hpl", "schedule": one_shot(2.0)},
+    )
+    campaign = Campaign(CampaignStore("sweep.sqlite"), n_workers=4)
+    results = campaign.run(grid.expand())   # parallel; resumable; cached
+"""
+
+from repro.campaign.executor import (
+    Campaign,
+    CampaignError,
+    campaign_worker,
+    drain_store,
+    execute_scenario,
+    get_default_campaign,
+    reset_default_campaign,
+    set_default_campaign,
+)
+from repro.campaign.export import (
+    results_to_csv,
+    results_to_series,
+    results_to_table,
+    store_to_csv,
+    summary_table,
+)
+from repro.campaign.grid import ParameterGrid
+from repro.campaign.results import StoredResult, metrics_payload
+from repro.campaign.store import (
+    STATUSES,
+    CampaignStore,
+    ExperimentRow,
+    config_from_dict,
+    config_to_dict,
+    scenario_key,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignStore",
+    "ExperimentRow",
+    "ParameterGrid",
+    "STATUSES",
+    "StoredResult",
+    "campaign_worker",
+    "config_from_dict",
+    "config_to_dict",
+    "drain_store",
+    "execute_scenario",
+    "reset_default_campaign",
+    "get_default_campaign",
+    "metrics_payload",
+    "results_to_csv",
+    "results_to_series",
+    "results_to_table",
+    "scenario_key",
+    "set_default_campaign",
+    "store_to_csv",
+    "summary_table",
+]

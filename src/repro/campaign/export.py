@@ -1,0 +1,126 @@
+"""Exports: stored campaign rows → reporting objects and CSV.
+
+Bridges the campaign store to the existing :mod:`repro.analysis.reporting`
+layer: grouped :class:`Series` (one line per method, say), flat
+:class:`Table` grids, and plain-stdlib CSV dumps for external analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.reporting import Series, Table
+from repro.campaign.results import StoredResult
+from repro.campaign.store import CampaignStore, config_to_dict
+
+#: config columns included in flat exports, in order
+CONFIG_FIELDS = ("workload", "method", "n_ranks", "seed", "max_group_size", "do_restart")
+
+#: scalar metric columns included in flat exports, in order
+METRIC_FIELDS = (
+    "makespan",
+    "aggregate_checkpoint_time",
+    "aggregate_coordination_time",
+    "aggregate_restart_time",
+    "resend_bytes",
+    "resend_operations",
+    "checkpoints_completed",
+    "mean_checkpoint_duration",
+    "gap_fraction",
+)
+
+Accessor = Union[str, Callable[[StoredResult], object]]
+
+
+class _Row:
+    """One result with its config serialized once, however many cells are read."""
+
+    def __init__(self, result: StoredResult) -> None:
+        self.result = result
+        self.config = config_to_dict(result.config)
+
+    def get(self, accessor: Accessor) -> object:
+        if callable(accessor):
+            return accessor(self.result)
+        if accessor in self.config:
+            return self.config[accessor]
+        if hasattr(self.result, accessor):
+            return getattr(self.result, accessor)
+        if accessor in self.result.metrics:
+            return self.result.metrics[accessor]
+        raise KeyError(
+            f"unknown column {accessor!r}: not a config field, result property "
+            f"or metrics entry (metrics keys: {sorted(self.result.metrics)})")
+
+
+def results_to_series(
+    results: Sequence[StoredResult],
+    x: Accessor = "n_ranks",
+    y: Accessor = "makespan",
+    group_by: Optional[Accessor] = "method",
+) -> List[Series]:
+    """Turn results into figure series: one line per ``group_by`` value.
+
+    ``x``/``y``/``group_by`` name a config field or metric, or are callables
+    over the result.  Points appear in result order (sort upstream if needed).
+    """
+    rows = [_Row(result) for result in results]
+    if group_by is None:
+        series = Series(name=str(y))
+        for row in rows:
+            series.append(row.get(x), row.get(y))
+        return [series]
+    grouped: Dict[object, Series] = {}
+    for row in rows:
+        label = row.get(group_by)
+        if label not in grouped:
+            grouped[label] = Series(name=str(label))
+        grouped[label].append(row.get(x), row.get(y))
+    return list(grouped.values())
+
+
+def results_to_table(
+    results: Sequence[StoredResult],
+    title: str = "campaign results",
+    config_fields: Sequence[str] = CONFIG_FIELDS,
+    metric_fields: Sequence[str] = METRIC_FIELDS,
+) -> Table:
+    """Flatten results into one :class:`Table` row per scenario."""
+    columns = list(config_fields) + list(metric_fields)
+    table = Table(title=title, columns=columns)
+    for result in results:
+        row = _Row(result)
+        table.add_row(*[row.get(name) for name in columns])
+    return table
+
+
+def results_to_csv(
+    results: Sequence[StoredResult],
+    path: str,
+    config_fields: Sequence[str] = CONFIG_FIELDS,
+    metric_fields: Sequence[str] = METRIC_FIELDS,
+) -> int:
+    """Write one CSV row per result; returns the number of rows written."""
+    columns = list(config_fields) + list(metric_fields)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for result in results:
+            row = _Row(result)
+            writer.writerow([row.get(name) for name in columns])
+    return len(results)
+
+
+def store_to_csv(store: CampaignStore, path: str) -> int:
+    """Dump every ``done`` row of a store to CSV (see :func:`results_to_csv`)."""
+    results = [StoredResult(row.config, row.metrics) for row in store.rows(status="done")]
+    return results_to_csv(results, path)
+
+
+def summary_table(store: CampaignStore) -> Table:
+    """One-row status summary of a store (pending/running/done/failed)."""
+    counts = store.counts()
+    table = Table(title=f"campaign {store.path}", columns=list(counts) + ["total"])
+    table.add_row(*counts.values(), sum(counts.values()))
+    return table

@@ -1,0 +1,122 @@
+"""Stored-metrics result objects.
+
+A campaign worker cannot ship the whole :class:`~repro.experiments.runner.
+ScenarioResult` back through the store (it holds the full simulated
+application state); instead it stores the JSON *metrics payload* — every
+scalar the figures read, plus the per-stage checkpoint breakdown.
+:class:`StoredResult` wraps that payload behind the same property API as
+``ScenarioResult``, so figure code works identically on live and on stored
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.metrics import CheckpointBreakdown
+from repro.experiments.config import ScenarioConfig
+
+#: payload format version, bump when the metric set changes so stale stores
+#: are detected instead of silently missing keys
+PAYLOAD_VERSION = 1
+
+
+def metrics_payload(result) -> Dict[str, object]:
+    """Extract the JSON-safe metrics payload from a ``ScenarioResult``."""
+    breakdown = result.breakdown()
+    return {
+        "version": PAYLOAD_VERSION,
+        "makespan": result.makespan,
+        "aggregate_checkpoint_time": result.aggregate_checkpoint_time,
+        "aggregate_coordination_time": result.aggregate_coordination_time,
+        "aggregate_restart_time": result.aggregate_restart_time,
+        "resend_bytes": result.resend_bytes,
+        "resend_operations": result.resend_operations,
+        "checkpoints_completed": result.checkpoints_completed,
+        "mean_checkpoint_duration": result.mean_checkpoint_duration,
+        "gap_fraction": result.gap_fraction,
+        "breakdown_stages": dict(breakdown.stages),
+        "breakdown_n_records": breakdown.n_records,
+        "n_groups": (len(result.groupset.all_groups())
+                     if result.groupset is not None else None),
+    }
+
+
+class StoredResult:
+    """Metrics of one finished scenario, read back from the campaign store.
+
+    Exposes the same metric properties as
+    :class:`~repro.experiments.runner.ScenarioResult` so the figure
+    generators accept either interchangeably.
+    """
+
+    def __init__(self, config: ScenarioConfig, metrics: Dict[str, object]) -> None:
+        self.config = config
+        self.metrics = metrics
+
+    # -- mirrored metric API ---------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        """End-to-end execution time of the application (including checkpoints)."""
+        return self.metrics["makespan"]
+
+    @property
+    def aggregate_checkpoint_time(self) -> float:
+        """Sum of per-process checkpoint durations."""
+        return self.metrics["aggregate_checkpoint_time"]
+
+    @property
+    def aggregate_coordination_time(self) -> float:
+        """Sum of per-process coordination time (checkpoint minus image dump)."""
+        return self.metrics["aggregate_coordination_time"]
+
+    @property
+    def aggregate_restart_time(self) -> float:
+        """Sum of per-process restart durations (0 if restart was not simulated)."""
+        return self.metrics["aggregate_restart_time"]
+
+    @property
+    def resend_bytes(self) -> int:
+        """Total bytes replayed during restart."""
+        return self.metrics["resend_bytes"]
+
+    @property
+    def resend_operations(self) -> int:
+        """Total resend operations during restart."""
+        return self.metrics["resend_operations"]
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Number of checkpoint waves completed."""
+        return self.metrics["checkpoints_completed"]
+
+    @property
+    def mean_checkpoint_duration(self) -> float:
+        """Average per-process checkpoint duration."""
+        return self.metrics["mean_checkpoint_duration"]
+
+    @property
+    def gap_fraction(self) -> float:
+        """Fraction of checkpoint-window time with no application progress."""
+        return self.metrics["gap_fraction"]
+
+    @property
+    def n_groups(self) -> Optional[int]:
+        """Number of groups the protocol used (None for VCL)."""
+        return self.metrics.get("n_groups")
+
+    def breakdown(self) -> CheckpointBreakdown:
+        """Average per-stage checkpoint breakdown (Figure 9)."""
+        return CheckpointBreakdown(
+            stages=dict(self.metrics.get("breakdown_stages", {})),
+            n_records=self.metrics.get("breakdown_n_records", 0),
+        )
+
+    def scalar(self, name: str) -> object:
+        """Look up one payload entry by name (for export helpers)."""
+        return self.metrics[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (f"<StoredResult {cfg.workload}/{cfg.method}/n={cfg.n_ranks}/"
+                f"seed={cfg.seed} makespan={self.makespan:.3f}>")

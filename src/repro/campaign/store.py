@@ -1,0 +1,364 @@
+"""Persistent experiment store on stdlib ``sqlite3``.
+
+Each row of the ``experiments`` table is one scenario, keyed by a stable
+content-hash of its :class:`~repro.experiments.config.ScenarioConfig`.  The
+store is the single source of truth shared by all workers of a campaign:
+workers *claim* pending rows (an atomic ``pending → running`` transition),
+execute them, and write the metrics payload back.  Because the key is a pure
+function of the config, re-adding an already-``done`` scenario is a no-op and
+its result is served from the store without re-running the simulation.
+
+The store works with a file path (shared across processes; WAL mode) or with
+``":memory:"`` for throwaway in-process campaigns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.ckpt.scheduler import CheckpointSchedule
+from repro.cluster.network import NetworkSpec
+from repro.cluster.node import NodeSpec
+from repro.cluster.storage import StorageSpec
+from repro.cluster.topology import ClusterSpec
+from repro.experiments.config import ScenarioConfig
+
+#: experiment lifecycle states
+STATUSES: Tuple[str, ...] = ("pending", "running", "done", "failed")
+
+
+# ------------------------------------------------------------- config (de)serialisation
+def _schedule_to_dict(schedule: Optional[CheckpointSchedule]) -> Optional[Dict[str, object]]:
+    if schedule is None:
+        return None
+    return {
+        "times": list(schedule.times),
+        "interval_s": schedule.interval_s,
+        "first_at": schedule.first_at,
+        "max_checkpoints": schedule.max_checkpoints,
+    }
+
+
+def _schedule_from_dict(data: Optional[Dict[str, object]]) -> Optional[CheckpointSchedule]:
+    if data is None:
+        return None
+    return CheckpointSchedule(
+        times=tuple(data.get("times", ())),
+        interval_s=data.get("interval_s"),
+        first_at=data.get("first_at"),
+        max_checkpoints=data.get("max_checkpoints"),
+    )
+
+
+def _cluster_from_dict(data: Dict[str, object]) -> ClusterSpec:
+    data = dict(data)
+    data["node"] = NodeSpec(**data["node"])
+    data["network"] = NetworkSpec(**data["network"])
+    data["local_storage"] = StorageSpec(**data["local_storage"])
+    data["remote_storage"] = StorageSpec(**data["remote_storage"])
+    return ClusterSpec(**data)
+
+
+def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
+    """JSON-safe dictionary fully describing a :class:`ScenarioConfig`."""
+    return {
+        "workload": config.workload,
+        "n_ranks": config.n_ranks,
+        "method": config.method,
+        "schedule": _schedule_to_dict(config.schedule),
+        "cluster": dataclasses.asdict(config.cluster),
+        "seed": config.seed,
+        "workload_options": dict(config.workload_options),
+        "max_group_size": config.max_group_size,
+        "do_restart": config.do_restart,
+    }
+
+
+def config_from_dict(data: Dict[str, object]) -> ScenarioConfig:
+    """Rebuild a :class:`ScenarioConfig` from :func:`config_to_dict` output."""
+    return ScenarioConfig(
+        workload=data["workload"],
+        n_ranks=data["n_ranks"],
+        method=data["method"],
+        schedule=_schedule_from_dict(data.get("schedule")),
+        cluster=_cluster_from_dict(data["cluster"]),
+        seed=data.get("seed", 0),
+        workload_options=dict(data.get("workload_options", {})),
+        max_group_size=data.get("max_group_size"),
+        do_restart=data.get("do_restart", True),
+    )
+
+
+def scenario_key(config: ScenarioConfig) -> str:
+    """Stable content-hash of a scenario config (the store's primary key).
+
+    Two configs with equal field values always map to the same key, across
+    processes and interpreter runs (``PYTHONHASHSEED`` has no effect).
+    """
+    canonical = json.dumps(config_to_dict(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------------- row type
+@dataclass
+class ExperimentRow:
+    """One experiment as stored in the database."""
+
+    key: str
+    config: ScenarioConfig
+    status: str
+    metrics: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    worker: Optional[str] = None
+    attempts: int = 0
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    duration_s: Optional[float] = None
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS experiments (
+    key         TEXT PRIMARY KEY,
+    config      TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'pending',
+    metrics     TEXT,
+    error       TEXT,
+    worker      TEXT,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL,
+    duration_s  REAL
+);
+CREATE INDEX IF NOT EXISTS idx_experiments_status ON experiments (status);
+"""
+
+_COLUMNS = ("key", "config", "status", "metrics", "error", "worker",
+            "attempts", "created_at", "started_at", "finished_at", "duration_s")
+
+
+class CampaignStore:
+    """SQLite-backed experiment store shared by campaign workers.
+
+    Parameters
+    ----------
+    path:
+        Database file, or ``":memory:"`` for an in-process throwaway store
+        (an in-memory store cannot be shared with worker processes).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        self._conn = sqlite3.connect(path, timeout=60.0, isolation_level=None)
+        if not self.is_memory:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA busy_timeout=60000")
+        self._conn.executescript(_SCHEMA)
+
+    @property
+    def is_memory(self) -> bool:
+        """True for ``":memory:"`` stores (not shareable across processes)."""
+        return self.path == ":memory:"
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._conn.close()
+
+    # -- writing ----------------------------------------------------------------------
+    def add(self, config: ScenarioConfig) -> str:
+        """Register a scenario (no-op if its key already exists) and return its key."""
+        key = scenario_key(config)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO experiments (key, config, status, created_at) "
+            "VALUES (?, ?, 'pending', ?)",
+            (key, json.dumps(config_to_dict(config), sort_keys=True), time.time()),
+        )
+        return key
+
+    def add_many(self, configs: Iterable[ScenarioConfig]) -> List[str]:
+        """Register several scenarios in one transaction; keys in input order."""
+        conn = self._conn
+        keys: List[str] = []
+        now = time.time()
+        try:
+            conn.execute("BEGIN")
+            for config in configs:
+                key = scenario_key(config)
+                conn.execute(
+                    "INSERT OR IGNORE INTO experiments (key, config, status, created_at) "
+                    "VALUES (?, ?, 'pending', ?)",
+                    (key, json.dumps(config_to_dict(config), sort_keys=True), now),
+                )
+                keys.append(key)
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        return keys
+
+    def claim(
+        self, worker: str = "worker", keys: Optional[Sequence[str]] = None
+    ) -> Optional[ExperimentRow]:
+        """Atomically claim one ``pending`` experiment (``pending → running``).
+
+        Returns None when no pending experiment is left.  ``keys`` restricts
+        the claim to those experiments (None = any pending row — the
+        whole-store pull model).  The claim is a single ``BEGIN IMMEDIATE``
+        transaction, so concurrent workers on the same database never claim
+        the same row twice.
+        """
+        conn = self._conn
+        query = "SELECT key FROM experiments WHERE status = 'pending'"
+        params: Tuple = ()
+        if keys is not None:
+            if not keys:
+                return None
+            query += f" AND key IN ({','.join('?' for _ in keys)})"
+            params = tuple(keys)
+        query += " ORDER BY created_at, key LIMIT 1"
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            picked = conn.execute(query, params).fetchone()
+            if picked is None:
+                conn.execute("COMMIT")
+                return None
+            conn.execute(
+                "UPDATE experiments SET status = 'running', worker = ?, "
+                "attempts = attempts + 1, started_at = ? WHERE key = ?",
+                (worker, time.time(), picked[0]),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            if conn.in_transaction:
+                conn.execute("ROLLBACK")
+            raise
+        return self.get(picked[0])
+
+    def mark_done(self, key: str, metrics: Dict[str, object],
+                  duration_s: Optional[float] = None) -> bool:
+        """Record a successful run's metrics payload (``running → done``).
+
+        Only transitions rows currently ``running`` — a stale worker whose
+        claim was re-opened and finished by someone else cannot clobber the
+        stored result.  Returns whether the row was updated.
+        """
+        cur = self._conn.execute(
+            "UPDATE experiments SET status = 'done', metrics = ?, error = NULL, "
+            "finished_at = ?, duration_s = ? WHERE key = ? AND status = 'running'",
+            (json.dumps(metrics, sort_keys=True), time.time(), duration_s, key),
+        )
+        return cur.rowcount > 0
+
+    def mark_failed(self, key: str, error: str) -> bool:
+        """Record a failed run's traceback (``running → failed``).
+
+        Like :meth:`mark_done`, only transitions ``running`` rows, so a
+        duplicate execution dying late cannot discard a valid ``done``
+        result.  Returns whether the row was updated.
+        """
+        cur = self._conn.execute(
+            "UPDATE experiments SET status = 'failed', error = ?, finished_at = ? "
+            "WHERE key = ? AND status = 'running'",
+            (error, time.time(), key),
+        )
+        return cur.rowcount > 0
+
+    def reset(
+        self,
+        statuses: Sequence[str] = ("running", "failed"),
+        keys: Optional[Sequence[str]] = None,
+    ) -> int:
+        """Return experiments in ``statuses`` to ``pending`` (for resume).
+
+        ``running`` rows belong to workers that crashed mid-experiment;
+        ``failed`` rows carry a traceback from a previous attempt.  ``keys``
+        restricts the reset to those experiments (None = the whole store).
+        Returns the number of rows reset.
+        """
+        for status in statuses:
+            if status not in STATUSES:
+                raise ValueError(f"unknown status {status!r}; expected one of {STATUSES}")
+        marks = ",".join("?" for _ in statuses)
+        query = (f"UPDATE experiments SET status = 'pending', worker = NULL, error = NULL "
+                 f"WHERE status IN ({marks})")
+        params = list(statuses)
+        if keys is not None:
+            if not keys:
+                return 0
+            query += f" AND key IN ({','.join('?' for _ in keys)})"
+            params += list(keys)
+        cur = self._conn.execute(query, tuple(params))
+        return cur.rowcount
+
+    def clear(self) -> None:
+        """Delete every experiment (mainly for tests)."""
+        self._conn.execute("DELETE FROM experiments")
+
+    # -- reading ----------------------------------------------------------------------
+    def _row(self, raw: Tuple) -> ExperimentRow:
+        data = dict(zip(_COLUMNS, raw))
+        return ExperimentRow(
+            key=data["key"],
+            config=config_from_dict(json.loads(data["config"])),
+            status=data["status"],
+            metrics=json.loads(data["metrics"]) if data["metrics"] else None,
+            error=data["error"],
+            worker=data["worker"],
+            attempts=data["attempts"],
+            created_at=data["created_at"],
+            started_at=data["started_at"],
+            finished_at=data["finished_at"],
+            duration_s=data["duration_s"],
+        )
+
+    def get(self, key_or_config) -> Optional[ExperimentRow]:
+        """Look up one experiment by key or by config (None if absent)."""
+        key = (key_or_config if isinstance(key_or_config, str)
+               else scenario_key(key_or_config))
+        raw = self._conn.execute(
+            f"SELECT {','.join(_COLUMNS)} FROM experiments WHERE key = ?", (key,)
+        ).fetchone()
+        return self._row(raw) if raw is not None else None
+
+    def rows(self, status: Optional[str] = None) -> List[ExperimentRow]:
+        """All experiments, optionally filtered by status, oldest first."""
+        query = f"SELECT {','.join(_COLUMNS)} FROM experiments"
+        params: Tuple = ()
+        if status is not None:
+            query += " WHERE status = ?"
+            params = (status,)
+        query += " ORDER BY created_at, key"
+        return [self._row(raw) for raw in self._conn.execute(query, params)]
+
+    def counts(self, keys: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Experiment count per status (zero-filled for absent statuses).
+
+        ``keys`` restricts the tally to those experiments.
+        """
+        out = {status: 0 for status in STATUSES}
+        query = "SELECT status, COUNT(*) FROM experiments"
+        params: Tuple = ()
+        if keys is not None:
+            if not keys:
+                return out
+            query += f" WHERE key IN ({','.join('?' for _ in keys)})"
+            params = tuple(keys)
+        query += " GROUP BY status"
+        for status, count in self._conn.execute(query, params):
+            out[status] = count
+        return out
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM experiments").fetchone()[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CampaignStore {self.path!r} {self.counts()}>"

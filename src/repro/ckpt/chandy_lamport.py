@@ -206,10 +206,12 @@ class VclProtocolFamily(ProtocolFamily):
         config: Optional[ProtocolConfig] = None,
         vcl_config: Optional[VclConfig] = None,
         blcr: Optional[BlcrModel] = None,
+        name: str = "VCL",
     ) -> None:
         super().__init__(config)
         self.vcl_config = vcl_config if vcl_config is not None else VclConfig()
         self.blcr = blcr if blcr is not None else BlcrModel()
+        self.name = name
 
     def create(self, ctx: "RankContext", runtime: "MpiRuntime") -> VclRankProtocol:
         """Instantiate the per-rank protocol object."""

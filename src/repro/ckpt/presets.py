@@ -32,28 +32,35 @@ def norm_family(
     n_ranks: int,
     config: Optional[ProtocolConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> GroupProtocolFamily:
     """NORM: the original LAM/MPI global coordinated checkpoint (one group)."""
-    return GroupProtocolFamily(GroupSet.single(n_ranks), config=config, blcr=blcr, name="NORM")
+    return GroupProtocolFamily(
+        GroupSet.single(n_ranks), config=config, blcr=blcr, name=name or "NORM"
+    )
 
 
 def gp1_family(
     n_ranks: int,
     config: Optional[ProtocolConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> GroupProtocolFamily:
     """GP1: one process per group — uncoordinated checkpointing with message logging."""
-    return GroupProtocolFamily(GroupSet.singletons(n_ranks), config=config, blcr=blcr, name="GP1")
+    return GroupProtocolFamily(
+        GroupSet.singletons(n_ranks), config=config, blcr=blcr, name=name or "GP1"
+    )
 
 
 def gp4_family(
     n_ranks: int,
     config: Optional[ProtocolConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> GroupProtocolFamily:
     """GP4: four groups of sequential process ranks — an ad-hoc grouping."""
     return GroupProtocolFamily(
-        GroupSet.contiguous(n_ranks, 4), config=config, blcr=blcr, name="GP4"
+        GroupSet.contiguous(n_ranks, 4), config=config, blcr=blcr, name=name or "GP4"
     )
 
 
@@ -61,9 +68,10 @@ def gp_family(
     groups: GroupSet,
     config: Optional[ProtocolConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> GroupProtocolFamily:
     """GP: trace-assisted grouping (pass the GroupSet produced by Algorithm 2)."""
-    return GroupProtocolFamily(groups, config=config, blcr=blcr, name="GP")
+    return GroupProtocolFamily(groups, config=config, blcr=blcr, name=name or "GP")
 
 
 def gp_family_from_trace(
@@ -72,16 +80,19 @@ def gp_family_from_trace(
     max_group_size: Optional[int] = None,
     config: Optional[ProtocolConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> GroupProtocolFamily:
     """GP: run Algorithm 2 on ``trace`` and build the family in one step."""
     formation = form_groups(trace, max_group_size=max_group_size, n_ranks=n_ranks)
-    return gp_family(formation.groupset, config=config, blcr=blcr)
+    return gp_family(formation.groupset, config=config, blcr=blcr, name=name)
 
 
 def vcl_family(
     config: Optional[ProtocolConfig] = None,
     vcl_config: Optional[VclConfig] = None,
     blcr: Optional[BlcrModel] = None,
+    name: Optional[str] = None,
 ) -> VclProtocolFamily:
     """VCL: MPICH-VCL's non-blocking coordinated (Chandy–Lamport) protocol."""
-    return VclProtocolFamily(config=config, vcl_config=vcl_config, blcr=blcr)
+    return VclProtocolFamily(config=config, vcl_config=vcl_config, blcr=blcr,
+                             name=name or "VCL")

@@ -127,6 +127,11 @@ FULL = ExperimentProfile(
 )
 
 #: Reduced scales and problem sizes for fast integration tests.
+#:
+#: The periodic intervals must stay comfortably above the checkpoint *wave*
+#: duration at these scales (~6 s for NORM on HPL at 32 ranks): an interval
+#: below it starves the application — every cycle is spent checkpointing, the
+#: makespan diverges and the interval-sweep experiments effectively hang.
 QUICK = ExperimentProfile(
     name="quick",
     hpl_scales=(16, 32),
@@ -135,11 +140,13 @@ QUICK = ExperimentProfile(
     coordination_scales=(8, 16, 24),
     hpl_options={"problem_size": 6000, "block_size": 200, "max_steps": 12},
     cg_options={"na": 30000, "max_steps": 8},
-    sp_options={"grid_points": 64, "max_steps": 6, "time_steps": 60},
+    # time_steps keeps the SP run past checkpoint_at_s at every quick scale
+    # (at 25 ranks, 60 steps finish in ~1.97 s — before the t = 2 s request)
+    sp_options={"grid_points": 64, "max_steps": 6, "time_steps": 120},
     repeats=1,
     checkpoint_at_s=2.0,
-    interval_sweep_s=(0.0, 2.0, 4.0, 8.0),
-    vcl_interval_s=5.0,
+    interval_sweep_s=(0.0, 8.0, 14.0, 24.0),
+    vcl_interval_s=8.0,
 )
 
 

@@ -8,12 +8,16 @@ same rows/series the paper reports.  The benchmark harness prints them.
 
 Runs are shared between figures that the paper derives from the same
 experiment (e.g. Figures 5–9 all come from the HPL one-shot-checkpoint
-sweep), and cached per profile within the process.
+sweep) and executed through the :mod:`repro.campaign` engine: results are
+keyed by a content-hash of the scenario config in a (possibly persistent,
+see ``REPRO_CAMPAIGN_DB``) store, so repeated figure generation re-runs
+nothing and a cold sweep can use several worker processes
+(``REPRO_CAMPAIGN_WORKERS``, or :func:`repro.campaign.set_default_campaign`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING, Union
 
 from repro.analysis.reporting import Series, Table, series_table
 from repro.ckpt.base import STAGES
@@ -22,7 +26,11 @@ from repro.cluster.topology import GIDEON_300
 from repro.core.formation import form_groups, grouping_quality
 from repro.core.groups import GroupSet
 from repro.experiments.config import ExperimentProfile, FULL, ScenarioConfig
-from repro.experiments.runner import ScenarioResult, obtain_trace, run_scenario
+from repro.experiments.runner import ScenarioResult, obtain_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a circular import)
+    from repro.campaign.grid import ParameterGrid
+    from repro.campaign.results import StoredResult
 
 #: grouping methods compared in the HPL / CG experiments
 HPL_METHODS: Tuple[str, ...] = ("GP", "GP1", "GP4", "NORM")
@@ -32,10 +40,30 @@ SP_METHODS: Tuple[str, ...] = ("GP", "GP1", "NORM")
 #: so the formation bound is set to the grid height, as in Table 1
 HPL_MAX_GROUP_SIZE = 8
 
-_SWEEP_CACHE: Dict[Tuple[str, str], Dict[Tuple[str, int], ScenarioResult]] = {}
+#: figure code accepts live and stored results interchangeably
+SweepResult = Union[ScenarioResult, "StoredResult"]
 
 
 # ----------------------------------------------------------------------- shared sweeps
+def _run_all(configs: Sequence[ScenarioConfig]) -> List["StoredResult"]:
+    """Run configs through the default campaign (parallel, cached, resumable)."""
+    from repro.campaign.executor import get_default_campaign
+
+    return get_default_campaign().run(configs)
+
+
+def _grid(**kwargs) -> "ParameterGrid":
+    from repro.campaign.grid import ParameterGrid
+
+    return ParameterGrid(**kwargs)
+
+
+def _by_method_and_scale(
+    results: Sequence["StoredResult"],
+) -> Dict[Tuple[str, int], "StoredResult"]:
+    return {(r.config.method, r.config.n_ranks): r for r in results}
+
+
 def _hpl_config(profile: ExperimentProfile, n: int, method: str, schedule) -> ScenarioConfig:
     return ScenarioConfig(
         workload="hpl",
@@ -49,99 +77,93 @@ def _hpl_config(profile: ExperimentProfile, n: int, method: str, schedule) -> Sc
     )
 
 
-def hpl_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], ScenarioResult]:
+def hpl_grid(profile: ExperimentProfile = FULL) -> "ParameterGrid":
+    """The HPL one-shot-checkpoint grid (method × scale) as a declarative object.
+
+    The base is derived from :func:`_hpl_config` so the grid's scenarios and
+    figure1's individually built ones share content-hash keys (and therefore
+    store rows) by construction.
+    """
+    template = _hpl_config(profile, profile.hpl_scales[0], HPL_METHODS[0],
+                           one_shot(profile.checkpoint_at_s))
+    base = {field: getattr(template, field)
+            for field in ("workload", "schedule", "cluster", "workload_options",
+                          "max_group_size", "seed")}
+    return _grid(axes={"n_ranks": profile.hpl_scales, "method": HPL_METHODS}, base=base)
+
+
+def hpl_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], SweepResult]:
     """The HPL one-shot-checkpoint sweep shared by Figures 5, 6, 7, 8 and 9."""
-    key = ("hpl", profile.name)
-    if key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
-    out: Dict[Tuple[str, int], ScenarioResult] = {}
-    schedule = one_shot(profile.checkpoint_at_s)
-    for n in profile.hpl_scales:
-        for method in HPL_METHODS:
-            out[(method, n)] = run_scenario(_hpl_config(profile, n, method, schedule))
-    _SWEEP_CACHE[key] = out
-    return out
+    return _by_method_and_scale(_run_all(hpl_grid(profile).expand()))
 
 
-def cg_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], ScenarioResult]:
+def cg_grid(profile: ExperimentProfile = FULL) -> "ParameterGrid":
+    """The NPB CG one-shot-checkpoint grid behind Figure 11."""
+    return _grid(
+        axes={"n_ranks": profile.cg_scales, "method": HPL_METHODS},
+        base=dict(
+            workload="cg",
+            schedule=one_shot(profile.checkpoint_at_s),
+            workload_options=dict(profile.cg_options),
+            seed=7,
+        ),
+    )
+
+
+def cg_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], SweepResult]:
     """The NPB CG one-shot-checkpoint sweep behind Figure 11."""
-    key = ("cg", profile.name)
-    if key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
-    out: Dict[Tuple[str, int], ScenarioResult] = {}
-    schedule = one_shot(profile.checkpoint_at_s)
-    for n in profile.cg_scales:
-        for method in HPL_METHODS:
-            out[(method, n)] = run_scenario(
-                ScenarioConfig(
-                    workload="cg",
-                    n_ranks=n,
-                    method=method,
-                    schedule=schedule,
-                    workload_options=dict(profile.cg_options),
-                    seed=7,
-                )
-            )
-    _SWEEP_CACHE[key] = out
-    return out
+    return _by_method_and_scale(_run_all(cg_grid(profile).expand()))
 
 
-def sp_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], ScenarioResult]:
+def sp_grid(profile: ExperimentProfile = FULL) -> "ParameterGrid":
+    """The NPB SP one-shot-checkpoint grid behind Figure 12 (GP4 is not applicable)."""
+    return _grid(
+        axes={"n_ranks": profile.sp_scales, "method": SP_METHODS},
+        base=dict(
+            workload="sp",
+            schedule=one_shot(profile.checkpoint_at_s),
+            workload_options=dict(profile.sp_options),
+            seed=7,
+        ),
+    )
+
+
+def sp_sweep(profile: ExperimentProfile = FULL) -> Dict[Tuple[str, int], SweepResult]:
     """The NPB SP one-shot-checkpoint sweep behind Figure 12 (GP4 is not applicable)."""
-    key = ("sp", profile.name)
-    if key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
-    out: Dict[Tuple[str, int], ScenarioResult] = {}
-    schedule = one_shot(profile.checkpoint_at_s)
-    for n in profile.sp_scales:
-        for method in SP_METHODS:
-            out[(method, n)] = run_scenario(
-                ScenarioConfig(
-                    workload="sp",
-                    n_ranks=n,
-                    method=method,
-                    schedule=schedule,
-                    workload_options=dict(profile.sp_options),
-                    seed=7,
-                )
-            )
-    _SWEEP_CACHE[key] = out
-    return out
+    return _by_method_and_scale(_run_all(sp_grid(profile).expand()))
 
 
 def remote_storage_sweep(
     profile: ExperimentProfile = FULL, n_checkpoints: int = 3
-) -> Dict[Tuple[str, int], ScenarioResult]:
+) -> Dict[Tuple[str, int], SweepResult]:
     """The CG remote-storage comparison behind Figures 13 and 14 (GP vs VCL).
 
     The paper triggers MPICH-VCL every 120 s and then forces GP to take the
     *same number* of checkpoints; with the simulator's shorter executions the
     fair equivalent is a fixed number of evenly spaced checkpoints per run.
     """
-    key = (f"remote{n_checkpoints}", profile.name)
-    if key in _SWEEP_CACHE:
-        return _SWEEP_CACHE[key]
-    out: Dict[Tuple[str, int], ScenarioResult] = {}
     cluster = GIDEON_300.with_remote_checkpointing(4)
-    for n in profile.cg_scales:
-        # Estimate the no-checkpoint execution time once to place the requests.
-        probe = run_scenario(
-            ScenarioConfig(
-                workload="cg",
-                n_ranks=n,
-                method="NORM",
-                schedule=None,
-                cluster=cluster,
-                workload_options=dict(profile.cg_options),
-                do_restart=False,
-                seed=7,
-            )
+    # Estimate the no-checkpoint execution time per scale to place the requests.
+    probes = _run_all([
+        ScenarioConfig(
+            workload="cg",
+            n_ranks=n,
+            method="NORM",
+            schedule=None,
+            cluster=cluster,
+            workload_options=dict(profile.cg_options),
+            do_restart=False,
+            seed=7,
         )
+        for n in profile.cg_scales
+    ])
+    configs = []
+    for n, probe in zip(profile.cg_scales, probes):
         horizon = probe.makespan
         times = tuple(horizon * (i + 1) / (n_checkpoints + 1) for i in range(n_checkpoints))
         schedule = CheckpointSchedule(times=times)
         for method in ("GP", "VCL"):
-            out[(method, n)] = run_scenario(
+            configs.append(
                 ScenarioConfig(
                     workload="cg",
                     n_ranks=n,
@@ -153,13 +175,23 @@ def remote_storage_sweep(
                     seed=7,
                 )
             )
-    _SWEEP_CACHE[key] = out
-    return out
+    return _by_method_and_scale(_run_all(configs))
 
 
 def clear_sweep_cache() -> None:
-    """Forget cached sweeps (mainly for tests)."""
-    _SWEEP_CACHE.clear()
+    """Forget cached sweeps (mainly for tests).
+
+    Drops the auto-created (in-memory) default campaign.  An explicitly
+    installed campaign — e.g. the benchmark harness's persistent store — is
+    left untouched: its database is an authoritative result archive, not a
+    throwaway memo.  The same applies to a store selected via
+    ``REPRO_CAMPAIGN_DB``: the handle is dropped but the file (and its
+    ``done`` rows) persists — delete the file to force cold re-runs after
+    changing simulator internals.
+    """
+    from repro.campaign.executor import reset_default_campaign
+
+    reset_default_campaign(only_auto=True)
 
 
 # ------------------------------------------------------------------------------ Figure 1
@@ -171,8 +203,9 @@ def figure1(profile: ExperimentProfile = FULL) -> Dict[str, object]:
     """
     series = Series(name="NORM aggregate coordination time (s)")
     schedule = one_shot(profile.checkpoint_at_s)
-    for n in profile.coordination_scales:
-        result = run_scenario(_hpl_config(profile, n, "NORM", schedule))
+    results = _run_all([_hpl_config(profile, n, "NORM", schedule)
+                        for n in profile.coordination_scales])
+    for n, result in zip(profile.coordination_scales, results):
         series.append(n, result.aggregate_coordination_time)
     table = series_table("Figure 1: checkpoint coordination time (HPL, global coordinated)",
                          [series], x_label="processes")
@@ -196,19 +229,20 @@ def figure2(profile: ExperimentProfile = FULL) -> Dict[str, object]:
         columns=["processes", "execution time (s)", "checkpoints", "mean ckpt (s)", "gap fraction"],
     )
     gap_series = Series(name="VCL gap fraction")
-    for n in scales:
-        result = run_scenario(
-            ScenarioConfig(
-                workload="cg",
-                n_ranks=n,
-                method="VCL",
-                schedule=periodic(profile.vcl_interval_s),
-                cluster=cluster,
-                workload_options=dict(profile.cg_options),
-                do_restart=False,
-                seed=7,
-            )
+    results = _run_all([
+        ScenarioConfig(
+            workload="cg",
+            n_ranks=n,
+            method="VCL",
+            schedule=periodic(profile.vcl_interval_s),
+            cluster=cluster,
+            workload_options=dict(profile.cg_options),
+            do_restart=False,
+            seed=7,
         )
+        for n in scales
+    ])
+    for n, result in zip(scales, results):
         gap = result.gap_fraction
         gap_series.append(n, gap)
         table.add_row(n, result.makespan, result.checkpoints_completed,
@@ -363,21 +397,26 @@ def figure10(
         options["problem_size"] = 56000
     exec_series = {m: Series(name=f"{m} time") for m in ("GP", "NORM")}
     count_series = {m: Series(name=f"{m} #CKPT") for m in ("GP", "NORM")}
+    schedules = {interval: None if interval == 0 else periodic(interval)
+                 for interval in profile.interval_sweep_s}
+    grid = _grid(
+        axes={
+            "schedule": tuple(schedules.values()),
+            "method": ("GP", "NORM"),
+        },
+        base=dict(
+            workload="hpl",
+            n_ranks=n,
+            workload_options=options,
+            max_group_size=HPL_MAX_GROUP_SIZE,
+            do_restart=False,
+            seed=7,
+        ),
+    )
+    by_point = {(r.config.schedule, r.config.method): r for r in _run_all(grid.expand())}
     for interval in profile.interval_sweep_s:
-        schedule = None if interval == 0 else periodic(interval)
         for method in ("GP", "NORM"):
-            result = run_scenario(
-                ScenarioConfig(
-                    workload="hpl",
-                    n_ranks=n,
-                    method=method,
-                    schedule=schedule,
-                    workload_options=options,
-                    max_group_size=HPL_MAX_GROUP_SIZE,
-                    do_restart=False,
-                    seed=7,
-                )
-            )
+            result = by_point[(schedules[interval], method)]
             exec_series[method].append(interval, result.makespan)
             count_series[method].append(interval, result.checkpoints_completed)
     all_series = list(exec_series.values()) + list(count_series.values())

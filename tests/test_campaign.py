@@ -1,0 +1,362 @@
+"""Tests for the campaign engine (grids, store, executor, exports)."""
+
+import csv
+import os
+import pickle
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CampaignStore,
+    ParameterGrid,
+    StoredResult,
+    campaign_worker,
+    config_from_dict,
+    config_to_dict,
+    execute_scenario,
+    metrics_payload,
+    results_to_csv,
+    results_to_series,
+    results_to_table,
+    scenario_key,
+    set_default_campaign,
+    summary_table,
+)
+from repro.ckpt.scheduler import one_shot, periodic
+from repro.cluster.topology import GIDEON_300
+from repro.experiments.config import QUICK, ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+RING_OPTS = {"iterations": 6, "compute_seconds": 0.05}
+
+
+def ring_config(method="NORM", seed=1, **kwargs):
+    base = dict(workload="ring", n_ranks=4, method=method, schedule=one_shot(0.2),
+                workload_options=dict(RING_OPTS), seed=seed)
+    base.update(kwargs)
+    return ScenarioConfig(**base)
+
+
+def ring_grid():
+    return ParameterGrid(
+        axes={"method": ("NORM", "GP1"), "seed": (1, 2)},
+        base=dict(workload="ring", n_ranks=4, schedule=one_shot(0.2),
+                  workload_options=dict(RING_OPTS)),
+    )
+
+
+# ------------------------------------------------------------------- keys & round-trips
+def test_scenario_key_is_stable_and_sensitive():
+    a = ring_config()
+    b = ring_config()
+    assert scenario_key(a) == scenario_key(b)
+    # every varying field must change the key
+    assert scenario_key(a) != scenario_key(ring_config(seed=2))
+    assert scenario_key(a) != scenario_key(ring_config(method="GP1"))
+    assert scenario_key(a) != scenario_key(ring_config(schedule=one_shot(0.3)))
+    assert scenario_key(a) != scenario_key(
+        ring_config(cluster=GIDEON_300.with_remote_checkpointing(2)))
+    # option-dict insertion order must not matter
+    c = ring_config(workload_options={"compute_seconds": 0.05, "iterations": 6})
+    assert scenario_key(a) == scenario_key(c)
+
+
+def test_config_round_trip_through_json():
+    for config in (
+        ring_config(),
+        ring_config(schedule=None),
+        ring_config(schedule=periodic(3.0, first_at=1.0, max_checkpoints=4)),
+        ring_config(cluster=GIDEON_300.with_remote_checkpointing(3),
+                    max_group_size=2, do_restart=False),
+    ):
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert scenario_key(rebuilt) == scenario_key(config)
+
+
+def test_worker_entry_points_are_picklable():
+    # the executor path must survive any multiprocessing start method
+    assert pickle.loads(pickle.dumps(execute_scenario)) is execute_scenario
+    assert pickle.loads(pickle.dumps(campaign_worker)) is campaign_worker
+    pickle.dumps(ring_config())
+
+
+# ----------------------------------------------------------------------------- the grid
+def test_grid_expands_cartesian_product_in_order():
+    grid = ring_grid()
+    configs = grid.expand()
+    assert len(grid) == 4 and len(configs) == 4
+    # first axis varies slowest
+    assert [(c.method, c.seed) for c in configs] == [
+        ("NORM", 1), ("NORM", 2), ("GP1", 1), ("GP1", 2)]
+
+
+def test_grid_per_axis_overrides_and_dedup():
+    grid = ParameterGrid(
+        axes={"workload": ("ring", "halo2d"), "n_ranks": (4, 9)},
+        base=dict(method="GP1", workload_options={"iterations": 3}),
+        overrides={"workload": {"halo2d": {"workload_options": {"iterations": 2}}}},
+    )
+    configs = grid.expand()
+    assert len(configs) == 4
+    by_workload = {c.workload: c for c in configs}
+    assert by_workload["ring"].workload_options == {"iterations": 3}
+    assert by_workload["halo2d"].workload_options == {"iterations": 2}
+    # a redundant axis value collapses via content-hash dedup
+    dup = ParameterGrid(axes={"seed": (1, 1)}, base=dict(workload="ring", n_ranks=4))
+    assert len(dup.expand()) == 1
+
+
+def test_grid_rejects_unknown_fields():
+    with pytest.raises(ValueError):
+        ParameterGrid(axes={"bogus": (1,)}, base=dict(workload="ring", n_ranks=4))
+    with pytest.raises(ValueError):
+        ParameterGrid(axes={"seed": (1,)}, base=dict(nope=2))
+    with pytest.raises(ValueError):
+        ParameterGrid(axes={"seed": (1,)}, base=dict(workload="ring", n_ranks=4),
+                      overrides={"seed": {1: {"bad_field": 0}}})
+    # an override for a value that is not on the axis would be silently inert
+    with pytest.raises(ValueError):
+        ParameterGrid(axes={"workload": ("ring",)}, base=dict(n_ranks=4),
+                      overrides={"workload": {"Ring": {"max_group_size": 2}}})
+
+
+# ---------------------------------------------------------------------------- the store
+def test_store_round_trip_and_status_flow():
+    store = CampaignStore(":memory:")
+    config = ring_config()
+    key = store.add(config)
+    assert store.add(config) == key  # idempotent
+    assert len(store) == 1
+    assert store.counts()["pending"] == 1
+
+    row = store.claim("w1")
+    assert row is not None and row.key == key
+    assert row.status == "running" and row.worker == "w1" and row.attempts == 1
+    assert row.config == config
+    assert store.claim("w2") is None  # nothing else pending
+
+    store.mark_done(key, {"makespan": 1.5}, duration_s=0.1)
+    row = store.get(config)
+    assert row.status == "done"
+    assert row.metrics == {"makespan": 1.5}
+    assert row.duration_s == 0.1
+    assert [r.key for r in store.rows(status="done")] == [key]
+
+
+def test_store_failure_and_reset():
+    store = CampaignStore(":memory:")
+    k1 = store.add(ring_config(seed=1))
+    k2 = store.add(ring_config(seed=2))
+    store.claim("w1")
+    store.claim("w1")
+    store.mark_failed(k1, "Traceback: boom")
+    # k2 stays 'running' — its worker "crashed"
+    assert store.counts() == {"pending": 0, "running": 1, "done": 0, "failed": 1}
+    assert store.get(k1).error == "Traceback: boom"
+    assert store.reset(("running", "failed")) == 2
+    assert store.counts()["pending"] == 2
+    assert store.get(k1).error is None
+
+
+# ------------------------------------------------------------------------- the campaign
+def test_campaign_runs_and_serves_cache_hits():
+    campaign = Campaign()
+    configs = ring_grid().expand()
+    results = campaign.run(configs)
+    assert campaign.last_executed == len(configs)
+    assert all(isinstance(r, StoredResult) for r in results)
+    # results arrive in input order and are the real simulation metrics
+    direct = run_scenario(configs[0])
+    assert results[0].makespan == direct.makespan
+    assert results[0].aggregate_checkpoint_time == direct.aggregate_checkpoint_time
+    assert results[0].breakdown().n_records == direct.breakdown().n_records
+
+    again = campaign.run(configs)
+    assert campaign.last_executed == 0  # all served from 'done' rows
+    assert [r.makespan for r in again] == [r.makespan for r in results]
+    assert all(row.attempts == 1 for row in campaign.store.rows())
+
+
+def test_campaign_records_failure_and_retries_on_rerun():
+    campaign = Campaign()
+    good = ring_config(seed=3)
+    bad = ring_config(seed=4, workload_options={"bogus_option": 1})
+    with pytest.raises(CampaignError) as err:
+        campaign.run([good, bad])
+    assert "bogus_option" in str(err.value)
+    assert campaign.counts()["done"] == 1 and campaign.counts()["failed"] == 1
+
+    # a plain re-run retries the failed row (resume semantics) but never the
+    # done one; non-strict returns None for the row that failed again
+    results = campaign.run([good, bad], strict=False)
+    assert campaign.last_executed == 1
+    assert results[0] is not None and results[1] is None
+    assert campaign.store.get(bad).status == "failed"
+    assert campaign.store.get(bad).attempts == 2
+    assert campaign.store.get(good).attempts == 1
+
+
+def test_stale_worker_cannot_clobber_finished_rows():
+    store = CampaignStore(":memory:")
+    key = store.add(ring_config())
+    store.claim("a")
+    assert store.mark_done(key, {"version": 1, "makespan": 1.0})
+    # worker "a"'s duplicate execution dying late must not discard the result
+    assert not store.mark_failed(key, "late crash")
+    assert not store.mark_done(key, {"version": 1, "makespan": 2.0})
+    row = store.get(key)
+    assert row.status == "done" and row.metrics["makespan"] == 1.0
+
+
+def test_run_invalidates_rows_from_older_payload_versions():
+    campaign = Campaign()
+    config = ring_config()
+    key = campaign.store.add(config)
+    campaign.store.claim("old-build")
+    campaign.store.mark_done(key, {"version": 0, "makespan": -1.0})
+    results = campaign.run([config])
+    assert campaign.last_executed == 1  # stale row re-ran instead of serving
+    assert results[0].makespan > 0
+    assert campaign.store.get(key).metrics["version"] > 0
+
+
+def test_campaign_run_is_scoped_but_resume_drains_the_store():
+    # run() must not execute unrelated pending rows sharing the store
+    # (a quick figure must never trigger someone's paper-scale backlog);
+    # resume() is the explicit whole-store drain.
+    campaign = Campaign()
+    unrelated = ring_config(seed=99)
+    campaign.store.add(unrelated)
+    requested = [ring_config(seed=1)]
+    results = campaign.run(requested)
+    assert len(results) == 1 and campaign.last_executed == 1
+    assert campaign.store.get(unrelated).status == "pending"
+    assert campaign.resume() == 1
+    assert campaign.store.get(unrelated).status == "done"
+
+
+def test_campaign_rerun_recovers_orphaned_running_rows():
+    # "interrupt, then simply re-run" — rows left 'running' by a crashed
+    # worker are re-opened by the next run() over the same configs
+    campaign = Campaign()
+    configs = ring_grid().expand()
+    campaign.store.add_many(configs)
+    crashed = campaign.store.claim("doomed-worker")
+    results = campaign.run(configs)
+    assert len(results) == len(configs)
+    assert campaign.counts()["done"] == len(configs)
+    assert campaign.store.get(crashed.key).attempts == 2
+
+
+def test_campaign_resume_after_simulated_worker_crash(tmp_path):
+    path = str(tmp_path / "campaign.sqlite")
+    campaign = Campaign(CampaignStore(path))
+    configs = ring_grid().expand()
+    campaign.store.add_many(configs)
+    # a worker claims a row and "crashes" before writing anything back
+    crashed = campaign.store.claim("doomed-worker")
+    assert crashed is not None
+    assert campaign.counts()["running"] == 1
+
+    executed = campaign.resume()
+    assert executed == len(configs)
+    assert campaign.counts() == {"pending": 0, "running": 0,
+                                 "done": len(configs), "failed": 0}
+    # the crashed row was re-claimed by a fresh worker and finished
+    row = campaign.store.get(crashed.key)
+    assert row.status == "done" and row.attempts == 2
+    assert row.worker != "doomed-worker"
+
+
+def test_parallel_campaign_matches_sequential(tmp_path):
+    configs = ring_grid().expand()
+    sequential = [run_scenario(config) for config in configs]
+
+    campaign = Campaign(CampaignStore(str(tmp_path / "par.sqlite")), n_workers=2)
+    results = campaign.run(configs)
+    for got, want in zip(results, sequential):
+        assert got.makespan == want.makespan
+        assert got.aggregate_checkpoint_time == want.aggregate_checkpoint_time
+        assert got.aggregate_restart_time == want.aggregate_restart_time
+        assert got.checkpoints_completed == want.checkpoints_completed
+
+
+def test_parallel_campaign_requires_file_store():
+    with pytest.raises(ValueError):
+        Campaign(CampaignStore(":memory:"), n_workers=2)
+
+
+# ------------------------------------------------------- the figure sweeps run on top
+def test_hpl_sweep_quick_parallel_matches_sequential_and_caches(tmp_path):
+    """Acceptance: cold hpl_sweep(QUICK) with 2 workers == sequential; warm run free."""
+    from repro.experiments import figures
+
+    grid = figures.hpl_grid(QUICK)
+    configs = grid.expand()
+    assert len(configs) == len(QUICK.hpl_scales) * len(figures.HPL_METHODS)
+    sequential = {
+        (c.method, c.n_ranks): metrics_payload(run_scenario(c)) for c in configs
+    }
+
+    campaign = Campaign(CampaignStore(str(tmp_path / "hpl.sqlite")), n_workers=2)
+    set_default_campaign(campaign)
+    try:
+        cold = figures.hpl_sweep(QUICK)
+        assert campaign.last_executed == len(configs)
+        for key, result in cold.items():
+            assert result.metrics == sequential[key], f"mismatch for {key}"
+
+        warm = figures.hpl_sweep(QUICK)
+        assert campaign.last_executed == 0  # no simulation re-ran
+        assert all(row.attempts == 1 for row in campaign.store.rows())
+        assert {k: v.makespan for k, v in warm.items()} == \
+               {k: v.makespan for k, v in cold.items()}
+
+        # figures consume the stored results directly
+        fig5 = figures.figure5(QUICK)
+        assert campaign.last_executed == 0
+        assert len(fig5["table"].rows) == len(QUICK.hpl_scales)
+    finally:
+        set_default_campaign(None)
+
+
+# ------------------------------------------------------------------------------ exports
+def _finished_campaign():
+    campaign = Campaign()
+    results = campaign.run(ring_grid().expand())
+    return campaign, results
+
+
+def test_results_to_series_groups_by_method():
+    _, results = _finished_campaign()
+    series = results_to_series(results, x="seed", y="makespan", group_by="method")
+    assert {s.name for s in series} == {"NORM", "GP1"}
+    for s in series:
+        assert s.x == [1, 2]
+        assert all(y > 0 for y in s.y)
+
+
+def test_results_to_table_and_csv(tmp_path):
+    campaign, results = _finished_campaign()
+    table = results_to_table(results, title="ring sweep")
+    assert len(table.rows) == len(results)
+    assert table.column("method") == ["NORM", "NORM", "GP1", "GP1"]
+    assert all(v > 0 for v in table.column("makespan"))
+
+    path = str(tmp_path / "out.csv")
+    assert results_to_csv(results, path) == len(results)
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0][0] == "workload" and len(rows) == len(results) + 1
+
+    summary = summary_table(campaign.store)
+    assert summary.column("done") == [len(results)]
+
+
+def test_export_rejects_unknown_columns():
+    _, results = _finished_campaign()
+    with pytest.raises(KeyError):
+        results_to_series(results, x="seed", y="makspan")  # typo must not yield Nones

@@ -119,9 +119,14 @@ def test_intra_group_channels_are_drained_at_checkpoint():
 
 
 def test_piggyback_garbage_collection_happens_with_multiple_checkpoints():
+    # halo2d exchanges messages in both directions on every channel, so the
+    # piggybacked RR values are non-trivial and sender logs can actually be
+    # trimmed (a unidirectional ring never sends an RR back to its sender).
     n = 4
     family = gp1_family(n, QUIET_CONFIG)
-    workload = ring_workload(n, iterations=40)
+    workload = Halo2DWorkload(n, SyntheticParameters(
+        iterations=40, message_bytes=128 * 1024, compute_seconds=0.05,
+        memory_bytes=24 * 1024 * 1024))
     _, runtime, _, _ = run_workload(n, family, workload, periodic(0.8))
     gc_events = sum(ctx.protocol.gc_invocations for ctx in runtime.contexts)
     piggybacks = sum(ctx.protocol.piggybacks_sent for ctx in runtime.contexts)
@@ -129,6 +134,34 @@ def test_piggyback_garbage_collection_happens_with_multiple_checkpoints():
     assert gc_events > 0
     # GC must actually have discarded something somewhere
     assert sum(ctx.protocol.log.gc_bytes for ctx in runtime.contexts) > 0
+
+
+def test_coordinator_defers_explicit_times_instead_of_dropping_them():
+    # Forced-equal-count schedules (Figure 13/14 fairness) rely on every
+    # explicitly listed request landing even when waves overlap the times.
+    n = 4
+    family = norm_family(n, QUIET_CONFIG)
+    from repro.ckpt.scheduler import CheckpointSchedule
+    schedule = CheckpointSchedule(times=(0.3, 0.4, 0.5))
+    result, _, coordinator, _ = run_workload(n, family, ring_workload(n, iterations=20),
+                                             schedule)
+    assert result.checkpoints_completed == 3
+    assert coordinator.report.deferred_waves >= 2
+    assert coordinator.report.skipped_waves == 0
+
+
+def test_coordinator_back_pressure_bounds_oversubscribed_schedules():
+    # An interval far below the wave duration must not starve the application:
+    # the coordinator skips ticks while a wave is in flight, the run stays
+    # finite, and the skips are reported.
+    n = 4
+    family = norm_family(n, QUIET_CONFIG)
+    result, _, coordinator, _ = run_workload(n, family, ring_workload(n, iterations=20),
+                                             periodic(0.2))
+    assert result.makespan < 200.0
+    assert coordinator.report.skipped_waves > 0
+    assert result.checkpoints_completed == coordinator.report.checkpoints_requested
+    assert result.checkpoints_completed >= 2
 
 
 def test_periodic_checkpoints_produce_multiple_waves():
