@@ -1,0 +1,203 @@
+"""Kernel micro-benchmark: simulated events per wall-second.
+
+Measures the discrete-event kernel + message pipeline on fixed scenarios
+(halo2d and HPL at two scales each, plus the contention-free halo2d scenario
+whose per-message path is entirely closed-form) and reports
+
+* ``events_per_s`` — calendar events processed per wall second,
+* ``equivalent_events_per_s`` — the same wall time credited with the events
+  the fast paths provably avoided (``processed + stats.events_elided``); this
+  is the apples-to-apples throughput of the full coroutine model's workload,
+* ``sim_rate`` — simulated seconds per wall second (scenario-relative speed,
+  directly comparable across kernel generations for a fixed scenario),
+* the raw ``SimStats`` counter bundle.
+
+Results are *reported through the campaign store*: under pytest, every
+measurement is appended to the ``benchmarks`` side table of the harness's
+store (the persistent ``benchmarks/.campaign.sqlite`` by default), so the
+events/sec history across kernel changes is queryable next to the experiment
+results.  The stand-alone CLI records into a store only when ``--db PATH`` is
+given (CI's tiny smoke run publishes a JSON artifact instead).
+
+No thresholds are asserted — this is a report, not a gate (kernel speed on CI
+machines is noisy).  The pre-refactor reference numbers below were measured
+on the development machine against the seed kernel (commit ``9fbc996``) with
+interleaved best-of-6 runs; the fast-path kernel reproduces the same
+scenarios bit-identically (see ``tests/test_determinism_parity.py``) at
+≈3× the speed.
+
+Run stand-alone (no pytest plugins needed — this is what the CI smoke job
+uses)::
+
+    PYTHONPATH=src python benchmarks/test_kernel_speed.py --scenario tiny \
+        --json kernel-speed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+import pytest
+
+from repro.campaign.results import simulator_fingerprint
+from repro.cluster.topology import Cluster, GIDEON_300
+from repro.experiments.config import QUICK
+from repro.experiments.runner import build_family, build_workload
+from repro.mpi.runtime import MpiRuntime
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+#: benchmark scenarios: halo2d + HPL at two scales, the contention-free
+#: halo2d headline scenario, and a tiny variant for CI smoke runs
+SCENARIOS: Dict[str, Dict[str, object]] = {
+    "halo2d-16": {"workload": "halo2d", "n_ranks": 16, "options": None},
+    "halo2d-64": {"workload": "halo2d", "n_ranks": 64, "options": None},
+    # small messages + compute-dominated spacing: every NIC interaction takes
+    # the closed-form path (stats.fastpath_* cover ~all messages)
+    "halo2d-cf-64": {"workload": "halo2d", "n_ranks": 64,
+                     "options": {"message_bytes": 1024, "iterations": 20}},
+    "hpl-16": {"workload": "hpl", "n_ranks": 16, "options": dict(QUICK.hpl_options)},
+    "hpl-32": {"workload": "hpl", "n_ranks": 32, "options": dict(QUICK.hpl_options)},
+    "tiny": {"workload": "halo2d", "n_ranks": 8,
+             "options": {"iterations": 3, "message_bytes": 4096}},
+}
+
+#: seed-kernel reference (dev machine, commit 9fbc996, interleaved best-of-6):
+#: wall seconds and calendar events for the same scenarios.  Informational —
+#: printed next to current numbers, never asserted.
+PRE_REFACTOR_BASELINE: Dict[str, Dict[str, float]] = {
+    "halo2d-16": {"wall_s": 0.048, "events": 8513},
+    "halo2d-64": {"wall_s": 0.210, "events": 34049},
+    "halo2d-cf-64": {"wall_s": 0.420, "events": 67969},
+    "hpl-16": {"wall_s": 0.038, "events": 6273},
+    "hpl-32": {"wall_s": 0.070, "events": 10913},
+}
+
+
+def measure_kernel_speed(scenario: str, repeat: int = 3) -> Dict[str, object]:
+    """Run one benchmark scenario ``repeat`` times and report the best run.
+
+    Uses the NORM protocol family (no trace run, no checkpoint schedule), so
+    the measurement covers exactly the kernel + runtime message pipeline.
+    """
+    spec = SCENARIOS[scenario]
+    best: Optional[Dict[str, object]] = None
+    for _ in range(repeat):
+        workload = build_workload(spec["workload"], spec["n_ranks"], spec["options"])
+        cluster_spec = GIDEON_300.with_nodes(max(GIDEON_300.n_nodes, spec["n_ranks"]))
+        family = build_family("NORM", spec["n_ranks"], spec["workload"], cluster_spec)
+        sim = Simulator()
+        cluster = Cluster(sim, cluster_spec)
+        runtime = MpiRuntime(sim, cluster, spec["n_ranks"], protocol_family=family,
+                             rng=RandomStreams(7))
+        runtime.set_memory(workload.memory_map())
+        runtime.launch(workload.program_factory())
+        start = time.perf_counter()
+        app = runtime.run_to_completion(limit_s=1e8)
+        wall_s = time.perf_counter() - start
+        if best is None or wall_s < best["wall_s"]:
+            events = sim.processed_events
+            elided = sim.stats.events_elided
+            best = {
+                "scenario": scenario,
+                "workload": spec["workload"],
+                "n_ranks": spec["n_ranks"],
+                "sim_version": simulator_fingerprint(),
+                "wall_s": wall_s,
+                "events": events,
+                "events_elided": elided,
+                "events_per_s": events / wall_s,
+                "equivalent_events_per_s": (events + elided) / wall_s,
+                "makespan": app.makespan,
+                "sim_rate": app.makespan / wall_s,
+                "messages": cluster.network.total_messages,
+                "messages_per_s": cluster.network.total_messages / wall_s,
+                "stats": sim.stats.as_dict(),
+            }
+    assert best is not None
+    baseline = PRE_REFACTOR_BASELINE.get(scenario)
+    if baseline is not None:
+        best["baseline_wall_s"] = baseline["wall_s"]
+        best["baseline_events"] = baseline["events"]
+        # same scenario, so the seed kernel's event workload per wall second
+        # is the principled cross-kernel events/sec comparison
+        best["baseline_events_per_s"] = baseline["events"] / baseline["wall_s"]
+        best["speedup_vs_baseline"] = baseline["wall_s"] / best["wall_s"]
+    return best
+
+
+def _record(payload: Dict[str, object]) -> None:
+    """Append the measurement to the active campaign store's benchmark table."""
+    from repro.campaign.executor import get_default_campaign
+
+    get_default_campaign().store.record_benchmark("kernel_speed", payload)
+
+
+def _print_report(payload: Dict[str, object]) -> None:
+    line = (f"{payload['scenario']}: {payload['events']} events "
+            f"(+{payload['events_elided']} elided) in {payload['wall_s']:.3f}s"
+            f" -> {payload['events_per_s']:,.0f} ev/s"
+            f" ({payload['equivalent_events_per_s']:,.0f} model-equivalent ev/s,"
+            f" {payload['messages_per_s']:,.0f} msg/s)")
+    if "speedup_vs_baseline" in payload:
+        line += (f"  [seed kernel: {payload['baseline_events_per_s']:,.0f} ev/s,"
+                 f" speedup {payload['speedup_vs_baseline']:.2f}x]")
+    print(line)
+
+
+@pytest.mark.parametrize("scenario", [s for s in SCENARIOS if s != "tiny"])
+def test_kernel_speed(scenario):
+    """Measure and record events/sec for one scenario (report-only)."""
+    payload = measure_kernel_speed(scenario)
+    print()
+    _print_report(payload)
+    _record(payload)
+    assert payload["events"] > 0
+    assert payload["events_elided"] > 0  # the fast paths must actually engage
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", default="all",
+                        help="scenario name, 'all' (every non-tiny scenario), or 'tiny'")
+    parser.add_argument("--repeat", type=int, default=3, help="runs per scenario (best kept)")
+    parser.add_argument("--json", default=None, help="write measurements to this JSON file")
+    parser.add_argument("--db", default=None,
+                        help="also record into this campaign store's benchmark table")
+    args = parser.parse_args(argv)
+
+    if args.scenario == "all":
+        names = [s for s in SCENARIOS if s != "tiny"]
+    elif args.scenario in SCENARIOS:
+        names = [args.scenario]
+    else:
+        parser.error(f"unknown scenario {args.scenario!r}; "
+                     f"expected one of {sorted(SCENARIOS)} or 'all'")
+    payloads = []
+    for name in names:
+        payload = measure_kernel_speed(name, repeat=args.repeat)
+        _print_report(payload)
+        payloads.append(payload)
+    if args.db:
+        from repro.campaign.store import CampaignStore
+
+        store = CampaignStore(args.db)
+        try:
+            for payload in payloads:
+                store.record_benchmark("kernel_speed", payload)
+        finally:
+            store.close()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(payloads, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {len(payloads)} measurement(s) to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,7 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.campaign.results import PAYLOAD_VERSION, StoredResult, metrics_payload
+from repro.campaign.results import StoredResult, metrics_payload, payload_stamp
 from repro.campaign.store import CampaignStore, ExperimentRow
 from repro.experiments.config import ScenarioConfig
 
@@ -171,14 +171,10 @@ class Campaign:
         """
         keys = self.store.add_many(configs)
         self.store.reset(("running", "failed"), keys=keys)
-        stale = [
-            key for key in keys
-            if (row := self.store.get(key)) is not None
-            and row.status == "done"
-            and (row.metrics or {}).get("version") != PAYLOAD_VERSION
-        ]
+        stale = self.store.stale_done_keys(payload_stamp(), keys=keys)
         if stale:
-            # rows written by an older metrics-payload format: re-run, don't serve
+            # rows written by an older payload format *or* an older simulation
+            # kernel (package version / kernel schema rev): re-run, don't serve
             self.store.reset(("done",), keys=stale)
         self.last_executed = 0
         pending = self.store.counts(keys=keys)["pending"]
@@ -220,10 +216,14 @@ class Campaign:
         """Re-open ``failed`` and orphaned ``running`` rows and drain the store.
 
         Call after a crash (worker or whole process) to finish a campaign
-        without re-running anything already ``done``.  Returns the number of
-        experiments executed.
+        without re-running anything already ``done``.  ``done`` rows written
+        by an older simulator (payload or kernel fingerprint mismatch) are
+        re-opened as well.  Returns the number of experiments executed.
         """
         self.store.reset(("running", "failed"))
+        stale = self.store.stale_done_keys(payload_stamp())
+        if stale:
+            self.store.reset(("done",), keys=stale)
         pending = self.store.counts()["pending"]
         self.last_executed = self._drain(
             self.n_workers if n_workers is None else n_workers, pending=pending

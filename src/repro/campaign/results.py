@@ -11,14 +11,37 @@ results.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import CheckpointBreakdown
 from repro.experiments.config import ScenarioConfig
 
 #: payload format version, bump when the metric set changes so stale stores
 #: are detected instead of silently missing keys
-PAYLOAD_VERSION = 1
+PAYLOAD_VERSION = 2
+
+#: simulation-kernel schema revision: bump whenever a kernel/network change is
+#: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
+#: rev 2 = fast-path kernel — bit-identical by the determinism-parity tests,
+#: but stamped so archived stores are traceable to the kernel that filled them)
+KERNEL_SCHEMA_REV = 2
+
+
+def simulator_fingerprint() -> str:
+    """Version stamp written into every stored payload.
+
+    Combines the package version with the kernel schema revision; a stored
+    row whose stamp differs from the running simulator's is invalidated by
+    the campaign executor instead of being served from cache.
+    """
+    from repro import __version__
+
+    return f"{__version__}+kernel-r{KERNEL_SCHEMA_REV}"
+
+
+def payload_stamp() -> Dict[str, object]:
+    """The payload entries that must match for a stored row to be served."""
+    return {"version": PAYLOAD_VERSION, "sim_version": simulator_fingerprint()}
 
 
 def metrics_payload(result) -> Dict[str, object]:
@@ -26,6 +49,8 @@ def metrics_payload(result) -> Dict[str, object]:
     breakdown = result.breakdown()
     return {
         "version": PAYLOAD_VERSION,
+        "sim_version": simulator_fingerprint(),
+        "rank0_ckpt_end_times": list(result.rank0_checkpoint_end_times),
         "makespan": result.makespan,
         "aggregate_checkpoint_time": result.aggregate_checkpoint_time,
         "aggregate_coordination_time": result.aggregate_coordination_time,
@@ -104,6 +129,16 @@ class StoredResult:
     def n_groups(self) -> Optional[int]:
         """Number of groups the protocol used (None for VCL)."""
         return self.metrics.get("n_groups")
+
+    @property
+    def rank0_checkpoint_end_times(self) -> List[float]:
+        """Completion times of rank 0's checkpoints (drives work-loss models)."""
+        return list(self.metrics.get("rank0_ckpt_end_times", []))
+
+    @property
+    def sim_version(self) -> Optional[str]:
+        """Simulator fingerprint the payload was produced with."""
+        return self.metrics.get("sim_version")
 
     def breakdown(self) -> CheckpointBreakdown:
         """Average per-stage checkpoint breakdown (Figure 9)."""

@@ -138,6 +138,13 @@ CREATE TABLE IF NOT EXISTS experiments (
     duration_s  REAL
 );
 CREATE INDEX IF NOT EXISTS idx_experiments_status ON experiments (status);
+CREATE TABLE IF NOT EXISTS benchmarks (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    name        TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_benchmarks_name ON benchmarks (name);
 """
 
 _COLUMNS = ("key", "config", "status", "metrics", "error", "worker",
@@ -302,6 +309,83 @@ class CampaignStore:
     def clear(self) -> None:
         """Delete every experiment (mainly for tests)."""
         self._conn.execute("DELETE FROM experiments")
+
+    # -- simulator-version invalidation ------------------------------------------------
+    def stale_done_keys(
+        self,
+        required: Dict[str, object],
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        """Keys of ``done`` rows whose payload stamp does not match ``required``.
+
+        ``required`` maps payload entries (e.g. ``version``,
+        ``sim_version``) to the values the running simulator produces; a row
+        missing any entry or carrying a different value is stale — it was
+        written by an older payload format or an older simulation kernel and
+        must be re-run rather than served from cache.  ``keys`` restricts the
+        scan to those experiments.
+
+        The comparison runs inside SQLite via ``json_extract`` (``IS NOT``
+        also catches missing entries), so a large store pays index-speed
+        string compares instead of deserialising every payload; builds
+        without the JSON1 extension fall back to a Python scan.
+        """
+        if keys is not None and not keys:
+            return []
+        names = sorted(required)
+        scope = ""
+        scope_params: Tuple = ()
+        if keys is not None:
+            scope = f" AND key IN ({','.join('?' for _ in keys)})"
+            scope_params = tuple(keys)
+        stamp_clause = " OR ".join(
+            "json_extract(metrics, ?) IS NOT ?" for _ in names
+        )
+        stamp_params = tuple(p for name in names for p in (f"$.{name}", required[name]))
+        try:
+            rows = self._conn.execute(
+                "SELECT key FROM experiments WHERE status = 'done' "
+                f"AND (metrics IS NULL OR {stamp_clause}){scope}",
+                stamp_params + scope_params,
+            ).fetchall()
+            return [row[0] for row in rows]
+        except sqlite3.OperationalError:
+            # sqlite compiled without JSON1: scan the payloads in Python
+            stale: List[str] = []
+            query = f"SELECT key, metrics FROM experiments WHERE status = 'done'{scope}"
+            for key, raw in self._conn.execute(query, scope_params):
+                metrics = json.loads(raw) if raw else {}
+                if any(metrics.get(name) != value for name, value in required.items()):
+                    stale.append(key)
+            return stale
+
+    # -- benchmark side table ----------------------------------------------------------
+    def record_benchmark(self, name: str, payload: Dict[str, object]) -> int:
+        """Append a benchmark measurement (e.g. kernel events/sec) to the store.
+
+        Unlike experiment rows, benchmark rows are never deduplicated or
+        cached: every run appends, so the table is a measurement history.
+        Returns the row id.
+        """
+        cur = self._conn.execute(
+            "INSERT INTO benchmarks (name, payload, created_at) VALUES (?, ?, ?)",
+            (name, json.dumps(payload, sort_keys=True), time.time()),
+        )
+        return cur.lastrowid
+
+    def benchmark_rows(self, name: Optional[str] = None) -> List[Dict[str, object]]:
+        """Stored benchmark measurements, oldest first (optionally one series)."""
+        query = "SELECT id, name, payload, created_at FROM benchmarks"
+        params: Tuple = ()
+        if name is not None:
+            query += " WHERE name = ?"
+            params = (name,)
+        query += " ORDER BY id"
+        return [
+            {"id": row[0], "name": row[1], "payload": json.loads(row[2]),
+             "created_at": row[3]}
+            for row in self._conn.execute(query, params)
+        ]
 
     # -- reading ----------------------------------------------------------------------
     def _row(self, raw: Tuple) -> ExperimentRow:

@@ -104,6 +104,10 @@ class CheckpointCoordinator:
         if group_spawn_delay_s < 0:
             raise ValueError("group_spawn_delay_s must be non-negative")
         self.runtime = runtime
+        # Ranks only need to watch for checkpoint signals while blocked in a
+        # receive when a request source exists; telling the runtime up front
+        # lets signal-free runs elide the per-receive wake condition.
+        runtime.attach_checkpoint_source()
         self.family = family
         self.schedule = schedule
         self.propagation_delay_s = propagation_delay_s

@@ -8,21 +8,33 @@ quantify that argument with the failure models from
 
 * :func:`expected_work_loss_experiment` — expected lost work per failure as a
   function of checkpoint interval and grouping method,
+* :func:`failure_rate_sweep` — the ``failure_rate`` axis: best interval and
+  total fault-tolerance cost per grouping method across per-node failure
+  rates,
 * :func:`rollback_scope_experiment` — how many processes must roll back when
   one node fails, under each grouping method.
+
+The simulated scenarios behind :func:`expected_work_loss_experiment` and
+:func:`failure_rate_sweep` are expressed as a declarative
+:class:`~repro.campaign.grid.ParameterGrid` (method × schedule) and executed
+through the process-wide default campaign, so repeated sweeps are served from
+the store, run in parallel with ``REPRO_CAMPAIGN_WORKERS``, and resume after
+interruption like every figure sweep.  The failure-rate axis itself is
+analytic (the rate scales the expected number of failures, not the simulated
+run), so one simulated grid serves every rate point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.advisor import expected_overhead_fraction, suggest_checkpoint_interval
 from repro.analysis.reporting import Series, Table, series_table
 from repro.cluster.failure import ExponentialFailureModel, expected_lost_work
 from repro.core.groups import GroupSet
 from repro.experiments.config import ExperimentProfile, FULL, ScenarioConfig
-from repro.experiments.runner import obtain_groups, run_scenario
+from repro.experiments.runner import obtain_groups
 from repro.cluster.topology import GIDEON_300
 from repro.ckpt.scheduler import periodic
 from repro.sim.rng import RandomStreams
@@ -39,6 +51,46 @@ class WorkLossPoint:
     execution_time_s: float
 
 
+def work_loss_grid(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+    intervals: Tuple[float, ...] = (60.0, 120.0, 180.0),
+    methods: Tuple[str, ...] = ("GP", "NORM"),
+    include_baseline: bool = False,
+):
+    """The (method × checkpoint-schedule) grid behind the failure experiments.
+
+    ``include_baseline`` adds a no-checkpoint scenario per method, used by
+    :func:`failure_rate_sweep` to separate checkpoint overhead from the
+    application's own runtime.
+    """
+    from repro.campaign.grid import ParameterGrid
+
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    schedules: List[object] = [periodic(interval) for interval in intervals]
+    if include_baseline:
+        schedules.insert(0, None)
+    return ParameterGrid(
+        axes={"method": tuple(methods), "schedule": tuple(schedules)},
+        base=dict(
+            workload="hpl",
+            n_ranks=n,
+            workload_options=dict(profile.hpl_options),
+            max_group_size=8,
+            do_restart=False,
+            seed=11,
+        ),
+    )
+
+
+def _run_grid(grid) -> Dict[Tuple[str, Optional[object]], object]:
+    """Execute a failure grid through the default campaign, keyed by (method, schedule)."""
+    from repro.campaign.executor import get_default_campaign
+
+    results = get_default_campaign().run(grid.expand())
+    return {(r.config.method, r.config.schedule): r for r in results}
+
+
 def expected_work_loss_experiment(
     profile: ExperimentProfile = FULL,
     n_ranks: Optional[int] = None,
@@ -49,34 +101,26 @@ def expected_work_loss_experiment(
 
     A failure is assumed to strike at ``failure_fraction`` of the (method's
     own) execution; the lost work is the time since the last *completed*
-    checkpoint wave of the failed process's group.
+    checkpoint wave of the failed process's group.  Scenarios run through the
+    default campaign (cached, parallel, resumable).
     """
     if not 0.0 < failure_fraction < 1.0:
         raise ValueError("failure_fraction must be in (0, 1)")
     n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    grid = work_loss_grid(profile, n, intervals)
+    by_point = _run_grid(grid)
     points: List[WorkLossPoint] = []
     series: Dict[str, Series] = {}
+    schedules = {interval: periodic(interval) for interval in intervals}
     for method in ("GP", "NORM"):
         series[method] = Series(name=f"{method} expected loss (s)")
         for interval in intervals:
-            result = run_scenario(
-                ScenarioConfig(
-                    workload="hpl",
-                    n_ranks=n,
-                    method=method,
-                    schedule=periodic(interval),
-                    workload_options=dict(profile.hpl_options),
-                    max_group_size=8,
-                    do_restart=False,
-                    seed=11,
-                )
-            )
+            result = by_point[(method, schedules[interval])]
             failure_time = result.makespan * failure_fraction
             # completed checkpoint times of the group containing rank 0
-            ckpt_times = sorted(
-                rec.end for rec in result.app.checkpoint_records if rec.rank == 0
+            loss = expected_lost_work(
+                interval, failure_time, result.rank0_checkpoint_end_times
             )
-            loss = expected_lost_work(interval, failure_time, ckpt_times)
             points.append(
                 WorkLossPoint(
                     method=method,
@@ -94,6 +138,108 @@ def expected_work_loss_experiment(
         x_label="interval (s)",
     )
     return {"points": points, "series": list(series.values()), "table": table}
+
+
+@dataclass(frozen=True)
+class FailureRatePoint:
+    """Best checkpointing configuration for one (failure_rate, method) pair."""
+
+    failure_rate_per_node_s: float
+    method: str
+    best_interval_s: float
+    checkpoint_overhead_s: float
+    expected_failures: float
+    expected_loss_s: float
+    expected_total_cost_s: float
+
+
+def failure_rate_sweep(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+    failure_rates: Sequence[float] = (1e-7, 1e-6, 1e-5, 1e-4),
+    intervals: Tuple[float, ...] = (60.0, 120.0, 180.0),
+    methods: Tuple[str, ...] = ("GP", "NORM"),
+    failure_fraction: float = 0.6,
+) -> Dict[str, object]:
+    """The ``failure_rate`` axis: cheapest fault-tolerance setup per rate.
+
+    For every per-node failure rate (failures per node-second), every grouping
+    method and every candidate interval, combines
+
+    * the *measured* checkpoint overhead (makespan with checkpoints minus the
+      method's own no-checkpoint makespan, from the simulated grid), and
+    * the *expected* rework (expected number of failures during the run times
+      the measured lost work per failure, using rank 0's completed checkpoint
+      times)
+
+    and reports the interval minimising the total per (rate, method).  Only
+    the (method × schedule) grid is simulated — the rate axis is analytic, so
+    the same campaign rows serve every rate point.
+
+    An interval whose run completed *zero* checkpoints (longer than the
+    execution itself) is not a checkpointing configuration at all — such
+    candidates are excluded from the per-rate minimisation rather than being
+    reported as a "best interval" with vacuously zero overhead.  If every
+    candidate interval is too long, a :class:`ValueError` names the fix.
+    """
+    if not failure_rates:
+        raise ValueError("failure_rates must not be empty")
+    if any(rate <= 0 for rate in failure_rates):
+        raise ValueError("failure rates must be positive")
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    grid = work_loss_grid(profile, n, intervals, methods, include_baseline=True)
+    by_point = _run_grid(grid)
+    schedules = {interval: periodic(interval) for interval in intervals}
+
+    table = Table(
+        title=f"Failure-rate sweep (HPL, {n} processes; failure at "
+              f"{int(failure_fraction * 100)}% of execution)",
+        columns=["rate (/node/s)", "method", "best interval (s)",
+                 "ckpt overhead (s)", "E[failures]", "E[loss] (s)", "E[total] (s)"],
+    )
+    points: List[FailureRatePoint] = []
+    series = {m: Series(name=f"{m} expected total cost (s)") for m in methods}
+    for rate in failure_rates:
+        for method in methods:
+            baseline = by_point[(method, None)].makespan
+            best: Optional[FailureRatePoint] = None
+            for interval in intervals:
+                result = by_point[(method, schedules[interval])]
+                if result.checkpoints_completed == 0:
+                    # the run never checkpointed: not a candidate configuration
+                    continue
+                overhead = result.makespan - baseline
+                loss = expected_lost_work(
+                    interval,
+                    result.makespan * failure_fraction,
+                    result.rank0_checkpoint_end_times,
+                )
+                expected_failures = rate * n * result.makespan
+                total = overhead + expected_failures * loss
+                point = FailureRatePoint(
+                    failure_rate_per_node_s=rate,
+                    method=method,
+                    best_interval_s=interval,
+                    checkpoint_overhead_s=overhead,
+                    expected_failures=expected_failures,
+                    expected_loss_s=loss,
+                    expected_total_cost_s=total,
+                )
+                if best is None or point.expected_total_cost_s < best.expected_total_cost_s:
+                    best = point
+            if best is None:
+                makespans = [by_point[(method, schedules[i])].makespan for i in intervals]
+                raise ValueError(
+                    f"no candidate interval completed a checkpoint for method {method!r} "
+                    f"(intervals {tuple(intervals)} vs makespans ~{min(makespans):.1f}s); "
+                    f"choose intervals shorter than the execution time"
+                )
+            points.append(best)
+            series[best.method].append(rate, best.expected_total_cost_s)
+            table.add_row(rate, best.method, best.best_interval_s,
+                          best.checkpoint_overhead_s, best.expected_failures,
+                          best.expected_loss_s, best.expected_total_cost_s)
+    return {"points": points, "series": list(series.values()), "table": table, "grid": grid}
 
 
 def rollback_scope_experiment(

@@ -1,0 +1,81 @@
+"""Determinism-parity scenario set and metric extraction.
+
+The kernel fast-path refactor must not change any *simulated* quantity: a
+scenario run before and after the refactor (and with the fast path forced off)
+has to produce bit-identical metrics.  This module pins down
+
+* :func:`quick_parity_configs` — a representative set of QUICK-profile
+  scenarios covering every workload family, both storage layouts, one-shot
+  and periodic schedules, and all protocol families,
+* :func:`parity_metrics` — the exact set of simulated metrics compared,
+* :func:`scenario_label` — a stable, human-readable key per scenario.
+
+``tools/make_parity_golden.py`` dumps the metrics of the current kernel to
+``tests/data/quick_parity_golden.json``; ``tests/test_determinism_parity.py``
+asserts the live kernel still reproduces that file exactly, and that the
+closed-form network fast path matches the full coroutine model event-for-event.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ckpt.scheduler import one_shot, periodic
+from repro.cluster.topology import GIDEON_300
+from repro.experiments.config import QUICK, ScenarioConfig
+
+
+def quick_parity_configs() -> List[ScenarioConfig]:
+    """The QUICK scenarios whose simulated metrics are frozen by the golden file."""
+    q = QUICK
+    remote = GIDEON_300.with_remote_checkpointing(4)
+    return [
+        # HPL one-shot checkpoint, trace-assisted groups and global coordination
+        ScenarioConfig("hpl", 16, "GP", one_shot(q.checkpoint_at_s),
+                       workload_options=dict(q.hpl_options), max_group_size=8, seed=7),
+        ScenarioConfig("hpl", 16, "NORM", one_shot(q.checkpoint_at_s),
+                       workload_options=dict(q.hpl_options), max_group_size=8, seed=7),
+        # HPL periodic schedule (exercises coordinator back-pressure)
+        ScenarioConfig("hpl", 32, "GP", periodic(8.0),
+                       workload_options=dict(q.hpl_options), max_group_size=8,
+                       do_restart=False, seed=7),
+        # NPB workloads
+        ScenarioConfig("cg", 16, "GP4", one_shot(q.checkpoint_at_s),
+                       workload_options=dict(q.cg_options), seed=7),
+        ScenarioConfig("sp", 16, "GP1", one_shot(q.checkpoint_at_s),
+                       workload_options=dict(q.sp_options), seed=7),
+        # remote checkpoint storage + VCL (Chandy-Lamport) periodic waves
+        ScenarioConfig("cg", 16, "VCL", periodic(q.vcl_interval_s), cluster=remote,
+                       workload_options=dict(q.cg_options), do_restart=False, seed=7),
+        # synthetic patterns (the kernel-benchmark workload among them)
+        ScenarioConfig("halo2d", 16, "NORM", one_shot(0.3), seed=3),
+        ScenarioConfig("ring", 8, "GP", one_shot(0.3), seed=3),
+    ]
+
+
+def scenario_label(config: ScenarioConfig) -> str:
+    """Stable key of one parity scenario (used in the golden JSON)."""
+    sched = "none"
+    if config.schedule is not None:
+        if config.schedule.interval_s is not None:
+            sched = f"every{config.schedule.interval_s:g}s"
+        else:
+            sched = "+".join(f"{t:g}s" for t in config.schedule.times)
+    storage = config.cluster.checkpoint_storage
+    return (f"{config.workload}/n{config.n_ranks}/{config.method}/{sched}/"
+            f"{storage}/seed{config.seed}")
+
+
+def parity_metrics(result) -> Dict[str, object]:
+    """Every simulated metric the parity tests compare (bit-exact)."""
+    return {
+        "makespan": result.makespan,
+        "aggregate_checkpoint_time": result.aggregate_checkpoint_time,
+        "aggregate_coordination_time": result.aggregate_coordination_time,
+        "aggregate_restart_time": result.aggregate_restart_time,
+        "resend_bytes": result.resend_bytes,
+        "resend_operations": result.resend_operations,
+        "checkpoints_completed": result.checkpoints_completed,
+        "mean_checkpoint_duration": result.mean_checkpoint_duration,
+        "gap_fraction": result.gap_fraction,
+    }

@@ -217,6 +217,11 @@ class ScenarioResult:
         """Fraction of checkpoint-window time with no application progress."""
         return progress_gap_fraction(self.app)
 
+    @property
+    def rank0_checkpoint_end_times(self) -> List[float]:
+        """Completion times of rank 0's checkpoints (drives work-loss models)."""
+        return sorted(rec.end for rec in self.app.checkpoint_records if rec.rank == 0)
+
     def breakdown(self):
         """Average per-stage checkpoint breakdown (Figure 9)."""
         return stage_breakdown(self.app.checkpoint_records)

@@ -92,6 +92,29 @@ class Message:
         )
 
 
+def fast_message(src: int, dst: int, nbytes: int, tag: int, kind: MessageKind,
+                 piggyback: Dict[str, Any], payload: Any, sent_at: float) -> Message:
+    """Allocate a :class:`Message` without the dataclass constructor.
+
+    The runtime creates one message per simulated send — this skips the
+    generated ``__init__`` plus ``__post_init__`` re-validation for arguments
+    the runtime has already checked.  Behaviourally identical to calling
+    ``Message(...)`` with the same fields.
+    """
+    msg = object.__new__(Message)
+    msg.src = src
+    msg.dst = dst
+    msg.nbytes = nbytes
+    msg.tag = tag
+    msg.kind = kind
+    msg.piggyback = piggyback
+    msg.payload = payload
+    msg.sent_at = sent_at
+    msg.arrived_at = -1.0
+    msg.seq = next(_message_counter)
+    return msg
+
+
 class ChannelAccount:
     """Per-rank S/R byte counters over all peers.
 
@@ -127,6 +150,20 @@ class ChannelAccount:
             raise ValueError("nbytes must be non-negative")
         self._received[src] = self._received.get(src, 0) + nbytes
         self._received_msgs[src] = self._received_msgs.get(src, 0) + 1
+
+    def add_sent(self, dst: int, nbytes: int) -> None:
+        """Unchecked :meth:`record_send` for the runtime hot path (pre-validated args)."""
+        sent = self._sent
+        sent[dst] = sent.get(dst, 0) + nbytes
+        msgs = self._sent_msgs
+        msgs[dst] = msgs.get(dst, 0) + 1
+
+    def add_received(self, src: int, nbytes: int) -> None:
+        """Unchecked :meth:`record_receive` for the runtime hot path (pre-validated args)."""
+        received = self._received
+        received[src] = received.get(src, 0) + nbytes
+        msgs = self._received_msgs
+        msgs[src] = msgs.get(src, 0) + 1
 
     # -- queries ----------------------------------------------------------
     def sent_to(self, dst: int) -> int:

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Seq
 
 from repro.cluster.topology import Cluster
 from repro.mpi import collectives as coll
-from repro.mpi.messages import ChannelAccount, Message, MessageKind
+from repro.mpi.messages import ChannelAccount, Message, MessageKind, fast_message
 from repro.mpi.ops import (
     Allgather,
     Allreduce,
@@ -38,7 +38,7 @@ from repro.mpi.ops import (
 )
 from repro.mpi.tracer import Tracer
 from repro.sim.engine import SimProcess, Simulator
-from repro.sim.primitives import Event, Store
+from repro.sim.primitives import Event, Store, Timeout
 from repro.sim.rng import RandomStreams
 
 # Tags reserved for internal traffic; applications should use tags below this.
@@ -116,7 +116,9 @@ class RankContext:
         #: set by the protocol family when the runtime is constructed
         self.protocol: Any = None
         self.pending_requests: List[Any] = []
-        self._signal_event = Event(sim, name=f"signal:{rank}")
+        #: cached RNG stream key for compute jitter (hot: one per Compute op)
+        self.jitter_key = f"jitter:rank{rank}"
+        self._signal_event = Event(sim, name="signal")
         self._arrival_watchers: List[Tuple[int, int, Event]] = []
         #: True while this rank is inside a checkpoint procedure
         self.in_checkpoint = False
@@ -149,6 +151,8 @@ class RankContext:
 
     def has_visible_request(self, now: float) -> bool:
         """True if a delivered request has become visible to this rank."""
+        if not self.pending_requests:
+            return False
         return any(now >= self._visible_at(r) - 1e-12 for r in self.pending_requests)
 
     def next_visible_at(self) -> float:
@@ -166,13 +170,13 @@ class RankContext:
         else:
             raise RuntimeError(f"rank {self.rank}: no visible checkpoint request to pop")
         if not self.pending_requests:
-            self._signal_event = Event(self.sim, name=f"signal:{self.rank}")
+            self._signal_event = Event(self.sim, name="signal")
         return request
 
     # -- arrival watching (drain support) ---------------------------------------
     def wait_for_received(self, src: int, threshold: int) -> Event:
         """Event firing once R_src (arrived bytes from ``src``) reaches ``threshold``."""
-        ev = Event(self.sim, name=f"drain:{self.rank}<-{src}")
+        ev = Event(self.sim, name="drain")
         if self.account.received_from(src) >= threshold:
             ev.succeed(self.account.received_from(src))
         else:
@@ -249,6 +253,29 @@ class ApplicationResult:
         return out
 
 
+class _FastDelivery:
+    """Completion callback of a closed-form delivery (one slotted object).
+
+    Releases the analytic RX reservation and finalises the delivery at the
+    reserved completion instant; replaces a closure + argument tuple on the
+    per-message fast path.
+    """
+
+    __slots__ = ("runtime", "net", "dst_node", "reservation", "msg")
+
+    def __init__(self, runtime: "MpiRuntime", net: Any, dst_node: int,
+                 reservation: Any, msg: Message) -> None:
+        self.runtime = runtime
+        self.net = net
+        self.dst_node = dst_node
+        self.reservation = reservation
+        self.msg = msg
+
+    def __call__(self, _ev: Event) -> None:
+        self.net.finish_rx(self.dst_node, self.reservation)
+        self.runtime._finish_delivery(self.msg)
+
+
 ProgramFactory = Callable[[int], Iterable[Op]]
 
 
@@ -285,8 +312,23 @@ class MpiRuntime:
                 ctx.protocol = protocol_family.create(ctx, self)
 
         self.deliveries: List[Tuple[float, int, int, int]] = []
+        self._record_deliveries = self.config.record_deliveries
         self._rank_processes: List[SimProcess] = []
         self._collective_seq: Dict[int, int] = {}
+        #: True once a checkpoint-request source (a coordinator) is attached;
+        #: until then blocked receives need no signal wake-up condition.
+        self.checkpoints_enabled = False
+
+    def attach_checkpoint_source(self) -> None:
+        """Declare that checkpoint requests may be delivered to the ranks.
+
+        Called by :class:`~repro.core.coordinator.CheckpointCoordinator` on
+        construction (i.e. before the application runs).  Blocked receives
+        only allocate their "message or checkpoint signal" wake condition
+        when a source exists — a run without one can never observe a signal,
+        so waiting on the bare inbox event is provably equivalent.
+        """
+        self.checkpoints_enabled = True
 
     # ------------------------------------------------------------------ basics
     @property
@@ -332,36 +374,87 @@ class MpiRuntime:
     ) -> Message:
         if not 0 <= dst < self.n_ranks:
             raise ValueError(f"destination rank {dst} out of range")
-        msg = Message(
-            src=src,
-            dst=dst,
-            nbytes=nbytes,
-            tag=tag,
-            kind=kind,
-            piggyback=dict(piggyback) if piggyback else {},
-            payload=payload,
+        return fast_message(
+            src, dst, nbytes, tag, kind,
+            dict(piggyback) if piggyback else {},
+            payload, self.sim.now,
         )
-        msg.sent_at = self.sim.now
-        return msg
 
-    def _deliver(self, msg: Message, wire_bytes: int) -> Generator[Event, None, None]:
-        """Background delivery: network path to the destination, then inbox."""
-        src_node = self.ctx(msg.src).node_id
-        dst_node = self.ctx(msg.dst).node_id
-        if src_node != dst_node:
-            yield from self.cluster.network.rx_path(dst_node, wire_bytes)
-        msg.arrived_at = self.sim.now
-        dst_ctx = self.ctx(msg.dst)
-        if msg.is_app:
-            dst_ctx.account.record_receive(msg.src, msg.nbytes)
-            dst_ctx.stats.messages_received += 1
-            dst_ctx.stats.bytes_received += msg.nbytes
+    def _finish_delivery(self, msg: Message) -> None:
+        """Terminal stage of a delivery: accounting, protocol hook, inbox."""
+        now = self.sim.now
+        msg.arrived_at = now
+        dst_ctx = self.contexts[msg.dst]
+        if msg.kind is MessageKind.APP:
+            dst_ctx.account.add_received(msg.src, msg.nbytes)
+            stats = dst_ctx.stats
+            stats.messages_received += 1
+            stats.bytes_received += msg.nbytes
             if dst_ctx.protocol is not None:
                 dst_ctx.protocol.on_arrival(msg)
-            if self.config.record_deliveries:
-                self.deliveries.append((self.sim.now, msg.src, msg.dst, msg.nbytes))
-            dst_ctx._notify_arrival(msg.src)
+            if self._record_deliveries:
+                self.deliveries.append((now, msg.src, msg.dst, msg.nbytes))
+            if dst_ctx._arrival_watchers:
+                dst_ctx._notify_arrival(msg.src)
         dst_ctx.inbox.put(msg)
+
+    def _deliver_remote(self, msg: Message, wire_bytes: int,
+                        dst_node: int) -> Generator[Event, None, None]:
+        """Coroutine delivery for a remote message already counted via ``begin_rx``."""
+        yield from self.cluster.network.rx_counted(dst_node, wire_bytes)
+        self._finish_delivery(msg)
+
+    def _deliver_local(self, msg: Message) -> Generator[Event, None, None]:
+        """Coroutine delivery for a same-node message (slow path only)."""
+        self._finish_delivery(msg)
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def _start_delivery(self, msg: Message, wire_bytes: int,
+                        src_node: int, dst_node: int) -> None:
+        """Begin background delivery of ``msg`` (fast callback path or coroutine).
+
+        Fast paths schedule at most one calendar event per delivery; the
+        events they avoid relative to the coroutine model are counted in
+        ``sim.stats.events_elided`` (local delivery elides the process
+        completion event; a remote one elides the latency timeout, the RX
+        grant and the serialisation timeout of the coroutine model).
+        """
+        sim = self.sim
+        net = self.cluster.network
+        if src_node == dst_node:
+            if net.fast_path:
+                sim.stats.fastpath_local += 1
+                sim.stats.events_elided += 1
+                sim.call_soon(self._finish_delivery, msg)
+            else:
+                sim.process(self._deliver_local(msg), name="deliver")
+            return
+        if not net.fast_path:
+            net.begin_rx(dst_node)
+            sim.process(self._deliver_remote(msg, wire_bytes, dst_node), name="deliver")
+            return
+        fast = net.try_reserve_rx(dst_node, wire_bytes)
+        if fast is not None:
+            done, reservation = fast
+            sim.stats.events_elided += 3
+            done.callbacks.append(_FastDelivery(self, net, dst_node, reservation, msg))
+        else:
+            net.start_rx(dst_node, wire_bytes, self._finish_delivery, msg)
+
+    def _spawn_tx(self, src_node: int, nbytes: int) -> None:
+        """Run the sender-side NIC path in the background (fast or coroutine).
+
+        The fast path replaces the spawned coroutine (overhead timeout, NIC
+        grant, serialisation timeout, process completion) with an event-free
+        analytic NIC hold (:meth:`~repro.cluster.network.Network.try_hold_tx`).
+        """
+        net = self.cluster.network
+        if not net.fast_path:
+            net.begin_tx(src_node)
+            self.sim.process(net.tx_counted(src_node, nbytes), name="tx")
+        elif not net.try_hold_tx(src_node, nbytes):
+            net.start_tx(src_node, nbytes)
 
     def app_send(
         self,
@@ -374,37 +467,45 @@ class MpiRuntime:
         """Send an application message; the sender is busy for its local share."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         extra_delay = 0.0
         piggyback: Dict[str, Any] = {}
         if ctx.protocol is not None:
             extra_delay, piggyback = ctx.protocol.on_send(dst, nbytes, tag)
         if self.tracer is not None:
             extra_delay += self.tracer.on_send(
-                Message(src=ctx.rank, dst=dst, nbytes=nbytes, tag=tag), self.sim.now
+                Message(src=ctx.rank, dst=dst, nbytes=nbytes, tag=tag), sim.now
             )
         msg = self._make_message(ctx.rank, dst, nbytes, tag, MessageKind.APP, piggyback)
-        ctx.account.record_send(dst, nbytes)
-        ctx.stats.messages_sent += 1
-        ctx.stats.bytes_sent += nbytes
+        ctx.account.add_sent(dst, nbytes)
+        stats = ctx.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += nbytes
         wire_bytes = nbytes + (16 if piggyback else 0)
 
         if extra_delay > 0:
-            yield self.sim.timeout(extra_delay)
+            yield Timeout(sim, extra_delay)
 
+        net = self.cluster.network
         src_node = ctx.node_id
-        dst_node = self.ctx(dst).node_id
+        dst_node = self.contexts[dst].node_id
         if blocking and src_node != dst_node:
             # Sender occupied for the TX-side cost of the transfer.
-            yield from self.cluster.network.tx(src_node, wire_bytes)
+            fast = net.try_reserve_tx(src_node, wire_bytes)
+            if fast is not None:
+                done, reservation = fast
+                sim.stats.events_elided += 2
+                yield done
+                net.finish_tx(src_node, reservation)
+            else:
+                yield from net.tx(src_node, wire_bytes)
         else:
-            yield self.sim.timeout(self.cluster.network.spec.per_message_overhead_s)
+            yield Timeout(sim, net.spec.per_message_overhead_s)
             if src_node != dst_node:
-                self.sim.process(
-                    self.cluster.network.tx(src_node, wire_bytes), name=f"tx:{msg.seq}"
-                )
-        self.sim.process(self._deliver(msg, wire_bytes), name=f"deliver:{msg.seq}")
-        ctx.stats.send_time += self.sim.now - start
+                self._spawn_tx(src_node, wire_bytes)
+        self._start_delivery(msg, wire_bytes, src_node, dst_node)
+        stats.send_time += sim.now - start
         return msg
 
     def control_send(
@@ -417,14 +518,16 @@ class MpiRuntime:
         kind: MessageKind = MessageKind.CONTROL,
     ) -> Generator[Event, None, Message]:
         """Send a protocol control message (not logged, not traced, not S/R-counted)."""
+        if nbytes is not None and nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
         size = nbytes if nbytes is not None else self.config.control_message_bytes
         msg = self._make_message(ctx.rank, dst, size, tag, kind, payload=payload)
         src_node = ctx.node_id
         dst_node = self.ctx(dst).node_id
         yield self.sim.timeout(self.cluster.network.spec.per_message_overhead_s)
         if src_node != dst_node:
-            self.sim.process(self.cluster.network.tx(src_node, size), name=f"ctx:{msg.seq}")
-        self.sim.process(self._deliver(msg, size), name=f"deliver:{msg.seq}")
+            self._spawn_tx(src_node, size)
+        self._start_delivery(msg, size, src_node, dst_node)
         return msg
 
     def _match(
@@ -458,29 +561,38 @@ class MpiRuntime:
         False (used internally by protocols that must not re-enter).
         """
         start = self.sim.now
+        if not self.checkpoints_enabled:
+            # No checkpoint source attached: signals cannot occur, so the
+            # interruptible machinery (and its per-wait AnyOf condition) is
+            # vacuous and the receive waits on the bare inbox event.
+            interruptible = False
         get_ev = ctx.inbox.get(self._match(MessageKind.APP, src, tag))
         while True:
             if interruptible and not ctx.in_checkpoint and ctx.has_visible_request(self.sim.now):
                 yield from self.handle_pending_checkpoints(ctx)
                 continue
-            if get_ev.processed:
-                msg: Message = get_ev.value
+            if get_ev._processed:
+                msg: Message = get_ev._value
                 break
             if interruptible and not ctx.in_checkpoint:
-                if ctx.has_pending_request():
+                if get_ev._triggered:
+                    # A message already matched; no condition event is needed
+                    # to wait for its (same-time) arrival on the calendar.
+                    yield get_ev
+                elif ctx.has_pending_request():
                     # A request was delivered but is not visible yet; wake up
                     # either when the message arrives or when it becomes visible.
                     wait = max(ctx.next_visible_at() - self.sim.now, 0.0)
                     yield self.sim.any_of([get_ev, self.sim.timeout(wait)])
                 else:
                     yield self.sim.any_of([get_ev, ctx.signal_event])
-                if get_ev.processed:
-                    msg = get_ev.value
+                if get_ev._processed:
+                    msg = get_ev._value
                     break
                 # otherwise a checkpoint signal arrived or became visible; loop handles it
             else:
                 yield get_ev
-                msg = get_ev.value
+                msg = get_ev._value
                 break
         ctx.stats.recv_wait_time += self.sim.now - start
         return msg
@@ -544,63 +656,143 @@ class MpiRuntime:
             else:  # pragma: no cover - defensive
                 raise ValueError(f"unknown schedule action {action!r}")
 
+    # NOTE: the Compute/Send/Recv/SendRecv/Marker handlers below are shadowed
+    # by inlined copies in the _run_rank hot loop — a change to one of these
+    # five bodies must be mirrored there (the dispatch-table versions still
+    # serve execute_op() callers: protocols, tests, op subclasses).
+
+    def _op_compute(self, ctx: RankContext, op: Compute) -> Generator[Event, None, None]:
+        node = self.cluster.nodes[ctx.node_id]
+        duration = node.compute_time(op.seconds)
+        if op.jitter and node.spec.os_jitter_sigma > 0:
+            duration = self.rng.lognormal_jitter(
+                ctx.jitter_key, duration, node.spec.os_jitter_sigma
+            )
+        ctx.stats.compute_time += duration
+        if duration > 0:
+            yield Timeout(self.sim, duration)
+
+    def _op_send(self, ctx: RankContext, op: Send) -> Generator[Event, None, None]:
+        yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
+
+    def _op_isend(self, ctx: RankContext, op: Isend) -> Generator[Event, None, None]:
+        yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=False)
+
+    def _op_recv(self, ctx: RankContext, op: Recv) -> Generator[Event, None, None]:
+        yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+
+    def _op_sendrecv(self, ctx: RankContext, op: SendRecv) -> Generator[Event, None, None]:
+        yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
+        if op.src is not None:
+            yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+
+    def _op_wait(self, ctx: RankContext, op: Wait) -> Generator[Event, None, None]:
+        if op.seconds > 0:
+            yield self.sim.timeout(op.seconds)
+
+    def _op_barrier(self, ctx: RankContext, op: Barrier) -> Generator[Event, None, None]:
+        participants = op.participants or tuple(range(self.n_ranks))
+        steps = coll.barrier_schedule(ctx.rank, participants)
+        yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+
+    def _op_bcast(self, ctx: RankContext, op: Bcast) -> Generator[Event, None, None]:
+        participants = op.participants or tuple(range(self.n_ranks))
+        steps = coll.bcast_schedule(ctx.rank, op.root, participants, op.nbytes)
+        yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+
+    def _op_reduce(self, ctx: RankContext, op: Reduce) -> Generator[Event, None, None]:
+        participants = op.participants or tuple(range(self.n_ranks))
+        steps = coll.reduce_schedule(ctx.rank, op.root, participants, op.nbytes)
+        yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+
+    def _op_allreduce(self, ctx: RankContext, op: Allreduce) -> Generator[Event, None, None]:
+        participants = op.participants or tuple(range(self.n_ranks))
+        steps = coll.allreduce_schedule(ctx.rank, participants, op.nbytes)
+        yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+
+    def _op_allgather(self, ctx: RankContext, op: Allgather) -> Generator[Event, None, None]:
+        participants = op.participants or tuple(range(self.n_ranks))
+        steps = coll.allgather_schedule(ctx.rank, participants, op.nbytes)
+        yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
+
+    def _op_marker(self, ctx: RankContext, op: Marker) -> Generator[Event, None, None]:
+        ctx.stats.progress_marks.append((self.sim.now, op.label))
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    #: exact-type dispatch for the operation interpreter (isinstance fallback
+    #: in :meth:`execute_op` keeps subclassed operations working)
+    _OP_DISPATCH = {
+        Compute: _op_compute,
+        Send: _op_send,
+        Isend: _op_isend,
+        Recv: _op_recv,
+        SendRecv: _op_sendrecv,
+        Wait: _op_wait,
+        Barrier: _op_barrier,
+        Bcast: _op_bcast,
+        Reduce: _op_reduce,
+        Allreduce: _op_allreduce,
+        Allgather: _op_allgather,
+        Marker: _op_marker,
+    }
+
     def execute_op(self, ctx: RankContext, op: Op) -> Generator[Event, None, None]:
         """Interpret one application operation for ``ctx``."""
         ctx.stats.ops_executed += 1
-        if isinstance(op, Compute):
-            node = self.cluster.nodes[ctx.node_id]
-            duration = node.compute_time(op.seconds)
-            if op.jitter and node.spec.os_jitter_sigma > 0:
-                duration = self.rng.lognormal_jitter(
-                    f"jitter:rank{ctx.rank}", duration, node.spec.os_jitter_sigma
-                )
-            ctx.stats.compute_time += duration
-            if duration > 0:
-                yield self.sim.timeout(duration)
-        elif isinstance(op, Send):
-            yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
-        elif isinstance(op, Isend):
-            yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=False)
-        elif isinstance(op, Recv):
-            yield from self.app_recv(ctx, src=op.src, tag=op.tag)
-        elif isinstance(op, SendRecv):
-            yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
-            if op.src is not None:
-                yield from self.app_recv(ctx, src=op.src, tag=op.tag)
-        elif isinstance(op, Wait):
-            if op.seconds > 0:
-                yield self.sim.timeout(op.seconds)
-        elif isinstance(op, Barrier):
-            participants = op.participants or tuple(range(self.n_ranks))
-            steps = coll.barrier_schedule(ctx.rank, participants)
-            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
-        elif isinstance(op, Bcast):
-            participants = op.participants or tuple(range(self.n_ranks))
-            steps = coll.bcast_schedule(ctx.rank, op.root, participants, op.nbytes)
-            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
-        elif isinstance(op, Reduce):
-            participants = op.participants or tuple(range(self.n_ranks))
-            steps = coll.reduce_schedule(ctx.rank, op.root, participants, op.nbytes)
-            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
-        elif isinstance(op, Allreduce):
-            participants = op.participants or tuple(range(self.n_ranks))
-            steps = coll.allreduce_schedule(ctx.rank, participants, op.nbytes)
-            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
-        elif isinstance(op, Allgather):
-            participants = op.participants or tuple(range(self.n_ranks))
-            steps = coll.allgather_schedule(ctx.rank, participants, op.nbytes)
-            yield from self._run_schedule(ctx, steps, self._collective_tag(op.tag))
-        elif isinstance(op, Marker):
-            ctx.stats.progress_marks.append((self.sim.now, op.label))
-        else:
-            raise TypeError(f"unsupported operation type {type(op).__name__}")
+        handler = self._OP_DISPATCH.get(op.__class__)
+        if handler is None:
+            for op_type, candidate in self._OP_DISPATCH.items():
+                if isinstance(op, op_type):
+                    handler = candidate
+                    break
+            else:
+                raise TypeError(f"unsupported operation type {type(op).__name__}")
+        yield from handler(self, ctx, op)
 
     def _run_rank(self, ctx: RankContext, program: Iterable[Op]) -> Generator[Event, None, None]:
-        ctx.stats.started_at = self.sim.now
+        sim = self.sim
+        ctx.stats.started_at = sim.now
+        dispatch = self._OP_DISPATCH
+        stats = ctx.stats
         for op in program:
-            if ctx.has_visible_request(self.sim.now):
+            if ctx.pending_requests and ctx.has_visible_request(sim.now):
                 yield from self.handle_pending_checkpoints(ctx)
-            yield from self.execute_op(ctx, op)
+            # The five hottest operation kinds are interpreted inline — every
+            # generator frame removed here is removed from every resume of
+            # this rank (CPython walks the yield-from chain per send()).
+            # Everything else goes through the dispatch table / execute_op.
+            # These branches are verbatim copies of _op_compute/_op_send/
+            # _op_recv/_op_sendrecv/_op_marker: edits must be mirrored.
+            cls = op.__class__
+            stats.ops_executed += 1
+            if cls is SendRecv:
+                yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
+                if op.src is not None:
+                    yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+            elif cls is Compute:
+                node = self.cluster.nodes[ctx.node_id]
+                duration = node.compute_time(op.seconds)
+                if op.jitter and node.spec.os_jitter_sigma > 0:
+                    duration = self.rng.lognormal_jitter(
+                        ctx.jitter_key, duration, node.spec.os_jitter_sigma
+                    )
+                stats.compute_time += duration
+                if duration > 0:
+                    yield Timeout(sim, duration)
+            elif cls is Send:
+                yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
+            elif cls is Recv:
+                yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+            elif cls is Marker:
+                stats.progress_marks.append((sim.now, op.label))
+            else:
+                handler = dispatch.get(cls)
+                if handler is None:
+                    stats.ops_executed -= 1  # execute_op counts it itself
+                    yield from self.execute_op(ctx, op)
+                else:
+                    yield from handler(self, ctx, op)
         # Handle any request that was delivered but not yet handled, so group
         # barriers never wait on a rank that has already exited.  Requests that
         # are not yet visible are waited out first.
@@ -626,10 +818,8 @@ class MpiRuntime:
         if not self._rank_processes:
             raise RuntimeError("launch() must be called before run_to_completion()")
         done = self.sim.all_of(self._rank_processes)
-        while not done.processed:
-            if limit_s is not None and self.sim.peek() > limit_s:
-                raise RuntimeError(f"application did not finish within {limit_s} simulated seconds")
-            self.sim.step()
+        if not self.sim.run_until_event(done, limit=limit_s):
+            raise RuntimeError(f"application did not finish within {limit_s} simulated seconds")
         makespan = max(
             ctx.stats.finished_at for ctx in self.contexts if ctx.stats.finished_at is not None
         )

@@ -6,14 +6,25 @@ virtual time to it and invokes the event's callbacks.  A :class:`SimProcess`
 is itself an event (it fires when the underlying generator returns), and it
 registers a callback on whatever event its generator yields so it is resumed
 when that event fires.
+
+Hot-path design notes
+---------------------
+Next to the calendar the simulator keeps an *immediate queue*: callbacks that
+must run at the current time, before the next calendar event.  Process
+bootstrap, interrupt delivery, and resuming a process that yielded an
+already-fired event all go through it, so none of those paths allocates (or
+heap-schedules) a wake event any more.  The elisions are counted in
+:class:`SimStats` (``sim.stats``), which also tracks heap pushes and events
+created by kind — speedups are measured, not assumed.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+from collections import deque
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
-from repro.sim.primitives import AllOf, AnyOf, Event, Timeout
+from repro.sim.primitives import AllOf, AnyOf, Event, EventName, Timeout
 
 
 class SimulationError(RuntimeError):
@@ -34,6 +45,56 @@ class Interrupt(Exception):
 ProcessGenerator = Generator[Event, Any, Any]
 
 
+class SimStats:
+    """Cheap counter bundle describing what the kernel actually did.
+
+    Every counter is a plain int slot (one integer add on the hot path).
+    ``events_elided`` is the number of calendar events the fast paths
+    provably avoided relative to the full coroutine/event model — the
+    determinism-parity tests assert ``slow.processed_events ==
+    fast.processed_events + fast.stats.events_elided`` for toggled runs.
+    """
+
+    __slots__ = (
+        "heap_pushes",
+        "timeouts",
+        "conditions",
+        "processes",
+        "immediate_boots",
+        "immediate_resumes",
+        "immediate_interrupts",
+        "immediate_calls",
+        "store_wakeups",
+        "fastpath_tx",
+        "fastpath_rx",
+        "fastpath_local",
+        "events_elided",
+    )
+
+    def __init__(self) -> None:
+        self.heap_pushes = 0          # events pushed onto the calendar
+        self.timeouts = 0             # Timeout events created
+        self.conditions = 0           # AllOf/AnyOf conditions created
+        self.processes = 0            # SimProcess instances started
+        self.immediate_boots = 0      # process bootstraps via the immediate queue
+        self.immediate_resumes = 0    # already-fired-event resumes via the queue
+        self.immediate_interrupts = 0  # interrupt deliveries via the queue
+        self.immediate_calls = 0      # plain call_soon callbacks
+        self.store_wakeups = 0        # store getters woken via the queue
+        self.fastpath_tx = 0          # closed-form sender-side transfers
+        self.fastpath_rx = 0          # closed-form delivery paths
+        self.fastpath_local = 0       # same-node deliveries without a process
+        self.events_elided = 0        # calendar events the fast paths avoided
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (for payloads, logs and benchmark reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"<SimStats {fields or 'empty'}>"
+
+
 class SimProcess(Event):
     """A running simulation process wrapping a generator.
 
@@ -41,27 +102,35 @@ class SimProcess(Event):
     fires; the fired value is sent into the generator (or the exception is
     thrown, for failed events).  When the generator returns, the process
     event fires with the generator's return value.
+
+    Bootstrap and wake-ups for already-fired events go through the
+    simulator's immediate queue instead of allocating wake events;
+    ``_imm_token`` invalidates a queued resume when an interrupt overtakes it.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_interrupts")
+    __slots__ = ("generator", "_waiting_on", "_interrupts", "_imm_token")
 
-    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "") -> None:
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: EventName = None) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"SimProcess requires a generator, got {type(generator).__name__}")
-        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        Event.__init__(self, sim, name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupts: List[Interrupt] = []
-        # Bootstrap: resume the process at time "now".
-        boot = Event(sim, name=f"init:{self.name}")
-        boot.callbacks.append(self._resume)
-        boot.succeed(None)
+        self._imm_token = 0
+        stats = sim.stats
+        stats.processes += 1
+        stats.immediate_boots += 1
+        # Bootstrap: resume the process at time "now", before the next
+        # calendar event (no boot Event is allocated or heap-scheduled).
+        sim._immediate.append((self._boot, None))
 
     # -- public --------------------------------------------------------
     @property
     def is_alive(self) -> bool:
         """True while the generator has not finished."""
-        return not self.triggered
+        return not self._triggered
 
     @property
     def waiting_on(self) -> Optional[Event]:
@@ -73,43 +142,57 @@ class SimProcess(Event):
 
         The process stops waiting on its current event (which may still fire
         later and is simply ignored) and resumes with the exception.
+        Delivery goes through the immediate queue, preserving FIFO order
+        with pending bootstraps and wake-ups.
         """
         if not self.is_alive:
             return
         self._interrupts.append(Interrupt(cause))
-        wake = Event(self.sim, name=f"interrupt:{self.name}")
-        wake.callbacks.append(self._deliver_interrupt)
-        wake.succeed(None)
+        self.sim.stats.immediate_interrupts += 1
+        self.sim._immediate.append((self._deliver_interrupt, None))
 
     # -- internal ------------------------------------------------------
-    def _deliver_interrupt(self, _event: Event) -> None:
+    def _boot(self, _arg: Any) -> None:
+        if self._triggered:  # pragma: no cover - defensive
+            return
+        self._step(None, is_exception=False)
+
+    def _deliver_interrupt(self, _arg: Any) -> None:
         if not self.is_alive or not self._interrupts:
             return
         exc = self._interrupts.pop(0)
         target = self._waiting_on
-        if target is not None and not target.processed and target.callbacks is not None:
+        if target is not None and not target._processed and target.callbacks is not None:
             try:
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
         self._waiting_on = None
+        self._imm_token += 1  # invalidate any queued immediate resume
         self._step(exc, is_exception=True)
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._triggered:
             return
         if self._waiting_on is not None and event is not self._waiting_on:
             # Stale wake-up from an event we stopped waiting on (interrupt).
             return
         self._waiting_on = None
-        if event.ok:
-            self._step(event.value, is_exception=False)
+        if event._ok:
+            self._step(event._value, is_exception=False)
         else:
             event.defused = True
-            self._step(event.value, is_exception=True)
+            self._step(event._value, is_exception=True)
+
+    def _imm_resume(self, arg: Tuple[int, Any, bool]) -> None:
+        token, value, is_exception = arg
+        if self._triggered or token != self._imm_token:
+            return
+        self._step(value, is_exception)
 
     def _step(self, value: Any, is_exception: bool) -> None:
-        self.sim._active_process = self
+        sim = self.sim
+        sim._active_process = self
         try:
             if is_exception:
                 if isinstance(value, BaseException):
@@ -125,27 +208,27 @@ class SimProcess(Event):
             self.fail(exc)
             return
         finally:
-            self.sim._active_process = None
+            sim._active_process = None
 
-        if not isinstance(target, Event):
+        cls = target.__class__
+        if cls is not Timeout and cls is not Event and not isinstance(target, Event):
             err = SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Event instances"
             )
             self.fail(err)
             return
-        if target.processed:
-            # Already fired: resume immediately (at the current time).
-            wake = Event(self.sim, name=f"immediate:{self.name}")
-            self._waiting_on = wake
-            wake.callbacks.append(self._resume)
-            if target.ok:
-                wake.succeed(target.value)
-            else:
+        if target._processed:
+            # Already fired: resume at the current time through the immediate
+            # queue (the pre-fast-path kernel allocated a wake Event here).
+            self._imm_token += 1
+            sim.stats.immediate_resumes += 1
+            if not target._ok:
                 target.defused = True
-                wake.fail(target.value)
+            sim._immediate.append(
+                (self._imm_resume, (self._imm_token, target._value, not target._ok))
+            )
         else:
             self._waiting_on = target
-            assert target.callbacks is not None
             target.callbacks.append(self._resume)
 
 
@@ -156,6 +239,9 @@ class Simulator:
     ----------
     now:
         Current virtual time (seconds, by convention of this project).
+    stats:
+        :class:`SimStats` counter bundle (events by kind, heap pushes,
+        immediate resumes, fast-path elisions).
     """
 
     def __init__(self) -> None:
@@ -164,19 +250,42 @@ class Simulator:
         self._counter = 0
         self._active_process: Optional[SimProcess] = None
         self._event_count = 0
+        #: callbacks to run at the current time, before the next calendar event
+        self._immediate: deque = deque()
+        self.stats = SimStats()
         #: user-attachable bag of named objects (cluster, runtime, ...)
         self.context: Dict[str, Any] = {}
 
     # -- event factory helpers -----------------------------------------
-    def event(self, name: str = "") -> Event:
+    def event(self, name: EventName = None) -> Event:
         """Create a fresh pending :class:`Event`."""
         return Event(self, name=name)
 
-    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+    def timeout(self, delay: float, value: Any = None, name: EventName = None) -> Timeout:
         """Create an event firing ``delay`` time units from now."""
         return Timeout(self, delay, value=value, name=name)
 
-    def process(self, generator: ProcessGenerator, name: str = "") -> SimProcess:
+    def fire_at(self, time: float, value: Any = None, name: EventName = None) -> Event:
+        """An already-triggered event firing at *absolute* time ``time``.
+
+        Unlike :meth:`timeout` (which schedules ``now + delay``), this places
+        the event at an exact absolute timestamp.  The closed-form network
+        fast path uses it to reproduce, bit-for-bit, the completion times the
+        multi-yield coroutine model would compute through its chain of
+        relative timeouts (floating-point addition is not associative, so
+        ``now + (a + b)`` and ``(now + a) + b`` can differ in the last ulp).
+        """
+        if time < self.now:
+            raise ValueError(f"cannot fire at {time} before the current time {self.now}")
+        ev = Event(self, name=name)
+        ev._triggered = True
+        ev._value = value
+        self._counter += 1
+        heapq.heappush(self._heap, (time, self._counter, ev))
+        self.stats.heap_pushes += 1
+        return ev
+
+    def process(self, generator: ProcessGenerator, name: EventName = None) -> SimProcess:
         """Register ``generator`` as a simulation process starting now."""
         return SimProcess(self, generator, name=name)
 
@@ -195,13 +304,36 @@ class Simulator:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._counter += 1
         heapq.heappush(self._heap, (self.now + delay, self._counter, event))
+        self.stats.heap_pushes += 1
+
+    def call_soon(self, fn: Callable[[Any], None], arg: Any = None) -> None:
+        """Run ``fn(arg)`` at the current time, before the next calendar event.
+
+        Immediate callbacks run in FIFO order and may enqueue further
+        immediate callbacks; no calendar event is allocated.
+        """
+        self.stats.immediate_calls += 1
+        self._immediate.append((fn, arg))
+
+    def _drain_immediate(self) -> None:
+        imm = self._immediate
+        while imm:
+            fn, arg = imm.popleft()
+            fn(arg)
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if the calendar is empty."""
+        """Time of the next pending work item (``inf`` if the calendar is empty).
+
+        Pending immediate callbacks count as work at the current time.
+        """
+        if self._immediate:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
+        """Run pending immediate callbacks, then process exactly one event."""
+        if self._immediate:
+            self._drain_immediate()
         if not self._heap:
             raise SimulationError("step() on an empty calendar")
         time, _, event = heapq.heappop(self._heap)
@@ -209,25 +341,31 @@ class Simulator:
             raise SimulationError("event scheduled in the past")
         self.now = time
         self._event_count += 1
-        callbacks = event.callbacks or []
-        event._mark_processed()
-        for cb in callbacks:
-            cb(event)
-        if not event.ok and not event.defused:
-            exc = event.value
+        callbacks = event.callbacks
+        event._processed = True
+        event.callbacks = None
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        if not event._ok and not event.defused:
+            exc = event._value
             if isinstance(exc, BaseException):
                 raise exc
             raise SimulationError(f"unhandled failed event: {event!r}")
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the calendar is empty or ``until`` is reached.
+        """Run until no work remains or ``until`` is reached.
 
         Returns the final simulation time.
         """
         if until is not None and until < self.now:
             raise ValueError("'until' must not be before the current time")
-        while self._heap:
-            if until is not None and self.peek() > until:
+        while True:
+            if self._immediate:
+                self._drain_immediate()
+            if not self._heap:
+                break
+            if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return self.now
             self.step()
@@ -235,18 +373,63 @@ class Simulator:
             self.now = max(self.now, until)
         return self.now
 
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> bool:
+        """Run until ``event`` has been processed; the kernel's hot loop.
+
+        Returns True when the event was processed, False when the next
+        calendar entry lies beyond ``limit`` (simulated time then stops just
+        before it, exactly like the step-by-step loop it replaces).  Raises
+        :class:`SimulationError` on deadlock (no work left).  The loop body
+        is inlined with locally bound state — this is what the MPI runtime
+        drives whole applications through, so it avoids per-event method
+        dispatch entirely.
+        """
+        heap = self._heap
+        imm = self._immediate
+        pop = heapq.heappop
+        while not event._processed:
+            while imm:
+                fn, arg = imm.popleft()
+                fn(arg)
+            if not heap:
+                if event._processed:
+                    break
+                raise SimulationError(
+                    f"deadlock: event {event!r} never fired and no events remain"
+                )
+            if limit is not None and heap[0][0] > limit:
+                return False
+            time, _, ev = pop(heap)
+            self.now = time
+            self._event_count += 1
+            callbacks = ev.callbacks
+            ev._processed = True
+            ev.callbacks = None
+            if callbacks:
+                for cb in callbacks:
+                    cb(ev)
+            if not ev._ok and not ev.defused:
+                exc = ev._value
+                if isinstance(exc, BaseException):
+                    raise exc
+                raise SimulationError(f"unhandled failed event: {ev!r}")
+        return True
+
     def run_until_complete(self, process: SimProcess, limit: Optional[float] = None) -> Any:
         """Run until ``process`` finishes; return its value.
 
         Raises :class:`SimulationError` if the calendar drains (deadlock) or
         the time ``limit`` is exceeded before the process completes.
         """
-        while not process.triggered:
+        while not process._triggered:
+            if self._immediate:
+                self._drain_immediate()
+                continue
             if not self._heap:
                 raise SimulationError(
                     f"deadlock: process {process.name!r} never completed and no events remain"
                 )
-            if limit is not None and self.peek() > limit:
+            if limit is not None and self._heap[0][0] > limit:
                 raise SimulationError(f"time limit {limit} exceeded waiting for {process.name!r}")
             self.step()
         if not process.ok:
@@ -259,7 +442,7 @@ class Simulator:
     # -- introspection ---------------------------------------------------
     @property
     def processed_events(self) -> int:
-        """Total number of events processed so far."""
+        """Total number of calendar events processed so far."""
         return self._event_count
 
     @property

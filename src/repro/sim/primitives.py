@@ -5,15 +5,35 @@ at some point in virtual time, optionally carrying a value.  Processes wait
 on events by ``yield``-ing them.  Composite conditions (:class:`AllOf`,
 :class:`AnyOf`) and resources (:class:`Resource`, :class:`Store`) are built
 from plain events so the scheduler itself stays tiny.
+
+Hot-path design notes
+---------------------
+Millions of events are created per simulated run, so the constructors avoid
+any per-event work that is only needed for debugging:
+
+* **Lazy names.**  ``name`` may be a plain string, ``None`` (the default), or
+  a zero-argument callable; it is only resolved in ``__repr__`` and error
+  paths, never on the hot path.  Hot creators pass nothing.
+* **Slot-only construction.**  :class:`Timeout` writes its slots directly and
+  pushes itself onto the calendar inline instead of going through the
+  ``Event`` constructor plus :meth:`Simulator.schedule`.
+* **Counter-based conditions.**  :class:`AllOf`/:class:`AnyOf` complete on a
+  fired-child counter; an ``AnyOf`` whose first child is already processed
+  never registers callbacks on the remaining children.
+* :meth:`Resource.acquire_nowait` grants an idle slot without allocating a
+  grant event — the network fast path uses it to reserve an uncontended NIC.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
+
+#: lazy event label: literal, deferred factory, or absent
+EventName = Union[str, Callable[[], str], None]
 
 
 class Event:
@@ -28,14 +48,16 @@ class Event:
     sim:
         Owning simulator.
     name:
-        Optional label used in ``repr`` and error messages.
+        Optional label used in ``repr`` and error messages.  May be a string
+        or a zero-argument callable (resolved lazily, so hot paths never pay
+        for string formatting).
     """
 
-    __slots__ = ("sim", "name", "callbacks", "_value", "_ok", "_triggered", "_processed", "defused")
+    __slots__ = ("sim", "_name", "callbacks", "_value", "_ok", "_triggered", "_processed", "defused")
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: "Simulator", name: EventName = None) -> None:
         self.sim = sim
-        self.name = name
+        self._name = name
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._ok: bool = True
@@ -46,6 +68,16 @@ class Event:
         self.defused = False
 
     # -- state ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Resolved label (may invoke a lazy name factory; '' if unnamed)."""
+        n = self._name
+        if n is None:
+            return ""
+        if callable(n):
+            return str(n())
+        return n
+
     @property
     def triggered(self) -> bool:
         """True once the event has been scheduled to fire."""
@@ -91,10 +123,10 @@ class Event:
 
     def trigger(self, other: "Event") -> None:
         """Fire with the same outcome as ``other`` (used by conditions)."""
-        if other.ok:
-            self.succeed(other.value)
+        if other._ok:
+            self.succeed(other._value)
         else:
-            self.fail(other.value)
+            self.fail(other._value)
 
     # -- internal ------------------------------------------------------
     def _mark_processed(self) -> None:
@@ -103,53 +135,78 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
-        label = f" {self.name!r}" if self.name else ""
+        name = self.name
+        label = f" {name!r}" if name else ""
         return f"<{type(self).__name__}{label} {state}>"
 
 
 class Timeout(Event):
-    """An event that fires automatically ``delay`` time units after creation."""
+    """An event that fires automatically ``delay`` time units after creation.
+
+    The constructor is slot-optimised: it writes every attribute directly and
+    pushes itself onto the owning simulator's calendar inline, skipping the
+    generic ``Event.__init__`` → ``succeed`` → ``schedule`` chain (timeouts
+    are the single most frequently created event kind).
+    """
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None, name: str = "") -> None:
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 name: EventName = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._triggered = True
-        self._ok = True
+        self.sim = sim
+        self._name = name
+        self.callbacks = []
         self._value = value
-        sim.schedule(self, delay)
+        self._ok = True
+        self._triggered = True
+        self._processed = False
+        self.defused = False
+        self.delay = delay
+        sim._counter += 1
+        heapq.heappush(sim._heap, (sim.now + delay, sim._counter, self))
+        stats = sim.stats
+        stats.heap_pushes += 1
+        stats.timeouts += 1
 
 
 class Condition(Event):
-    """Base for composite wait conditions over a set of events."""
+    """Base for composite wait conditions over a set of events.
+
+    Completion is counter-based: each fired child bumps ``_n_fired`` and the
+    condition triggers once :meth:`_satisfied` holds.  Registration stops as
+    soon as the condition triggers, so an :class:`AnyOf` whose first child is
+    already processed costs no callback appends at all.
+    """
 
     __slots__ = ("events", "_n_fired")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "") -> None:
-        super().__init__(sim, name=name)
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: EventName = None) -> None:
+        Event.__init__(self, sim, name)
         self.events: List[Event] = list(events)
         self._n_fired = 0
+        sim.stats.conditions += 1
         if not self.events:
             self.succeed({})
             return
+        on_fire = self._on_fire
         for ev in self.events:
             if ev.sim is not sim:
                 raise ValueError("all events of a condition must share a simulator")
-            if ev.processed:
-                self._on_fire(ev)
+            if self._triggered:
+                break
+            if ev._processed:
+                on_fire(ev)
             else:
-                assert ev.callbacks is not None
-                ev.callbacks.append(self._on_fire)
+                ev.callbacks.append(on_fire)
 
     def _on_fire(self, event: Event) -> None:
         if self._triggered:
             return
-        if not event.ok:
+        if not event._ok:
             event.defused = True
-            self.fail(event.value)
+            self.fail(event._value)
             return
         self._n_fired += 1
         if self._satisfied():
@@ -159,7 +216,7 @@ class Condition(Event):
         raise NotImplementedError
 
     def _collect(self) -> Any:
-        return {ev: ev.value for ev in self.events if ev.triggered and ev.ok}
+        return {ev: ev._value for ev in self.events if ev._triggered and ev._ok}
 
 
 class AllOf(Condition):
@@ -184,16 +241,22 @@ class ResourceRequest(Event):
     """A pending claim on a :class:`Resource` slot.
 
     Use as a context manager or release explicitly via
-    :meth:`Resource.release`.
+    :meth:`Resource.release`.  The label is derived lazily from the owning
+    resource (requests are created per message on the network hot path).
     """
 
     __slots__ = ("resource", "priority", "order")
 
     def __init__(self, resource: "Resource", priority: float, order: int) -> None:
-        super().__init__(resource.sim, name=f"req:{resource.name}")
+        Event.__init__(self, resource.sim)
         self.resource = resource
         self.priority = priority
         self.order = order
+
+    @property
+    def name(self) -> str:
+        """Lazy request label (resolved only for repr/debugging)."""
+        return f"req:{self.resource.name}"
 
     def __enter__(self) -> "ResourceRequest":
         return self
@@ -203,6 +266,16 @@ class ResourceRequest(Event):
 
     def __lt__(self, other: "ResourceRequest") -> bool:
         return (self.priority, self.order) < (other.priority, other.order)
+
+
+class ResourceHold:
+    """Opaque slot token granted by :meth:`Resource.acquire_nowait`.
+
+    Carries no state at all — it exists only as an identity entry in the
+    resource's holder list until :meth:`Resource.release` removes it.
+    """
+
+    __slots__ = ()
 
 
 class Resource:
@@ -232,6 +305,11 @@ class Resource:
         """Number of requests waiting for a slot."""
         return len(self._queue)
 
+    @property
+    def idle(self) -> bool:
+        """True when nothing holds or waits for a slot."""
+        return not self._users and not self._queue
+
     def request(self, priority: float = 0.0) -> ResourceRequest:
         """Request a slot.  The returned event fires when the slot is granted."""
         self._order += 1
@@ -240,8 +318,23 @@ class Resource:
         self._grant()
         return req
 
-    def release(self, request: ResourceRequest) -> None:
-        """Release a previously granted slot (no-op if never granted)."""
+    def acquire_nowait(self) -> Optional["ResourceHold"]:
+        """Claim a slot synchronously if one is free and nobody queues.
+
+        Returns an opaque hold token (release it normally via
+        :meth:`release`), or ``None`` when the resource is contended.  Unlike
+        :meth:`request` this allocates no grant event — not even a request
+        object — it is the closed-form fast path used for provably
+        uncontended NIC holds.
+        """
+        if self._queue or len(self._users) >= self.capacity:
+            return None
+        hold = ResourceHold()
+        self._users.append(hold)
+        return hold
+
+    def release(self, request: Union[ResourceRequest, "ResourceHold"]) -> None:
+        """Release a previously granted slot or hold (no-op if never granted)."""
         if request in self._users:
             self._users.remove(request)
         else:
@@ -256,10 +349,20 @@ class Resource:
     def _grant(self) -> None:
         while self._queue and len(self._users) < self.capacity:
             req = heapq.heappop(self._queue)
-            if req.triggered:
+            if req._triggered:
                 continue
             self._users.append(req)
             req.succeed(req)
+
+
+def _fire_event_now(ev: Event) -> None:
+    """Immediate-queue thunk: deliver an already-triggered event's callbacks."""
+    callbacks = ev.callbacks
+    ev._processed = True
+    ev.callbacks = None
+    if callbacks:
+        for cb in callbacks:
+            cb(ev)
 
 
 class Store:
@@ -268,6 +371,11 @@ class Store:
     Used for per-channel message queues in the MPI runtime: ``put`` never
     blocks, ``get`` returns an event that fires when an item (optionally one
     matching ``filter``) becomes available.
+
+    Get events fire through the simulator's immediate queue (still at the
+    current time, still after the putting callback finishes) instead of a
+    delay-zero calendar event — one heap push/pop less per message on the
+    runtime's hottest path.
     """
 
     def __init__(self, sim: "Simulator", name: str = "store") -> None:
@@ -282,13 +390,15 @@ class Store:
     def put(self, item: Any) -> None:
         """Deposit ``item`` and wake a matching waiter, if any."""
         self.items.append(item)
-        self._dispatch()
+        if self._getters:
+            self._dispatch()
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
         """Return an event that fires with the next item matching ``filter``."""
-        ev = Event(self.sim, name=f"get:{self.name}")
+        ev = Event(self.sim)
         self._getters.append((ev, filter))
-        self._dispatch()
+        if self.items:
+            self._dispatch()
         return ev
 
     def peek(self, filter: Optional[Callable[[Any], bool]] = None) -> Optional[Any]:
@@ -299,22 +409,33 @@ class Store:
         return None
 
     def _dispatch(self) -> None:
-        if not self._getters or not self.items:
+        items = self.items
+        if not self._getters or not items:
             return
         remaining: List[tuple[Event, Optional[Callable[[Any], bool]]]] = []
-        for ev, flt in self._getters:
-            if ev.triggered:
+        for entry in self._getters:
+            ev, flt = entry
+            if ev._triggered:
                 continue
             idx = None
-            for i, item in enumerate(self.items):
-                if flt is None or flt(item):
-                    idx = i
-                    break
-            if idx is None:
-                remaining.append((ev, flt))
+            if flt is None:
+                if items:
+                    idx = 0
             else:
-                item = self.items.pop(idx)
-                ev.succeed(item)
+                for i, item in enumerate(items):
+                    if flt(item):
+                        idx = i
+                        break
+            if idx is None:
+                remaining.append(entry)
+            else:
+                item = items.pop(idx)
+                ev._triggered = True
+                ev._ok = True
+                ev._value = item
+                sim = ev.sim
+                sim.stats.store_wakeups += 1
+                sim._immediate.append((_fire_event_now, ev))
         self._getters = remaining
 
 
@@ -324,4 +445,5 @@ class PriorityStore(Store):
     def put(self, item: Any) -> None:
         self.items.append(item)
         self.items.sort()
-        self._dispatch()
+        if self._getters:
+            self._dispatch()

@@ -360,3 +360,100 @@ def test_export_rejects_unknown_columns():
     _, results = _finished_campaign()
     with pytest.raises(KeyError):
         results_to_series(results, x="seed", y="makspan")  # typo must not yield Nones
+
+
+# ------------------------------------------------------- simulator fingerprint stamping
+def test_payload_carries_simulator_fingerprint():
+    from repro.campaign.results import payload_stamp, simulator_fingerprint
+
+    payload = metrics_payload(run_scenario(ring_config()))
+    assert payload["sim_version"] == simulator_fingerprint()
+    stamp = payload_stamp()
+    assert all(payload[name] == value for name, value in stamp.items())
+
+
+def test_run_invalidates_rows_from_older_simulator_fingerprint():
+    from repro.campaign.results import PAYLOAD_VERSION
+
+    campaign = Campaign()
+    config = ring_config()
+    key = campaign.store.add(config)
+    campaign.store.claim("old-kernel")
+    # right payload version, but written by a different simulator build
+    campaign.store.mark_done(
+        key, {"version": PAYLOAD_VERSION, "sim_version": "0.0.1+kernel-r0",
+              "makespan": -1.0})
+    results = campaign.run([config])
+    assert campaign.last_executed == 1  # stale row re-ran instead of serving
+    assert results[0].makespan > 0
+    assert campaign.store.get(key).metrics["sim_version"] != "0.0.1+kernel-r0"
+
+
+def test_resume_reopens_stale_fingerprint_rows():
+    from repro.campaign.results import PAYLOAD_VERSION
+
+    campaign = Campaign()
+    config = ring_config()
+    key = campaign.store.add(config)
+    campaign.store.claim("old-kernel")
+    campaign.store.mark_done(
+        key, {"version": PAYLOAD_VERSION, "sim_version": "stale", "makespan": -1.0})
+    assert campaign.resume() == 1
+    row = campaign.store.get(key)
+    assert row.status == "done" and row.metrics["makespan"] > 0
+
+
+def test_stale_done_keys_scoped_and_matching_rows_kept():
+    from repro.campaign.results import payload_stamp
+
+    campaign = Campaign()
+    fresh_config = ring_config(seed=1)
+    campaign.run([fresh_config])  # writes a correctly stamped row
+    stale_config = ring_config(seed=2)
+    stale_key = campaign.store.add(stale_config)
+    campaign.store.claim("old")
+    campaign.store.mark_done(stale_key, {"version": 0, "makespan": 0.0})
+    stamp = payload_stamp()
+    assert campaign.store.stale_done_keys(stamp) == [stale_key]
+    # scoped scan: restricting to the fresh key reports nothing stale
+    assert campaign.store.stale_done_keys(stamp, keys=[scenario_key(fresh_config)]) == []
+    assert campaign.store.stale_done_keys(stamp, keys=[]) == []
+
+
+# ------------------------------------------------------------------ benchmark side table
+def test_benchmark_rows_round_trip_and_append():
+    store = CampaignStore(":memory:")
+    first = store.record_benchmark("kernel_speed", {"events_per_s": 100.0})
+    second = store.record_benchmark("kernel_speed", {"events_per_s": 200.0})
+    store.record_benchmark("other", {"x": 1})
+    assert second > first
+    rows = store.benchmark_rows("kernel_speed")
+    assert [row["payload"]["events_per_s"] for row in rows] == [100.0, 200.0]
+    assert len(store.benchmark_rows()) == 3
+
+
+# ------------------------------------------------------------- failure-rate campaign
+def test_failure_rate_sweep_runs_through_campaign_and_caches():
+    from repro.experiments.failures import failure_rate_sweep
+
+    campaign = Campaign()
+    set_default_campaign(campaign)
+    try:
+        out = failure_rate_sweep(QUICK, n_ranks=16, intervals=(8.0,),
+                                 failure_rates=(1e-6, 1e-3))
+        assert len(out["points"]) == 4  # 2 rates x 2 methods
+        executed_cold = campaign.last_executed
+        assert executed_cold > 0
+        # a higher failure rate can only raise the expected total cost
+        by_method = {}
+        for point in out["points"]:
+            by_method.setdefault(point.method, []).append(point)
+        for points in by_method.values():
+            points.sort(key=lambda p: p.failure_rate_per_node_s)
+            assert points[0].expected_total_cost_s <= points[1].expected_total_cost_s
+        # warm rerun: everything served from the store
+        failure_rate_sweep(QUICK, n_ranks=16, intervals=(8.0,),
+                           failure_rates=(1e-6, 1e-3))
+        assert campaign.last_executed == 0
+    finally:
+        set_default_campaign(None)

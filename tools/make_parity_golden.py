@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the determinism-parity golden file.
+
+Runs every scenario of :func:`repro.experiments.parity.quick_parity_configs`
+on the current kernel and writes their simulated metrics to
+``tests/data/quick_parity_golden.json``.  The committed golden file was
+produced by the pre-fast-path kernel; regenerate it only when a change is
+*meant* to alter simulated results (and say so in the commit message).
+
+Usage::
+
+    PYTHONPATH=src python tools/make_parity_golden.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.parity import parity_metrics, quick_parity_configs, scenario_label
+from repro.experiments.runner import run_scenario
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=os.path.join(os.path.dirname(__file__), "..", "tests", "data",
+                             "quick_parity_golden.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args()
+
+    golden = {}
+    for config in quick_parity_configs():
+        label = scenario_label(config)
+        result = run_scenario(config)
+        metrics = parity_metrics(result)
+        sim = result.app.contexts[0].sim
+        golden[label] = {
+            "metrics": metrics,
+            # informational: heap events processed by the *app* simulation
+            # (restart runs its own simulator); not asserted bit-exactly
+            # across kernel generations, only within one.
+            "processed_events": sim.processed_events,
+        }
+        print(f"{label}: makespan={metrics['makespan']:.6f} "
+              f"ckpts={metrics['checkpoints_completed']} "
+              f"events={sim.processed_events}")
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w") as fh:
+        json.dump(golden, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {len(golden)} scenarios to {args.out}")
+
+
+if __name__ == "__main__":
+    main()
