@@ -67,8 +67,11 @@ def main(argv=None) -> int:
     campaign = Campaign(CampaignStore(args.db), n_workers=args.workers)
 
     # -- 1. simulate an interrupted run: register everything, execute nothing ----
+    # A dead worker's heartbeat dies with it, so its claim's lease lapses;
+    # lease_s=0 models an already-stale claim (a live claim would be waited
+    # for instead — see the lease tests in tests/test_campaign.py).
     campaign.store.add_many(configs)
-    interrupted = campaign.store.claim("crashed-worker")  # claimed, never finished
+    interrupted = campaign.store.claim("crashed-worker", lease_s=0.0)
     print(f"simulated crash: scenario {interrupted.key[:12]}… left 'running'")
 
     # -- 2. resume: re-opens orphaned rows, executes all open work in parallel ---

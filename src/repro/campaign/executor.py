@@ -20,13 +20,15 @@ from __future__ import annotations
 import atexit
 import os
 import tempfile
+import threading
 import time
 import traceback
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.campaign.results import StoredResult, metrics_payload, payload_stamp
-from repro.campaign.store import CampaignStore, ExperimentRow
+from repro.campaign.store import DEFAULT_LEASE_S, CampaignStore, ExperimentRow
 from repro.experiments.config import ScenarioConfig
 
 
@@ -46,10 +48,44 @@ def execute_scenario(config: ScenarioConfig) -> Dict[str, object]:
     return metrics_payload(run_scenario(config))
 
 
+class _LeaseHeartbeat:
+    """Background thread renewing one claim's lease while it executes.
+
+    Uses its own store connection (sqlite connections are not shareable
+    across threads) and stops silently once asked — a stale heartbeat can
+    never resurrect a claim that expired and was reclaimed, because
+    :meth:`CampaignStore.renew_lease` checks owner and status.
+    """
+
+    def __init__(self, db_path: str, key: str, worker: str, lease_s: float) -> None:
+        self.db_path = db_path
+        self.key = key
+        self.worker = worker
+        self.lease_s = lease_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"lease-heartbeat:{key[:8]}")
+        self._thread.start()
+
+    def _run(self) -> None:
+        store = CampaignStore(self.db_path)
+        try:
+            while not self._stop.wait(self.lease_s / 3.0):
+                if not store.renew_lease(self.key, self.worker, self.lease_s):
+                    return
+        finally:
+            store.close()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
 def drain_store(
     store: CampaignStore,
     worker: str = "worker",
     keys: Optional[Sequence[str]] = None,
+    lease_s: float = DEFAULT_LEASE_S,
 ) -> int:
     """Claim-and-run experiments from ``store`` until none is pending.
 
@@ -57,14 +93,19 @@ def drain_store(
     anything pending).  Returns the number of experiments executed
     (successfully or not).  Failures are recorded in the store with their
     traceback; they never propagate, so one bad scenario cannot take the
-    whole worker down.
+    whole worker down.  On a file-backed store each claim is kept alive by
+    a heartbeat thread renewing its lease every ``lease_s / 3`` seconds, so
+    long scenarios are never mistaken for crashed ones.
     """
     executed = 0
     while True:
-        row = store.claim(worker, keys=keys)
+        row = store.claim(worker, keys=keys, lease_s=lease_s)
         if row is None:
             return executed
         executed += 1
+        heartbeat = None
+        if not store.is_memory and lease_s > 0:
+            heartbeat = _LeaseHeartbeat(store.path, row.key, worker, lease_s)
         started = time.time()
         try:
             metrics = execute_scenario(row.config)
@@ -72,6 +113,9 @@ def drain_store(
             store.mark_failed(row.key, traceback.format_exc())
         else:
             store.mark_done(row.key, metrics, duration_s=time.time() - started)
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
 
 
 def campaign_worker(
@@ -79,6 +123,7 @@ def campaign_worker(
     worker: str = "worker",
     clear_caches: bool = True,
     keys: Optional[Sequence[str]] = None,
+    lease_s: float = DEFAULT_LEASE_S,
 ) -> int:
     """Worker-process main: open the store at ``db_path`` and drain it.
 
@@ -93,7 +138,7 @@ def campaign_worker(
         _clear()
     store = CampaignStore(db_path)
     try:
-        return drain_store(store, worker, keys=keys)
+        return drain_store(store, worker, keys=keys, lease_s=lease_s)
     finally:
         store.close()
 
@@ -111,9 +156,14 @@ class Campaign:
         Default parallelism of :meth:`run`/:meth:`resume`.  ``<= 1`` executes
         inline in the calling process (sharing its trace caches); ``> 1``
         spawns that many worker processes, which requires a file-backed store.
+    lease_s:
+        Lease duration on ``running`` claims.  Workers renew their lease in
+        the background; :meth:`run` waits for (rather than re-executes) rows
+        another live campaign holds, and reclaims them once the lease lapses.
     """
 
-    def __init__(self, store: Union[CampaignStore, str, None] = None, n_workers: int = 1) -> None:
+    def __init__(self, store: Union[CampaignStore, str, None] = None, n_workers: int = 1,
+                 lease_s: float = DEFAULT_LEASE_S) -> None:
         if store is None:
             store = CampaignStore(":memory:")
         elif isinstance(store, str):
@@ -121,10 +171,16 @@ class Campaign:
         if n_workers > 1 and store.is_memory:
             raise ValueError("parallel campaigns need a file-backed store "
                              "(an in-memory database cannot be shared with workers)")
+        if lease_s < 0:
+            raise ValueError("lease_s must be non-negative")
         self.store = store
         self.n_workers = n_workers
+        self.lease_s = lease_s
         #: experiments executed (not served from cache) by the last run()/resume()
         self.last_executed = 0
+
+    #: poll interval while waiting on another campaign's live rows
+    _WAIT_POLL_S = 0.5
 
     # -- execution --------------------------------------------------------------------
     def _drain(self, n_workers: int, keys: Optional[Sequence[str]] = None,
@@ -135,13 +191,19 @@ class Campaign:
         if pending is not None:
             # never spawn more workers than there is work for
             n_workers = min(n_workers, pending)
+        # Worker names must be globally unique: renew_lease/mark_* trust the
+        # (key, worker) pair, so two campaigns both naming a worker
+        # "worker-0" could resurrect or stomp each other's claims.
+        token = uuid.uuid4().hex[:8]
         if n_workers <= 1:
             # Inline: reuse this process's store handle and trace caches.
-            return drain_store(self.store, worker=f"inline-{os.getpid()}", keys=keys)
+            return drain_store(self.store, worker=f"inline-{os.getpid()}-{token}",
+                               keys=keys, lease_s=self.lease_s)
         keys = list(keys) if keys is not None else None
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             futures = [
-                pool.submit(campaign_worker, self.store.path, f"worker-{i}", True, keys)
+                pool.submit(campaign_worker, self.store.path,
+                            f"worker-{token}-{i}", True, keys, self.lease_s)
                 for i in range(n_workers)
             ]
             return sum(future.result() for future in futures)
@@ -159,29 +221,42 @@ class Campaign:
         ``n_workers``-way parallelism.  Execution is scoped to the requested
         configs — pending rows that other sweeps left in a shared store are
         not drained here (``resume()`` is the whole-store operation).
-        Requested rows left ``running`` by a crashed worker, or ``failed``
-        on an earlier attempt, are re-opened first — so "interrupt, then
-        simply re-run" resumes a sweep.  (Corollary: two *live* processes
-        run()-ning overlapping grids against one store may re-execute each
-        other's in-flight rows; results stay correct — runs are
-        deterministic — but work is duplicated.  A liveness lease is on the
-        roadmap.)  With ``strict`` (default) a failed experiment raises
+        Requested rows that ``failed`` on an earlier attempt, or whose
+        ``running`` claim's *lease has lapsed* (the worker crashed), are
+        re-opened first — so "interrupt, then simply re-run" resumes a
+        sweep.  A requested row that another live campaign is executing
+        right now (its lease renews) is *waited for*, not re-executed, so
+        concurrent ``run()``s over overlapping grids no longer duplicate
+        work.  With ``strict`` (default) a failed experiment raises
         :class:`CampaignError` carrying its stored traceback; otherwise
         failed entries come back as None.
         """
         keys = self.store.add_many(configs)
-        self.store.reset(("running", "failed"), keys=keys)
+        self.store.reset(("failed",), keys=keys)
+        self.store.reclaim_expired(keys=keys)
         stale = self.store.stale_done_keys(payload_stamp(), keys=keys)
         if stale:
             # rows written by an older payload format *or* an older simulation
             # kernel (package version / kernel schema rev): re-run, don't serve
             self.store.reset(("done",), keys=stale)
         self.last_executed = 0
-        pending = self.store.counts(keys=keys)["pending"]
-        if pending:
-            self.last_executed = self._drain(
-                self.n_workers if n_workers is None else n_workers,
-                keys=keys, pending=pending)
+        workers = self.n_workers if n_workers is None else n_workers
+        while True:
+            counts = self.store.counts(keys=keys)
+            if counts["pending"]:
+                self.last_executed += self._drain(
+                    workers, keys=keys, pending=counts["pending"])
+                continue
+            if counts["running"]:
+                # Another live campaign holds these rows: wait for its
+                # results (or for its lease to lapse, then take over).
+                # Results appear at scenario granularity (seconds), so a
+                # coarse poll keeps the shared store free of query churn.
+                if self.store.reclaim_expired(keys=keys):
+                    continue
+                time.sleep(self._WAIT_POLL_S)
+                continue
+            break
         out: List[Optional[StoredResult]] = []
         failures: List[ExperimentRow] = []
         for key in keys:
@@ -212,15 +287,22 @@ class Campaign:
         """Run a :class:`~repro.campaign.grid.ParameterGrid` end to end."""
         return self.run(grid.expand(), n_workers=n_workers)
 
-    def resume(self, n_workers: Optional[int] = None) -> int:
+    def resume(self, n_workers: Optional[int] = None, force: bool = False) -> int:
         """Re-open ``failed`` and orphaned ``running`` rows and drain the store.
 
         Call after a crash (worker or whole process) to finish a campaign
-        without re-running anything already ``done``.  ``done`` rows written
-        by an older simulator (payload or kernel fingerprint mismatch) are
-        re-opened as well.  Returns the number of experiments executed.
+        without re-running anything already ``done``.  Orphaned means the
+        claim's lease lapsed; with ``force=True`` even live-leased rows are
+        re-opened (the pre-lease stomp — only safe when no other campaign
+        is running).  ``done`` rows written by an older simulator (payload
+        or kernel fingerprint mismatch) are re-opened as well.  Returns the
+        number of experiments executed.
         """
-        self.store.reset(("running", "failed"))
+        self.store.reset(("failed",))
+        if force:
+            self.store.reset(("running",))
+        else:
+            self.store.reclaim_expired()
         stale = self.store.stale_done_keys(payload_stamp())
         if stale:
             self.store.reset(("done",), keys=stale)

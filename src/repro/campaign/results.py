@@ -17,8 +17,9 @@ from repro.analysis.metrics import CheckpointBreakdown
 from repro.experiments.config import ScenarioConfig
 
 #: payload format version, bump when the metric set changes so stale stores
-#: are detected instead of silently missing keys
-PAYLOAD_VERSION = 2
+#: are detected instead of silently missing keys (v3 added the measured
+#: failure-recovery metrics)
+PAYLOAD_VERSION = 3
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -64,6 +65,14 @@ def metrics_payload(result) -> Dict[str, object]:
         "breakdown_n_records": breakdown.n_records,
         "n_groups": (len(result.groupset.all_groups())
                      if result.groupset is not None else None),
+        # measured failure-injection metrics (all zero for failure-free runs)
+        "failures_injected": result.failures_injected,
+        "rollback_ranks_total": result.rollback_ranks_total,
+        "measured_lost_work_s": result.measured_lost_work_s,
+        "measured_recovery_time_s": result.measured_recovery_time_s,
+        "replayed_bytes": result.replayed_bytes,
+        "replayed_messages": result.replayed_messages,
+        "skipped_bytes": result.skipped_bytes,
     }
 
 
@@ -134,6 +143,42 @@ class StoredResult:
     def rank0_checkpoint_end_times(self) -> List[float]:
         """Completion times of rank 0's checkpoints (drives work-loss models)."""
         return list(self.metrics.get("rank0_ckpt_end_times", []))
+
+    # -- measured failure-injection metrics -------------------------------------
+    @property
+    def failures_injected(self) -> int:
+        """Number of failures that actually killed a rank mid-run."""
+        return self.metrics.get("failures_injected", 0)
+
+    @property
+    def rollback_ranks_total(self) -> int:
+        """Total rank rollbacks across all injected failures."""
+        return self.metrics.get("rollback_ranks_total", 0)
+
+    @property
+    def measured_lost_work_s(self) -> float:
+        """Measured work discarded by rollbacks (sums over ranks and failures)."""
+        return self.metrics.get("measured_lost_work_s", 0.0)
+
+    @property
+    def measured_recovery_time_s(self) -> float:
+        """Slowest failure-to-resumption time over all injected failures."""
+        return self.metrics.get("measured_recovery_time_s", 0.0)
+
+    @property
+    def replayed_bytes(self) -> int:
+        """Bytes resent from sender logs during live recoveries."""
+        return self.metrics.get("replayed_bytes", 0)
+
+    @property
+    def replayed_messages(self) -> int:
+        """Log entries resent during live recoveries."""
+        return self.metrics.get("replayed_messages", 0)
+
+    @property
+    def skipped_bytes(self) -> int:
+        """Re-executed send bytes suppressed by skip accounting."""
+        return self.metrics.get("skipped_bytes", 0)
 
     @property
     def sim_version(self) -> Optional[str]:

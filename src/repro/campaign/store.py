@@ -8,6 +8,12 @@ execute them, and write the metrics payload back.  Because the key is a pure
 function of the config, re-adding an already-``done`` scenario is a no-op and
 its result is served from the store without re-running the simulation.
 
+Claims carry a *lease*: ``claim`` stamps ``lease_expires_at`` and a live
+worker renews it periodically (the executor runs a heartbeat thread).  A
+``running`` row is only trusted while its lease holds — concurrent campaigns
+over overlapping grids wait for live rows instead of re-executing them, and
+crashed workers' rows become reclaimable the moment their lease lapses.
+
 The store works with a file path (shared across processes; WAL mode) or with
 ``":memory:"`` for throwaway in-process campaigns.
 """
@@ -27,10 +33,14 @@ from repro.cluster.network import NetworkSpec
 from repro.cluster.node import NodeSpec
 from repro.cluster.storage import StorageSpec
 from repro.cluster.topology import ClusterSpec
-from repro.experiments.config import ScenarioConfig
+from repro.experiments.config import FailureSpec, ScenarioConfig
 
 #: experiment lifecycle states
 STATUSES: Tuple[str, ...] = ("pending", "running", "done", "failed")
+
+#: default lease on a ``running`` claim (seconds); renewed by the worker's
+#: heartbeat at a third of this period
+DEFAULT_LEASE_S = 300.0
 
 
 # ------------------------------------------------------------- config (de)serialisation
@@ -66,8 +76,13 @@ def _cluster_from_dict(data: Dict[str, object]) -> ClusterSpec:
 
 
 def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
-    """JSON-safe dictionary fully describing a :class:`ScenarioConfig`."""
-    return {
+    """JSON-safe dictionary fully describing a :class:`ScenarioConfig`.
+
+    The ``failure`` entry is omitted entirely when no failure is injected, so
+    scenario keys of failure-free configs are unchanged by the existence of
+    the measured failure experiments.
+    """
+    out = {
         "workload": config.workload,
         "n_ranks": config.n_ranks,
         "method": config.method,
@@ -78,6 +93,9 @@ def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
         "max_group_size": config.max_group_size,
         "do_restart": config.do_restart,
     }
+    if config.failure is not None:
+        out["failure"] = dataclasses.asdict(config.failure)
+    return out
 
 
 def config_from_dict(data: Dict[str, object]) -> ScenarioConfig:
@@ -92,6 +110,8 @@ def config_from_dict(data: Dict[str, object]) -> ScenarioConfig:
         workload_options=dict(data.get("workload_options", {})),
         max_group_size=data.get("max_group_size"),
         do_restart=data.get("do_restart", True),
+        failure=(FailureSpec(**data["failure"])
+                 if data.get("failure") is not None else None),
     )
 
 
@@ -121,6 +141,7 @@ class ExperimentRow:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     duration_s: Optional[float] = None
+    lease_expires_at: Optional[float] = None
 
 
 _SCHEMA = """
@@ -135,7 +156,8 @@ CREATE TABLE IF NOT EXISTS experiments (
     created_at  REAL NOT NULL,
     started_at  REAL,
     finished_at REAL,
-    duration_s  REAL
+    duration_s  REAL,
+    lease_expires_at REAL
 );
 CREATE INDEX IF NOT EXISTS idx_experiments_status ON experiments (status);
 CREATE TABLE IF NOT EXISTS benchmarks (
@@ -148,7 +170,8 @@ CREATE INDEX IF NOT EXISTS idx_benchmarks_name ON benchmarks (name);
 """
 
 _COLUMNS = ("key", "config", "status", "metrics", "error", "worker",
-            "attempts", "created_at", "started_at", "finished_at", "duration_s")
+            "attempts", "created_at", "started_at", "finished_at", "duration_s",
+            "lease_expires_at")
 
 
 class CampaignStore:
@@ -169,6 +192,14 @@ class CampaignStore:
             self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.execute("PRAGMA busy_timeout=60000")
         self._conn.executescript(_SCHEMA)
+        self._migrate()
+
+    def _migrate(self) -> None:
+        """Add columns introduced after a store file was first created."""
+        have = {row[1] for row in self._conn.execute("PRAGMA table_info(experiments)")}
+        if "lease_expires_at" not in have:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN lease_expires_at REAL")
 
     @property
     def is_memory(self) -> bool:
@@ -213,7 +244,10 @@ class CampaignStore:
         return keys
 
     def claim(
-        self, worker: str = "worker", keys: Optional[Sequence[str]] = None
+        self,
+        worker: str = "worker",
+        keys: Optional[Sequence[str]] = None,
+        lease_s: float = DEFAULT_LEASE_S,
     ) -> Optional[ExperimentRow]:
         """Atomically claim one ``pending`` experiment (``pending → running``).
 
@@ -221,7 +255,9 @@ class CampaignStore:
         the claim to those experiments (None = any pending row — the
         whole-store pull model).  The claim is a single ``BEGIN IMMEDIATE``
         transaction, so concurrent workers on the same database never claim
-        the same row twice.
+        the same row twice.  The claim holds a lease of ``lease_s`` seconds
+        (renew with :meth:`renew_lease`); once it lapses the row counts as
+        orphaned and :meth:`reclaim_expired` may hand it to another worker.
         """
         conn = self._conn
         query = "SELECT key FROM experiments WHERE status = 'pending'"
@@ -238,10 +274,12 @@ class CampaignStore:
             if picked is None:
                 conn.execute("COMMIT")
                 return None
+            now = time.time()
             conn.execute(
                 "UPDATE experiments SET status = 'running', worker = ?, "
-                "attempts = attempts + 1, started_at = ? WHERE key = ?",
-                (worker, time.time(), picked[0]),
+                "attempts = attempts + 1, started_at = ?, lease_expires_at = ? "
+                "WHERE key = ?",
+                (worker, now, now + lease_s, picked[0]),
             )
             conn.execute("COMMIT")
         except BaseException:
@@ -249,6 +287,51 @@ class CampaignStore:
                 conn.execute("ROLLBACK")
             raise
         return self.get(picked[0])
+
+    def renew_lease(self, key: str, worker: str,
+                    lease_s: float = DEFAULT_LEASE_S) -> bool:
+        """Extend a live claim's lease (the worker heartbeat).
+
+        Only renews while the row is still ``running`` *and* still owned by
+        ``worker`` — a claim that was reclaimed after expiry cannot be
+        resurrected by its original owner's stale heartbeat.  Returns
+        whether the lease was renewed.
+        """
+        cur = self._conn.execute(
+            "UPDATE experiments SET lease_expires_at = ? "
+            "WHERE key = ? AND worker = ? AND status = 'running'",
+            (time.time() + lease_s, key, worker),
+        )
+        return cur.rowcount > 0
+
+    def expired_running_keys(self, keys: Optional[Sequence[str]] = None) -> List[str]:
+        """Keys of ``running`` rows whose lease has lapsed (orphaned claims).
+
+        Rows without a lease stamp (written by a pre-lease store version)
+        count as expired.  ``keys`` restricts the scan.
+        """
+        if keys is not None and not keys:
+            return []
+        query = ("SELECT key FROM experiments WHERE status = 'running' "
+                 "AND (lease_expires_at IS NULL OR lease_expires_at < ?)")
+        params: List[object] = [time.time()]
+        if keys is not None:
+            query += f" AND key IN ({','.join('?' for _ in keys)})"
+            params += list(keys)
+        return [row[0] for row in self._conn.execute(query, tuple(params))]
+
+    def reclaim_expired(self, keys: Optional[Sequence[str]] = None) -> int:
+        """Return orphaned ``running`` rows (lease lapsed) to ``pending``.
+
+        The lease-aware replacement for blanket ``reset(("running",))``:
+        rows whose worker is alive (lease still valid) are left alone, so
+        two concurrent campaigns over overlapping grids no longer re-execute
+        each other's live experiments.  Returns the number of rows reclaimed.
+        """
+        expired = self.expired_running_keys(keys)
+        if not expired:
+            return 0
+        return self.reset(("running",), keys=expired)
 
     def mark_done(self, key: str, metrics: Dict[str, object],
                   duration_s: Optional[float] = None) -> bool:
@@ -295,7 +378,8 @@ class CampaignStore:
             if status not in STATUSES:
                 raise ValueError(f"unknown status {status!r}; expected one of {STATUSES}")
         marks = ",".join("?" for _ in statuses)
-        query = (f"UPDATE experiments SET status = 'pending', worker = NULL, error = NULL "
+        query = (f"UPDATE experiments SET status = 'pending', worker = NULL, "
+                 f"error = NULL, lease_expires_at = NULL "
                  f"WHERE status IN ({marks})")
         params = list(statuses)
         if keys is not None:
@@ -402,6 +486,7 @@ class CampaignStore:
             started_at=data["started_at"],
             finished_at=data["finished_at"],
             duration_s=data["duration_s"],
+            lease_expires_at=data["lease_expires_at"],
         )
 
     def get(self, key_or_config) -> Optional[ExperimentRow]:

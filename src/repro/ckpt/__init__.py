@@ -26,6 +26,7 @@ from repro.ckpt.base import (
     CheckpointRecord,
     RestartRecord,
     CheckpointSnapshot,
+    ResumePoint,
     ProtocolConfig,
     RankProtocol,
     ProtocolFamily,
@@ -44,6 +45,7 @@ __all__ = [
     "CheckpointRecord",
     "RestartRecord",
     "CheckpointSnapshot",
+    "ResumePoint",
     "ProtocolConfig",
     "RankProtocol",
     "ProtocolFamily",

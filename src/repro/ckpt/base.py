@@ -19,7 +19,7 @@ restart orchestrator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Generator, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.runtime import MpiRuntime, RankContext
@@ -127,6 +127,40 @@ class RestartRecord:
 
 
 @dataclass
+class ResumePoint:
+    """Where (and with what channel state) a rolled-back rank re-executes.
+
+    Captured at checkpoint time only when live failure injection is active.
+    A checkpoint may be taken *inside* an operation (blocked in a receive, or
+    between the steps of a collective schedule), so the channel counters at
+    the image dump can include a partially-executed operation's traffic.  A
+    rollback restarts the script at the *beginning* of ``op_index``, so:
+
+    * the *send* counters restored on rollback are the checkpoint counters
+      minus the in-progress operation's own sends (``pre-op`` values) —
+      re-execution re-issues those sends at exactly the original byte
+      offsets, which is what lets peers skip duplicates;
+    * the *receive* counters stay at their checkpoint (delivery-time) values,
+      and ``inbox`` preserves every application message that was delivered
+      but not yet consumed — including those the partial operation had
+      already consumed, which it will consume again.  This mirrors a real
+      system checkpoint, where data drained into the MPI library is part of
+      the process image.
+
+    ``protocol_state`` is an opaque bag the owning protocol uses to restore
+    its own internals (piggyback epochs, recorded RR values, ...).
+    """
+
+    op_index: int
+    ss: Dict[int, int] = field(default_factory=dict)
+    rr: Dict[int, int] = field(default_factory=dict)
+    ss_msgs: Dict[int, int] = field(default_factory=dict)
+    rr_msgs: Dict[int, int] = field(default_factory=dict)
+    inbox: List[Any] = field(default_factory=list)
+    protocol_state: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
 class CheckpointSnapshot:
     """Per-rank protocol state captured at checkpoint time.
 
@@ -138,6 +172,9 @@ class CheckpointSnapshot:
     * ``logged_bytes`` — bytes currently retained in the sender-side log per
       destination (after garbage collection),
     * ``logged_messages`` — number of retained log entries per destination.
+
+    ``resume`` carries the re-execution position for live failure recovery
+    (None unless a failure injector is attached to the run).
     """
 
     rank: int
@@ -150,6 +187,7 @@ class CheckpointSnapshot:
     logged_bytes: Dict[int, int] = field(default_factory=dict)
     logged_messages: Dict[int, int] = field(default_factory=dict)
     image_bytes: int = 0
+    resume: Optional[ResumePoint] = None
 
 
 @dataclass(frozen=True)
@@ -264,6 +302,10 @@ class RankProtocol:
         self.family = family
         self.ctx = ctx
         self.runtime = runtime
+        #: latest checkpoint state, plus the history retained for live
+        #: failure recovery (populated via :meth:`_record_snapshot`)
+        self._latest_snapshot: Optional[CheckpointSnapshot] = None
+        self._snapshots: List[CheckpointSnapshot] = []
 
     # -- send/receive hooks ------------------------------------------------
     def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Dict[str, Any]]:
@@ -283,7 +325,48 @@ class RankProtocol:
 
     def latest_snapshot(self) -> Optional[CheckpointSnapshot]:
         """State captured at the most recent checkpoint (None if never checkpointed)."""
-        return None
+        return self._latest_snapshot
+
+    def snapshot_history(self) -> Tuple[CheckpointSnapshot, ...]:
+        """Snapshots retained for live failure recovery, oldest first.
+
+        Protocols only keep more than the latest snapshot while a failure
+        injector is attached (the rollback target is the newest checkpoint
+        *every* group member completed, which may not be the newest overall).
+        """
+        if self._snapshots:
+            return tuple(self._snapshots)
+        return (self._latest_snapshot,) if self._latest_snapshot is not None else ()
+
+    def _record_snapshot(self, snapshot: CheckpointSnapshot) -> None:
+        """Install a freshly captured snapshot (history kept under injection).
+
+        A snapshot carries a resume point exactly when a failure injector is
+        attached — only then is history worth the memory.
+        """
+        self._latest_snapshot = snapshot
+        if snapshot.resume is not None:
+            self._snapshots.append(snapshot)
+
+    def _restore_snapshot(self, snapshot: Optional[CheckpointSnapshot]) -> None:
+        """Roll the snapshot bookkeeping back to ``snapshot`` (None = genesis)."""
+        self._latest_snapshot = snapshot
+        if snapshot is None:
+            self._snapshots = []
+        else:
+            self._snapshots = [s for s in self._snapshots
+                               if s.ckpt_id <= snapshot.ckpt_id]
+
+    def rollback_to(self, snapshot: Optional[CheckpointSnapshot]) -> None:
+        """Restore protocol state to ``snapshot`` (None = restart from scratch).
+
+        Called by the live recovery orchestrator after a failure.  Protocols
+        that support measured failure injection override this to truncate
+        their sender logs and restore piggyback/GC bookkeeping.
+        """
+        raise NotImplementedError(
+            f"protocol {type(self).__name__} does not support live rollback"
+        )
 
     @property
     def logged_bytes_total(self) -> int:

@@ -96,7 +96,6 @@ class VclRankProtocol(RankProtocol):
         self.config: ProtocolConfig = family.config
         self.vcl: VclConfig = family.vcl_config
         self.blcr: BlcrModel = family.blcr
-        self._latest_snapshot: Optional[CheckpointSnapshot] = None
         #: bytes of application data that arrived while a checkpoint was in
         #: progress (the in-transit messages VCL logs to channel memories)
         self.in_transit_logged_bytes = 0
@@ -156,7 +155,10 @@ class VclRankProtocol(RankProtocol):
         if self.blcr.dump_fork_s > 0:
             yield runtime.sim.timeout(self.blcr.dump_fork_s)
         yield from runtime.storage_write(ctx, image_bytes)
-        self._latest_snapshot = CheckpointSnapshot(
+        resume = runtime.capture_resume(ctx)
+        if resume is not None:
+            resume.protocol_state = {"in_transit": self.in_transit_logged_bytes}
+        self._record_snapshot(CheckpointSnapshot(
             rank=ctx.rank,
             ckpt_id=request.ckpt_id,
             time=runtime.now,
@@ -165,7 +167,8 @@ class VclRankProtocol(RankProtocol):
             ss=ctx.account.snapshot_sent(),
             rr=ctx.account.snapshot_received(),
             image_bytes=image_bytes,
-        )
+            resume=resume,
+        ))
         stages[STAGE_CHECKPOINT] = runtime.now - t0
 
         # ----- finalize -----------------------------------------------------------
@@ -187,9 +190,26 @@ class VclRankProtocol(RankProtocol):
             group_size=len(participants),
         )
 
-    def latest_snapshot(self) -> Optional[CheckpointSnapshot]:
-        """State captured at the most recent checkpoint."""
-        return self._latest_snapshot
+    def rollback_to(self, snapshot: Optional[CheckpointSnapshot]) -> None:
+        """Restore protocol state to ``snapshot`` (None = back to process start).
+
+        VCL checkpoints are global, so a failure rolls every rank back; there
+        is no sender log to truncate — only the in-transit counter and the
+        checkpoint-window flag are restored.
+        """
+        self._in_checkpoint_window = False
+        if snapshot is None:
+            self.in_transit_logged_bytes = 0
+            self._restore_snapshot(None)
+            return
+        resume = snapshot.resume
+        if resume is None:
+            raise ValueError(
+                f"snapshot {snapshot.ckpt_id} of rank {snapshot.rank} carries no "
+                "resume point; was the failure injector attached before the run?"
+            )
+        self.in_transit_logged_bytes = resume.protocol_state.get("in_transit", 0)
+        self._restore_snapshot(snapshot)
 
 
 class VclProtocolFamily(ProtocolFamily):

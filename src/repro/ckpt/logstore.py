@@ -26,13 +26,16 @@ class LogEntry:
 
     ``end_offset`` is the value of the channel's cumulative sent-byte counter
     *after* this message; entries with ``end_offset <= acknowledged`` can be
-    garbage collected.
+    garbage collected.  ``tag`` preserves the message envelope so a replayed
+    entry can be re-matched by a restarted receiver's tag-filtered receives
+    (a real sender-based log stores the full envelope, not just the bytes).
     """
 
     dst: int
     nbytes: int
     end_offset: int
     timestamp: float
+    tag: int = 0
 
     def __post_init__(self) -> None:
         if self.dst < 0:
@@ -60,9 +63,11 @@ class SenderLog:
         self.gc_bytes = 0
 
     # -- appending ----------------------------------------------------------
-    def append(self, dst: int, nbytes: int, end_offset: int, timestamp: float) -> LogEntry:
+    def append(self, dst: int, nbytes: int, end_offset: int, timestamp: float,
+               tag: int = 0) -> LogEntry:
         """Log one outgoing message to ``dst``."""
-        entry = LogEntry(dst=dst, nbytes=nbytes, end_offset=end_offset, timestamp=timestamp)
+        entry = LogEntry(dst=dst, nbytes=nbytes, end_offset=end_offset,
+                         timestamp=timestamp, tag=tag)
         self._entries.setdefault(dst, []).append(entry)
         self.unflushed_bytes += nbytes
         self.total_logged_bytes += nbytes
@@ -146,6 +151,27 @@ class SenderLog:
         if receiver_rr < 0:
             raise ValueError("receiver_rr must be non-negative")
         return [e for e in self._entries.get(dst, []) if e.end_offset > receiver_rr]
+
+    def rollback_to(self, ss_at_checkpoint: Dict[int, int]) -> int:
+        """Restore the log to its state at a checkpoint (live failure rollback).
+
+        ``ss_at_checkpoint`` maps destination → the channel's cumulative
+        sent-byte counter at the checkpoint being rolled back to.  Entries
+        beyond that offset were appended by work that is about to be
+        re-executed (re-execution will re-append them); entries at or below
+        it were flushed with the checkpoint and stay.  Destinations absent
+        from the map had no sends at checkpoint time, so their entries are
+        dropped entirely.  The unflushed counter resets (the checkpoint
+        flushed everything it kept).  Returns the number of bytes discarded.
+        """
+        discarded = 0
+        for dst, entries in list(self._entries.items()):
+            limit = ss_at_checkpoint.get(dst, 0)
+            kept = [e for e in entries if e.end_offset <= limit]
+            discarded += sum(e.nbytes for e in entries) - sum(e.nbytes for e in kept)
+            self._entries[dst] = kept
+        self.unflushed_bytes = 0
+        return discarded
 
     def clear(self) -> None:
         """Drop the whole log (used when a checkpoint supersedes everything)."""

@@ -1,20 +1,29 @@
-"""Failure injection models.
+"""Failure injection models and the live failure injector.
 
 The paper motivates group-based checkpointing with the observation that
 failures usually hit a small region of a large system, so a *global* restart
 throws away the work of all the healthy processes.  The failure models here
-generate failure events (which node, at what time) that the experiment layer
-uses to study expected lost work under different grouping methods and
-checkpoint intervals (an extension experiment beyond the paper's figures,
-listed in DESIGN.md §5).
+generate failure events (which node, at what time); two consumers exist:
+
+* the analytic experiment layer (``expected_lost_work`` and the
+  failure-rate sweeps) models lost work post hoc on a failure-free run, and
+* :class:`FailureInjector` turns the events into *simulator interrupts*: the
+  victim node's rank processes are killed mid-run and
+  :class:`~repro.core.restart.LiveRecovery` performs the actual group
+  rollback + log replay, producing measured recovery metrics.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Any, Generator, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import MpiRuntime
+    from repro.sim.engine import SimProcess
+    from repro.sim.primitives import Event
 
 
 @dataclass(frozen=True, order=True)
@@ -97,6 +106,59 @@ class ExponentialFailureModel(FailureModel):
         return self.mtbf_per_node_s / n_nodes
 
 
+class PoissonFailureModel(FailureModel):
+    """A system-wide Poisson failure process with uniformly random victims.
+
+    Failures arrive at total rate ``rate_per_node_s × n_nodes`` (the classic
+    "system MTBF shrinks with scale" model) and each event strikes a node
+    chosen uniformly at random.  Unlike :class:`ExponentialFailureModel`
+    (which draws one independent arrival process per node), the draw order
+    here is a single stream, so the k-th failure of a run is identical for a
+    fixed seed regardless of node count changes elsewhere — the property the
+    failure-injection determinism tests pin down.
+    """
+
+    def __init__(
+        self,
+        rate_per_node_s: float,
+        rng: Optional[RandomStreams] = None,
+        max_failures: Optional[int] = None,
+        stream: str = "poisson-failures",
+    ) -> None:
+        if rate_per_node_s <= 0:
+            raise ValueError("rate_per_node_s must be positive")
+        if max_failures is not None and max_failures < 0:
+            raise ValueError("max_failures must be non-negative")
+        self.rate_per_node_s = rate_per_node_s
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.max_failures = max_failures
+        self.stream = stream
+
+    def failures(self, horizon: float, n_nodes: int) -> List[FailureEvent]:
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        mean_gap = 1.0 / (self.rate_per_node_s * n_nodes)
+        out: List[FailureEvent] = []
+        t = 0.0
+        while True:
+            if self.max_failures is not None and len(out) >= self.max_failures:
+                break
+            t += self.rng.exponential(self.stream, mean_gap)
+            if t >= horizon:
+                break
+            node = self.rng.integers(f"{self.stream}:victims", 0, n_nodes)
+            out.append(FailureEvent(time=t, node=node))
+        return out
+
+    def system_mtbf(self, n_nodes: int) -> float:
+        """Expected time between failures anywhere in an ``n_nodes`` system."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return 1.0 / (self.rate_per_node_s * n_nodes)
+
+
 class TraceFailureModel(FailureModel):
     """Failures replayed from an explicit list (deterministic scenarios)."""
 
@@ -138,3 +200,99 @@ def expected_lost_work(
         if t <= failure_time_s:
             last = max(last, t)
     return failure_time_s - last
+
+
+class FailureInjector:
+    """Turns failure events into live kills + group rollback in a running sim.
+
+    Wire-up (done before ``runtime.launch``): the injector registers itself
+    as a simulation process; at each failure event's time it interrupts the
+    rank processes of the victim node (they stop mid-operation, their
+    in-flight messages die with the connections) and hands recovery to
+    :class:`~repro.core.restart.LiveRecovery`, which rolls the victim's
+    checkpoint group back, replays sender logs and re-creates the scripts.
+    Failures are serialised: an event arriving while a recovery is in flight
+    is deferred until the recovery completes (real dispatchers do the same —
+    a second fault during recovery restarts recovery, which our deterministic
+    ordering approximates by queueing).
+
+    Parameters
+    ----------
+    runtime:
+        The MPI runtime whose ranks may be killed.
+    model:
+        Where failure events come from.
+    horizon_s:
+        Upper bound for event generation (events beyond the application's
+        actual completion are ignored).
+    detection_delay_s / barrier_cost_s:
+        Recovery timing knobs, forwarded to :class:`LiveRecovery`.
+    """
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        model: FailureModel,
+        horizon_s: float = 1e7,
+        detection_delay_s: float = 0.25,
+        barrier_cost_s: float = 0.02,
+    ) -> None:
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be non-negative")
+        if detection_delay_s < 0:
+            raise ValueError("detection_delay_s must be non-negative")
+        self.runtime = runtime
+        self.model = model
+        self.horizon_s = horizon_s
+        self.detection_delay_s = detection_delay_s
+        self.barrier_cost_s = barrier_cost_s
+        #: events that found no live rank on the victim node (already
+        #: finished, or the node hosts no ranks)
+        self.ignored_events: List[FailureEvent] = []
+        #: events that actually killed at least one rank
+        self.injected_events: List[FailureEvent] = []
+        self._process: Optional["SimProcess"] = None
+        runtime.attach_failure_source()
+
+    def start(self) -> "SimProcess":
+        """Register the injector as a simulation process (before running)."""
+        if self._process is not None:
+            raise RuntimeError("failure injector already started")
+        self._process = self.runtime.sim.process(self._run(), name="failure-injector")
+        return self._process
+
+    # -- internals -------------------------------------------------------------
+    def _victims_of(self, node: int) -> List[int]:
+        return [ctx.rank for ctx in self.runtime.contexts
+                if ctx.node_id == node and not ctx.finished and not ctx.failed]
+
+    def _run(self) -> Generator["Event", Any, None]:
+        from repro.core.restart import LiveRecovery
+
+        runtime = self.runtime
+        sim = runtime.sim
+        n_nodes = runtime.cluster.spec.n_nodes
+        for event in self.model.iterate(self.horizon_s, n_nodes):
+            delay = event.time - sim.now
+            if delay > 0:
+                yield sim.timeout(delay)
+            if all(ctx.finished for ctx in runtime.contexts):
+                return
+            victims = self._victims_of(event.node)
+            if not victims:
+                self.ignored_events.append(event)
+                continue
+            self.injected_events.append(event)
+            for rank in victims:
+                runtime.kill_rank(rank, cause=event)
+            recovery = LiveRecovery(
+                runtime, victims,
+                detection_delay_s=self.detection_delay_s,
+                barrier_cost_s=self.barrier_cost_s,
+                node=event.node,
+            )
+            proc = sim.process(recovery.run(), name="live-recovery")
+            runtime._recovery_inflight.append(proc)
+            # Serialise failures: wait the recovery out before the next event.
+            yield proc
+            runtime._recovery_inflight.remove(proc)

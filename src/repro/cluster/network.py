@@ -490,19 +490,21 @@ class Network:
                 finally:
                     self._tx[src_node].release(tx_req)
                 return self.sim.now - start
+        # The grant waits sit inside try/finally so that an interrupted
+        # process (live failure injection kills ranks mid-transfer) cancels
+        # its queued request instead of leaking a NIC slot forever.
         tx_req = self._tx[src_node].request()
-        yield tx_req
         try:
+            yield tx_req
             if self._fabric is not None:
                 fb_req = self._fabric.request()
-                yield fb_req
-            else:
-                fb_req = None
-            try:
-                yield self.sim.timeout(ser)
-            finally:
-                if fb_req is not None:
+                try:
+                    yield fb_req
+                    yield self.sim.timeout(ser)
+                finally:
                     self._fabric.release(fb_req)
+            else:
+                yield self.sim.timeout(ser)
         finally:
             self._tx[src_node].release(tx_req)
         return self.sim.now - start
@@ -533,8 +535,8 @@ class Network:
                     self._rx[dst_node].release(rx_req)
                 return self.sim.now - start
         rx_req = self._rx[dst_node].request()
-        yield rx_req
         try:
+            yield rx_req
             yield self.sim.timeout(self.spec.serialization_time(nbytes))
         finally:
             self._rx[dst_node].release(rx_req)

@@ -139,8 +139,8 @@ class LocalDiskArray(StorageSystem):
             raise ValueError("nbytes must be non-negative")
         start = self.sim.now
         req = self._disks[node].request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(self.spec.write_time(nbytes))
         finally:
             self._disks[node].release(req)
@@ -155,8 +155,8 @@ class LocalDiskArray(StorageSystem):
             raise ValueError("nbytes must be non-negative")
         start = self.sim.now
         req = self._disks[node].request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(self.spec.read_time(nbytes))
         finally:
             self._disks[node].release(req)
@@ -225,9 +225,11 @@ class RemoteStorageServers(StorageSystem):
 
     def _transfer(self, server: int, nbytes: int) -> Generator[Event, None, None]:
         link = self._links[server]
+        # Grant wait inside try/finally: an interrupted process (failure
+        # injection) cancels its queued request instead of leaking the link.
         req = link.request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(
                 self.network.spec.latency_s + nbytes / self.server_network_bandwidth
             )
@@ -242,8 +244,8 @@ class RemoteStorageServers(StorageSystem):
         server = self.server_for(node)
         yield from self._transfer(server, nbytes)
         req = self._disks[server].request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(self.spec.write_time(nbytes))
         finally:
             self._disks[server].release(req)
@@ -259,8 +261,8 @@ class RemoteStorageServers(StorageSystem):
         start = self.sim.now
         server = self.server_for(node)
         req = self._disks[server].request()
-        yield req
         try:
+            yield req
             yield self.sim.timeout(self.spec.read_time(nbytes))
         finally:
             self._disks[server].release(req)

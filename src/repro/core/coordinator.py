@@ -45,6 +45,9 @@ class CoordinatorReport:
     issued: List[IssuedCheckpoint] = field(default_factory=list)
     skipped_waves: int = 0
     deferred_waves: int = 0
+    #: colliding periodic ticks held back and issued once the wave cleared
+    #: (``dispatch_policy="queue"`` only)
+    queued_waves: int = 0
 
     @property
     def checkpoints_requested(self) -> int:
@@ -64,6 +67,7 @@ class CheckpointCoordinator:
         group_spawn_delay_s: float = 0.015,
         target_groups: Optional[Sequence[int]] = None,
         back_pressure: bool = True,
+        dispatch_policy: str = "drop",
     ) -> None:
         """
         Parameters
@@ -98,11 +102,26 @@ class CheckpointCoordinator:
             clears and then issued (counted in ``report.deferred_waves``), so
             forced-equal-count schedules — the Figure 13/14 fairness setup —
             never lose a checkpoint.
+        dispatch_policy:
+            What a *periodic* tick does when it collides with an in-flight
+            wave under back-pressure.  ``"drop"`` (default, the behaviour the
+            seed suite calibrated QUICK intervals against) discards the tick;
+            ``"queue"`` holds it back and issues it as soon as the wave
+            clears, so no requested wave is ever lost — the alternative
+            dispatcher policy for Figure 10-style checkpoint-frequency
+            comparisons.  Queued ticks count in ``report.queued_waves``.
+            With an unbounded periodic schedule whose interval is below the
+            wave duration, ``"queue"`` back-to-backs waves and starves the
+            application exactly like ``back_pressure=False`` would — bound
+            the schedule (``max_checkpoints``) when using it.
         """
         if propagation_delay_s < 0:
             raise ValueError("propagation_delay_s must be non-negative")
         if group_spawn_delay_s < 0:
             raise ValueError("group_spawn_delay_s must be non-negative")
+        if dispatch_policy not in ("drop", "queue"):
+            raise ValueError(f"unknown dispatch_policy {dispatch_policy!r}; "
+                             "expected 'drop' or 'queue'")
         self.runtime = runtime
         # Ranks only need to watch for checkpoint signals while blocked in a
         # receive when a request source exists; telling the runtime up front
@@ -114,6 +133,7 @@ class CheckpointCoordinator:
         self.group_spawn_delay_s = group_spawn_delay_s
         self.target_groups = set(target_groups) if target_groups is not None else None
         self.back_pressure = back_pressure
+        self.dispatch_policy = dispatch_policy
         self.report = CoordinatorReport()
         self._next_ckpt_id = 0
         self._process = None
@@ -172,7 +192,14 @@ class CheckpointCoordinator:
         return entry
 
     def wave_in_flight(self) -> bool:
-        """True while any running rank is still busy with an earlier request."""
+        """True while any running rank is still busy with an earlier request.
+
+        Ranks undergoing live failure recovery count as busy: mpirun does
+        not ask a group to checkpoint while it is restoring that group.
+        """
+        for ctx in self.runtime.contexts:
+            if ctx.in_recovery:
+                return True
         for rank in self.runtime.running_ranks():
             ctx = self.runtime.ctx(rank)
             if ctx.in_checkpoint or ctx.has_pending_request():
@@ -191,10 +218,15 @@ class CheckpointCoordinator:
             if not self.runtime.running_ranks():
                 break
             if self.back_pressure and self.wave_in_flight():
-                if t in explicit_times:
+                if t in explicit_times or self.dispatch_policy == "queue":
                     # Explicit request times must all land (equal-checkpoint-
-                    # count comparisons depend on it): wait the wave out.
-                    self.report.deferred_waves += 1
+                    # count comparisons depend on it), and the queue policy
+                    # extends the same guarantee to periodic ticks: wait the
+                    # wave out, then issue.
+                    if t in explicit_times:
+                        self.report.deferred_waves += 1
+                    else:
+                        self.report.queued_waves += 1
                     while self.wave_in_flight():
                         yield self.runtime.sim.timeout(self._DEFER_POLL_S)
                         if not self.runtime.running_ranks():

@@ -86,7 +86,6 @@ class GroupRankProtocol(RankProtocol):
         #: checkpoint epoch counter and the epoch at which each peer last got a piggyback
         self._ckpt_epoch = 0
         self._piggyback_epoch: Dict[int, int] = {}
-        self._latest_snapshot: Optional[CheckpointSnapshot] = None
         #: counts for reporting
         self.logged_messages = 0
         self.piggybacks_sent = 0
@@ -107,7 +106,7 @@ class GroupRankProtocol(RankProtocol):
         if self.in_group(dst):
             return 0.0, {}
         end_offset = self.ctx.account.sent_to(dst) + nbytes
-        self.log.append(dst, nbytes, end_offset, self.runtime.now)
+        self.log.append(dst, nbytes, end_offset, self.runtime.now, tag=tag)
         self.logged_messages += 1
         extra = nbytes / self.config.log_copy_bandwidth + self.config.log_entry_overhead_s
         piggyback: Dict[str, Any] = {}
@@ -208,13 +207,20 @@ class GroupRankProtocol(RankProtocol):
         t0 = runtime.now
         rr = ctx.account.snapshot_received()
         ss = ctx.account.snapshot_sent()
+        resume = runtime.capture_resume(ctx)
         self.rr_recorded = {p: rr.get(p, 0) for p in self.out_of_group_peers()}
         self._ckpt_epoch += 1
         image_bytes = self.blcr.image_bytes(ctx.memory_bytes)
         if self.blcr.dump_fork_s > 0:
             yield runtime.sim.timeout(self.blcr.dump_fork_s)
         yield from runtime.storage_write(ctx, image_bytes)
-        self._latest_snapshot = CheckpointSnapshot(
+        if resume is not None:
+            resume.protocol_state = {
+                "rr_recorded": dict(self.rr_recorded),
+                "ckpt_epoch": self._ckpt_epoch,
+                "piggyback_epoch": dict(self._piggyback_epoch),
+            }
+        self._record_snapshot(CheckpointSnapshot(
             rank=ctx.rank,
             ckpt_id=request.ckpt_id,
             time=runtime.now,
@@ -225,7 +231,8 @@ class GroupRankProtocol(RankProtocol):
             logged_bytes=self.log.bytes_by_destination(),
             logged_messages=self.log.messages_by_destination(),
             image_bytes=image_bytes,
-        )
+            resume=resume,
+        ))
         stages[STAGE_CHECKPOINT] = runtime.now - t0
 
         # ----- Finalize: exit barrier and resume --------------------------------
@@ -252,9 +259,27 @@ class GroupRankProtocol(RankProtocol):
         )
 
     # -- restart support ----------------------------------------------------------
-    def latest_snapshot(self) -> Optional[CheckpointSnapshot]:
-        """State captured at the most recent checkpoint."""
-        return self._latest_snapshot
+    def rollback_to(self, snapshot: Optional[CheckpointSnapshot]) -> None:
+        """Restore protocol state to ``snapshot`` (None = back to process start)."""
+        if snapshot is None:
+            self.log.clear()
+            self.rr_recorded = {}
+            self._ckpt_epoch = 0
+            self._piggyback_epoch = {}
+            self._restore_snapshot(None)
+            return
+        resume = snapshot.resume
+        if resume is None:
+            raise ValueError(
+                f"snapshot {snapshot.ckpt_id} of rank {snapshot.rank} carries no "
+                "resume point; was the failure injector attached before the run?"
+            )
+        self.log.rollback_to(resume.ss)
+        state = resume.protocol_state
+        self.rr_recorded = dict(state.get("rr_recorded", {}))
+        self._ckpt_epoch = state.get("ckpt_epoch", 0)
+        self._piggyback_epoch = dict(state.get("piggyback_epoch", {}))
+        self._restore_snapshot(snapshot)
 
     @property
     def logged_bytes_total(self) -> int:

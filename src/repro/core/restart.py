@@ -16,20 +16,36 @@ restarting process must:
 Because checkpoints within a group are coordinated, intra-group channels never
 need replay; under NORM nothing needs replay at all; under GP1 every channel
 may need replay — which is exactly the ordering of Figures 6b, 7 and 8.
+
+Two orchestrators share that stage structure:
+
+* :func:`simulate_restart` — the *post-hoc* whole-application restart used by
+  the paper's Figures 6b/7/8 (a fresh simulator, every rank restarts from its
+  latest checkpoint), and
+* :class:`LiveRecovery` — the *in-flight* recovery run inside the original
+  simulation when a failure injector kills a rank mid-run: only the victim's
+  group rolls back (to the newest checkpoint every member completed), peers
+  replay their logged messages over the live network while out-of-group ranks
+  keep executing, and the rolled-back scripts re-execute from their resume
+  points.  This is the measured counterpart of the analytic
+  ``expected_lost_work`` model.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
-from repro.ckpt.base import ProtocolConfig, RestartRecord
+from repro.ckpt.base import CheckpointSnapshot, ProtocolConfig, RestartRecord
 from repro.ckpt.blcr import BlcrModel
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.mpi.runtime import ApplicationResult
 from repro.sim.engine import Simulator
 from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpi.runtime import MpiRuntime
 
 
 @dataclass(frozen=True)
@@ -275,3 +291,295 @@ def simulate_restart(
             )
         )
     return out
+
+
+# --------------------------------------------------------------------- live recovery
+@dataclass
+class RankRecovery:
+    """Measured outcome of one rank's in-flight rollback and restart."""
+
+    rank: int
+    #: work discarded by the rollback: time from the restored checkpoint's
+    #: completion (or process start) to the failure instant
+    lost_work_s: float
+    #: simulation time at which the re-created script resumed execution
+    resumed_at: float
+    #: failure instant → resumption (detection, restore, replay, barrier)
+    recovery_time_s: float
+    resume_op_index: int
+    image_bytes: int
+
+
+@dataclass
+class RecoveryReport:
+    """Everything measured about one injected failure's recovery."""
+
+    failure_time: float
+    node: int
+    victims: Tuple[int, ...]
+    rollback_ranks: Tuple[int, ...]
+    #: checkpoint id the group rolled back to (None = restart from scratch)
+    target_ckpt_id: Optional[int]
+    detected_at: float = 0.0
+    completed_at: float = 0.0
+    ranks: List[RankRecovery] = field(default_factory=list)
+    #: channels actually replayed, with measured bytes/messages
+    channels: List[ReplayChannel] = field(default_factory=list)
+
+    @property
+    def replayed_bytes(self) -> int:
+        """Total bytes resent from sender logs during this recovery."""
+        return sum(ch.nbytes for ch in self.channels)
+
+    @property
+    def replayed_messages(self) -> int:
+        """Total log entries resent during this recovery."""
+        return sum(ch.n_messages for ch in self.channels)
+
+    @property
+    def total_lost_work_s(self) -> float:
+        """Sum of per-rank discarded work (the measured Figure-10 quantity)."""
+        return sum(r.lost_work_s for r in self.ranks)
+
+    @property
+    def max_recovery_time_s(self) -> float:
+        """Slowest rank's failure-to-resumption time."""
+        return max((r.recovery_time_s for r in self.ranks), default=0.0)
+
+
+def rollback_scope(runtime: "MpiRuntime", victims: Sequence[int]) -> Set[int]:
+    """Ranks that must roll back when ``victims`` die: their whole groups.
+
+    Group membership is the protocol's static definition (finished ranks
+    included — a finished group member whose peer rolls back must re-execute
+    its tail so re-generated intra-group traffic lines up).
+    """
+    out: Set[int] = set()
+    for victim in victims:
+        proto = runtime.ctx(victim).protocol
+        members = getattr(proto, "group_members", None)
+        if members is None:
+            # VCL (and any global protocol): every rank coordinates together.
+            members = range(runtime.n_ranks)
+        out.update(members)
+        out.add(victim)
+    return out
+
+
+def common_checkpoint_id(runtime: "MpiRuntime", members: Sequence[int]) -> Optional[int]:
+    """Newest checkpoint id that *every* member holds a snapshot for.
+
+    A failure can hit mid-wave, leaving some members with a newer snapshot
+    than others; the recovery line is the newest checkpoint all of them
+    completed dumping.  None means at least one member never checkpointed —
+    the group restarts from scratch.
+    """
+    common: Optional[Set[int]] = None
+    for rank in members:
+        proto = runtime.ctx(rank).protocol
+        ids = {snap.ckpt_id for snap in proto.snapshot_history()} if proto else set()
+        common = ids if common is None else (common & ids)
+        if not common:
+            return None
+    return max(common) if common else None
+
+
+class LiveRecovery:
+    """In-flight group rollback + replay after an injected failure.
+
+    Runs *inside* the application's simulation (unlike
+    :func:`simulate_restart`): the victim's group rolls back to its newest
+    common checkpoint, restores channel accounting and sender logs from the
+    snapshots' resume points, replays logged inter-group messages over the
+    live (contended) network, and re-creates the rank scripts at their resume
+    operation indices while out-of-group ranks keep executing.  Produces a
+    :class:`RecoveryReport` appended to ``runtime.recovery_reports``.
+    """
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        victims: Sequence[int],
+        detection_delay_s: float = 0.25,
+        barrier_cost_s: float = 0.02,
+        blcr: Optional[BlcrModel] = None,
+        config: Optional[ProtocolConfig] = None,
+        node: int = -1,
+    ) -> None:
+        if detection_delay_s < 0:
+            raise ValueError("detection_delay_s must be non-negative")
+        if barrier_cost_s < 0:
+            raise ValueError("barrier_cost_s must be non-negative")
+        self.runtime = runtime
+        self.victims = tuple(sorted(victims))
+        if not self.victims:
+            raise ValueError("victims must not be empty")
+        self.detection_delay_s = detection_delay_s
+        self.barrier_cost_s = barrier_cost_s
+        family = runtime.protocol_family
+        self.blcr = blcr if blcr is not None else getattr(family, "blcr", None) or BlcrModel()
+        self.config = config if config is not None else getattr(family, "config", None) or ProtocolConfig()
+        self.node = node
+
+    # -- orchestration --------------------------------------------------------
+    def run(self) -> Generator[Event, None, RecoveryReport]:
+        """The recovery coroutine (registered as a process by the injector)."""
+        runtime = self.runtime
+        sim = runtime.sim
+        t_fail = sim.now
+        report = RecoveryReport(
+            failure_time=t_fail, node=self.node, victims=self.victims,
+            rollback_ranks=(), target_ckpt_id=None,
+        )
+
+        # mpirun notices the dead node only after the detection delay; the
+        # victim's processes stopped at t_fail, everyone else keeps running.
+        if self.detection_delay_s > 0:
+            yield sim.timeout(self.detection_delay_s)
+        report.detected_at = sim.now
+
+        rollback = sorted(rollback_scope(runtime, self.victims))
+        report.rollback_ranks = tuple(rollback)
+
+        # Partition the rollback set into its checkpoint groups and pick each
+        # group's recovery line (they are usually one and the same group).
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for rank in rollback:
+            proto = runtime.ctx(rank).protocol
+            members = tuple(sorted(getattr(proto, "group_members", None)
+                                   or range(runtime.n_ranks)))
+            groups.setdefault(members, []).append(rank)
+        target_by_rank: Dict[int, Optional[CheckpointSnapshot]] = {}
+        target_ids: List[int] = []
+        for members, ranks in groups.items():
+            target_id = common_checkpoint_id(runtime, members)
+            if target_id is not None:
+                target_ids.append(target_id)
+            for rank in ranks:
+                snap = None
+                if target_id is not None:
+                    proto = runtime.ctx(rank).protocol
+                    snap = next(s for s in proto.snapshot_history()
+                                if s.ckpt_id == target_id)
+                target_by_rank[rank] = snap
+        report.target_ckpt_id = max(target_ids) if target_ids else None
+
+        # Roll every member back *now*: scripts interrupted, accounting and
+        # sender logs restored, inboxes replaced (stale in-flight messages
+        # die by epoch mismatch at delivery).
+        resume_index: Dict[int, int] = {}
+        lost_work: Dict[int, float] = {}
+        for rank in rollback:
+            ctx = runtime.ctx(rank)
+            snap = target_by_rank[rank]
+            since = snap.time if snap is not None else ctx.stats.started_at
+            horizon = t_fail
+            if ctx.stats.finished_at is not None and ctx.stats.finished_at < t_fail:
+                horizon = ctx.stats.finished_at  # it had already finished
+            lost_work[rank] = max(horizon - since, 0.0)
+            resume_index[rank] = runtime.rollback_rank(rank, snap)
+
+        # Replay plans, computed after every rollback so truncated logs and
+        # restored R counters are in effect.  A channel needs replay when an
+        # endpoint rolled back: data beyond the receiver's restored R was on
+        # connections the failure reset (or was logged before the sender's
+        # own rollback) and will not be re-sent live.
+        rollback_set = set(rollback)
+        plans: List[Tuple[int, int, List]] = []
+        for ctx in runtime.contexts:
+            log = getattr(ctx.protocol, "log", None)
+            if log is None:
+                continue
+            src = ctx.rank
+            for dst in log.destinations():
+                if src not in rollback_set and dst not in rollback_set:
+                    continue
+                received = runtime.ctx(dst).account.received_from(src)
+                entries = log.replay_plan(dst, received)
+                if entries:
+                    plans.append((src, dst, entries))
+
+        out_by_src: Dict[int, List[Tuple[int, List]]] = {}
+        alive_plans: List[Tuple[int, int, List]] = []
+        incoming_remaining: Dict[int, int] = {r: 0 for r in rollback}
+        for src, dst, entries in plans:
+            if src in rollback_set:
+                out_by_src.setdefault(src, []).append((dst, entries))
+            else:
+                alive_plans.append((src, dst, entries))
+            if dst in rollback_set:
+                incoming_remaining[dst] += 1
+        incoming_done: Dict[int, Event] = {
+            r: Event(sim, name="replayed") for r in rollback
+        }
+        for rank in rollback:
+            if incoming_remaining[rank] == 0:
+                incoming_done[rank].succeed(0)
+
+        measured: List[ReplayChannel] = []
+
+        def channel_done(src: int, dst: int, nbytes: int, count: int) -> None:
+            measured.append(ReplayChannel(src=src, dst=dst, nbytes=nbytes,
+                                          n_messages=count))
+            if dst in rollback_set:
+                incoming_remaining[dst] -= 1
+                if incoming_remaining[dst] == 0 and not incoming_done[dst].triggered:
+                    incoming_done[dst].succeed(sim.now)
+
+        storage = runtime.cluster.checkpoint_storage
+        rtt = 2 * (runtime.cluster.network.spec.latency_s
+                   + runtime.cluster.network.spec.per_message_overhead_s)
+
+        def alive_replay(src: int, dst: int, entries: List):
+            # An out-of-group survivor serves replay from its in-memory log
+            # in the background while its own script keeps running.
+            nbytes, count = yield from runtime.replay_channel(src, dst, entries, False)
+            channel_done(src, dst, nbytes, count)
+
+        def rank_restart(rank: int):
+            ctx = runtime.ctx(rank)
+            snap = target_by_rank[rank]
+            # 1. re-create the process and restore its image
+            image_bytes = snap.image_bytes if snap is not None else 0
+            if image_bytes > 0:
+                yield from storage.read(ctx.node_id, image_bytes)
+                yield sim.timeout(self.blcr.restore_exec_s)
+            # 2. rebuild MPI internal structures
+            yield sim.timeout(self.config.restart_rebuild_s)
+            # 3. R/S exchange with peers outside the rollback set
+            out_peers = {p for p in ctx.account.peers() if p not in rollback_set}
+            if out_peers:
+                yield sim.timeout(len(out_peers) * rtt)
+            # 4. replay this rank's own logged messages (flushed log read back)
+            for dst, entries in out_by_src.get(rank, []):
+                nbytes, count = yield from runtime.replay_channel(rank, dst, entries, True)
+                channel_done(rank, dst, nbytes, count)
+            # ... and wait for everything owed to this rank
+            yield incoming_done[rank]
+
+        prepared = [sim.process(rank_restart(rank), name=f"recover:{rank}")
+                    for rank in rollback]
+        for src, dst, entries in alive_plans:
+            sim.process(alive_replay(src, dst, entries), name="replay")
+
+        yield sim.all_of(prepared)
+        # 5. group members resume together
+        if self.barrier_cost_s > 0:
+            yield sim.timeout(self.barrier_cost_s)
+
+        resumed_at = sim.now
+        for rank in rollback:
+            snap = target_by_rank[rank]
+            runtime.relaunch_rank(rank, resume_index[rank])
+            report.ranks.append(RankRecovery(
+                rank=rank,
+                lost_work_s=lost_work[rank],
+                resumed_at=resumed_at,
+                recovery_time_s=resumed_at - t_fail,
+                resume_op_index=resume_index[rank],
+                image_bytes=snap.image_bytes if snap is not None else 0,
+            ))
+        report.completed_at = resumed_at
+        report.channels = measured
+        runtime.recovery_reports.append(report)
+        return report

@@ -21,6 +21,48 @@ METHODS: Tuple[str, ...] = ("GP", "GP1", "GP4", "NORM", "VCL")
 
 
 @dataclass(frozen=True)
+class FailureSpec:
+    """Live failure injection for one scenario (measured failure experiments).
+
+    Two modes:
+
+    * ``at_s`` set — one deterministic kill: the node hosting ``victim_rank``
+      dies at ``at_s`` seconds of simulated time (the measured counterpart of
+      the analytic "failure at X% of execution" model).
+    * ``mtbf_per_node_s`` set — seeded random kills from a
+      :class:`~repro.cluster.failure.PoissonFailureModel` at the given
+      per-node MTBF, capped at ``max_failures`` events.
+
+    Exactly one of the two must be set.  ``detection_delay_s`` models the
+    dispatcher noticing the dead node before starting the group rollback.
+    """
+
+    at_s: Optional[float] = None
+    victim_rank: int = 0
+    mtbf_per_node_s: Optional[float] = None
+    max_failures: int = 1
+    detection_delay_s: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.at_s is None) == (self.mtbf_per_node_s is None):
+            raise ValueError("set exactly one of at_s (deterministic kill) or "
+                             "mtbf_per_node_s (Poisson kills)")
+        if self.at_s is not None and self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if self.victim_rank < 0:
+            raise ValueError("victim_rank must be non-negative")
+        if self.mtbf_per_node_s is not None and self.mtbf_per_node_s <= 0:
+            raise ValueError("mtbf_per_node_s must be positive")
+        if self.max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if self.detection_delay_s < 0:
+            raise ValueError("detection_delay_s must be non-negative")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+
+@dataclass(frozen=True)
 class ScenarioConfig:
     """One simulated run of one workload under one checkpointing method.
 
@@ -47,6 +89,10 @@ class ScenarioConfig:
         ⌈√n⌉; the HPL experiments use P = 8 to match Table 1).
     do_restart:
         Whether to simulate a restart from the last checkpoint after the run.
+    failure:
+        Optional live failure injection (measured failure experiments): ranks
+        are killed mid-run and the group rollback + replay actually executes,
+        instead of the analytic post-hoc loss model.
     """
 
     workload: str
@@ -58,6 +104,7 @@ class ScenarioConfig:
     workload_options: Dict[str, object] = field(default_factory=dict)
     max_group_size: Optional[int] = None
     do_restart: bool = True
+    failure: Optional[FailureSpec] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -66,6 +113,10 @@ class ScenarioConfig:
             raise ValueError(f"unknown method {self.method!r}; expected one of {METHODS}")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.failure is not None and self.failure.victim_rank >= self.n_ranks:
+            raise ValueError(
+                f"failure.victim_rank {self.failure.victim_rank} out of range "
+                f"[0, {self.n_ranks})")
 
     def with_method(self, method: str) -> "ScenarioConfig":
         """Copy of this scenario under a different grouping method."""

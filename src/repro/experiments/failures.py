@@ -7,7 +7,12 @@ quantify that argument with the failure models from
 :mod:`repro.cluster.failure`:
 
 * :func:`expected_work_loss_experiment` — expected lost work per failure as a
-  function of checkpoint interval and grouping method,
+  function of checkpoint interval and grouping method (analytic post-hoc
+  model on a failure-free run),
+* :func:`measured_work_loss_experiment` — the *measured* counterpart: a rank
+  is actually killed mid-run (:class:`~repro.cluster.failure.FailureInjector`)
+  and the group rollback + log replay executes live, so lost work, recovery
+  time and replay volume are observed rather than modelled,
 * :func:`failure_rate_sweep` — the ``failure_rate`` axis: best interval and
   total fault-tolerance cost per grouping method across per-node failure
   rates,
@@ -33,7 +38,7 @@ from repro.analysis.advisor import expected_overhead_fraction, suggest_checkpoin
 from repro.analysis.reporting import Series, Table, series_table
 from repro.cluster.failure import ExponentialFailureModel, expected_lost_work
 from repro.core.groups import GroupSet
-from repro.experiments.config import ExperimentProfile, FULL, ScenarioConfig
+from repro.experiments.config import ExperimentProfile, FULL, FailureSpec, ScenarioConfig
 from repro.experiments.runner import obtain_groups
 from repro.cluster.topology import GIDEON_300
 from repro.ckpt.scheduler import periodic
@@ -138,6 +143,171 @@ def expected_work_loss_experiment(
         x_label="interval (s)",
     )
     return {"points": points, "series": list(series.values()), "table": table}
+
+
+@dataclass(frozen=True)
+class MeasuredWorkLossPoint:
+    """Measured vs analytic work loss for one (method, interval) combination."""
+
+    method: str
+    interval_s: float
+    failure_time_s: float
+    #: ranks that actually rolled back in the measured run
+    rollback_ranks: int
+    #: rollback scope the grouping predicts (the analytic model's multiplier)
+    predicted_scope: int
+    measured_lost_work_s: float
+    measured_recovery_time_s: float
+    replayed_bytes: int
+    replayed_messages: int
+    skipped_bytes: int
+    #: per-process analytic loss (time since rank 0's last completed ckpt)
+    analytic_loss_per_rank_s: float
+    #: analytic total = per-rank loss × predicted rollback scope
+    analytic_total_loss_s: float
+    makespan_s: float
+    failure_free_makespan_s: float
+
+
+def _victim_scope(method: str, n_ranks: int, profile: ExperimentProfile,
+                  victim_rank: int = 0, max_group_size: int = 8) -> int:
+    """How many processes the grouping method predicts will roll back."""
+    if method == "NORM" or method == "VCL":
+        return n_ranks
+    if method == "GP1":
+        return 1
+    if method == "GP4":
+        return len(GroupSet.contiguous(n_ranks, 4).members(victim_rank))
+    groups = obtain_groups("hpl", n_ranks, GIDEON_300, dict(profile.hpl_options),
+                           max_group_size=max_group_size)
+    return len(groups.members(victim_rank))
+
+
+def measured_work_loss_grid(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+    intervals: Tuple[float, ...] = (60.0, 120.0, 180.0),
+    methods: Tuple[str, ...] = ("NORM", "GP", "GP1"),
+    failure_fraction: float = 0.6,
+    detection_delay_s: float = 0.25,
+) -> Tuple[List[ScenarioConfig], Dict[Tuple[str, float], object]]:
+    """The measured-failure scenario set (one live kill per grid cell).
+
+    Phase 1 runs the failure-free (method × interval) grid through the
+    default campaign to learn each cell's makespan; phase 2 builds one
+    scenario per cell with a :class:`~repro.experiments.config.FailureSpec`
+    that kills rank 0's node at ``failure_fraction`` of that makespan.
+    Returns the measured configs plus the failure-free results keyed by
+    ``(method, interval)`` (the analytic baseline the comparison needs).
+    """
+    if not 0.0 < failure_fraction < 1.0:
+        raise ValueError("failure_fraction must be in (0, 1)")
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    base_grid = work_loss_grid(profile, n, intervals, methods)
+    by_point = _run_grid(base_grid)
+    schedules = {interval: periodic(interval) for interval in intervals}
+    configs: List[ScenarioConfig] = []
+    baselines: Dict[Tuple[str, float], object] = {}
+    for method in methods:
+        for interval in intervals:
+            baseline = by_point[(method, schedules[interval])]
+            baselines[(method, interval)] = baseline
+            failure = FailureSpec(
+                at_s=baseline.makespan * failure_fraction,
+                victim_rank=0,
+                detection_delay_s=detection_delay_s,
+            )
+            configs.append(ScenarioConfig(
+                workload="hpl",
+                n_ranks=n,
+                method=method,
+                schedule=schedules[interval],
+                workload_options=dict(profile.hpl_options),
+                max_group_size=8,
+                do_restart=False,
+                seed=11,
+                failure=failure,
+            ))
+    return configs, baselines
+
+
+def measured_work_loss_experiment(
+    profile: ExperimentProfile = FULL,
+    n_ranks: Optional[int] = None,
+    intervals: Tuple[float, ...] = (60.0, 120.0, 180.0),
+    methods: Tuple[str, ...] = ("NORM", "GP", "GP1"),
+    failure_fraction: float = 0.6,
+    detection_delay_s: float = 0.25,
+) -> Dict[str, object]:
+    """Kill a rank mid-run and *measure* the group rollback, per method/interval.
+
+    The measured counterpart of :func:`expected_work_loss_experiment`: the
+    same campaign grid, but each cell's run suffers a live node failure at
+    ``failure_fraction`` of its failure-free makespan.  Only the victim's
+    group rolls back (to its last coordinated checkpoint); out-of-group
+    ranks replay their sender logs over the simulated network and keep
+    executing.  Reported per cell: measured total lost work, recovery time,
+    replay volume, and the analytic prediction (per-rank loss since the last
+    completed checkpoint × predicted rollback scope) on the same grid.
+    """
+    from repro.campaign.executor import get_default_campaign
+
+    n = n_ranks if n_ranks is not None else profile.hpl_scales[-1]
+    configs, baselines = measured_work_loss_grid(
+        profile, n, intervals, methods, failure_fraction, detection_delay_s)
+    results = get_default_campaign().run(configs)
+    by_cell = {(r.config.method, r.config.schedule.interval_s): r for r in results}
+
+    points: List[MeasuredWorkLossPoint] = []
+    measured_series: Dict[str, Series] = {}
+    analytic_series: Dict[str, Series] = {}
+    table = Table(
+        title=(f"Measured vs analytic work loss (HPL, {n} processes; kill at "
+               f"{int(failure_fraction * 100)}% of execution)"),
+        columns=["method", "interval (s)", "rolled back", "measured loss (s)",
+                 "analytic loss (s)", "recovery (s)", "replayed (MB)"],
+    )
+    for method in methods:
+        measured_series[method] = Series(name=f"{method} measured loss (s)")
+        analytic_series[method] = Series(name=f"{method} analytic loss (s)")
+        for interval in intervals:
+            result = by_cell[(method, interval)]
+            baseline = baselines[(method, interval)]
+            failure_time = baseline.makespan * failure_fraction
+            per_rank = expected_lost_work(
+                interval, failure_time, baseline.rank0_checkpoint_end_times)
+            scope = _victim_scope(method, n, profile)
+            analytic_total = per_rank * scope
+            point = MeasuredWorkLossPoint(
+                method=method,
+                interval_s=interval,
+                failure_time_s=failure_time,
+                rollback_ranks=result.rollback_ranks_total,
+                predicted_scope=scope,
+                measured_lost_work_s=result.measured_lost_work_s,
+                measured_recovery_time_s=result.measured_recovery_time_s,
+                replayed_bytes=result.replayed_bytes,
+                replayed_messages=result.replayed_messages,
+                skipped_bytes=result.skipped_bytes,
+                analytic_loss_per_rank_s=per_rank,
+                analytic_total_loss_s=analytic_total,
+                makespan_s=result.makespan,
+                failure_free_makespan_s=baseline.makespan,
+            )
+            points.append(point)
+            measured_series[method].append(interval, point.measured_lost_work_s)
+            analytic_series[method].append(interval, analytic_total)
+            table.add_row(method, interval, point.rollback_ranks,
+                          round(point.measured_lost_work_s, 2),
+                          round(analytic_total, 2),
+                          round(point.measured_recovery_time_s, 3),
+                          round(point.replayed_bytes / 1e6, 3))
+    return {
+        "points": points,
+        "measured_series": list(measured_series.values()),
+        "analytic_series": list(analytic_series.values()),
+        "table": table,
+    }
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,12 @@ from repro.ckpt.presets import (
     vcl_family,
 )
 from repro.ckpt.scheduler import CheckpointSchedule
+from repro.cluster.failure import (
+    FailureEvent,
+    FailureInjector,
+    PoissonFailureModel,
+    TraceFailureModel,
+)
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.core.coordinator import CheckpointCoordinator
 from repro.core.formation import form_groups
@@ -222,6 +228,47 @@ class ScenarioResult:
         """Completion times of rank 0's checkpoints (drives work-loss models)."""
         return sorted(rec.end for rec in self.app.checkpoint_records if rec.rank == 0)
 
+    # -- measured failure-injection metrics -------------------------------------
+    @property
+    def recovery_reports(self) -> List[object]:
+        """Live-recovery reports, one per injected failure (empty without one)."""
+        return list(self.app.recovery)
+
+    @property
+    def failures_injected(self) -> int:
+        """Number of failures that actually killed a rank mid-run."""
+        return len(self.app.recovery)
+
+    @property
+    def rollback_ranks_total(self) -> int:
+        """Total rank rollbacks across all injected failures."""
+        return sum(len(rep.rollback_ranks) for rep in self.app.recovery)
+
+    @property
+    def measured_lost_work_s(self) -> float:
+        """Measured work discarded by rollbacks (sums over ranks and failures)."""
+        return sum(rep.total_lost_work_s for rep in self.app.recovery)
+
+    @property
+    def measured_recovery_time_s(self) -> float:
+        """Slowest failure-to-resumption time over all injected failures."""
+        return max((rep.max_recovery_time_s for rep in self.app.recovery), default=0.0)
+
+    @property
+    def replayed_bytes(self) -> int:
+        """Bytes resent from sender logs during live recoveries."""
+        return sum(rep.replayed_bytes for rep in self.app.recovery)
+
+    @property
+    def replayed_messages(self) -> int:
+        """Log entries resent during live recoveries."""
+        return sum(rep.replayed_messages for rep in self.app.recovery)
+
+    @property
+    def skipped_bytes(self) -> int:
+        """Re-executed send bytes suppressed by skip accounting."""
+        return sum(ctx.stats.skipped_bytes for ctx in self.app.contexts)
+
     def breakdown(self):
         """Average per-stage checkpoint breakdown (Figure 9)."""
         return stage_breakdown(self.app.checkpoint_records)
@@ -252,6 +299,19 @@ def run_scenario(
     runtime.set_memory(workload.memory_map())
     if config.schedule is not None:
         CheckpointCoordinator(runtime, family, config.schedule).start()
+    if config.failure is not None:
+        fs = config.failure
+        if fs.at_s is not None:
+            node = runtime.ctx(fs.victim_rank).node_id
+            model: object = TraceFailureModel([FailureEvent(fs.at_s, node)])
+        else:
+            model = PoissonFailureModel(
+                rate_per_node_s=1.0 / fs.mtbf_per_node_s,
+                rng=RandomStreams(fs.seed),
+                max_failures=fs.max_failures,
+            )
+        FailureInjector(runtime, model,
+                        detection_delay_s=fs.detection_delay_s).start()
     runtime.launch(workload.program_factory())
     app = runtime.run_to_completion(limit_s=1e8)
 

@@ -58,6 +58,17 @@ class Message:
         Optional opaque payload used by control messages.
     sent_at / arrived_at:
         Simulation timestamps filled in by the runtime.
+    src_epoch / dst_epoch:
+        Rollback epochs of the two endpoints at send time.  Only stamped when
+        live failure injection is active; a message whose stamp no longer
+        matches an endpoint's current epoch was carried by a connection that a
+        process kill has since reset, and is dropped at delivery.  The class
+        defaults mean failure-free runs never pay for the stamps.
+    end_offset / msg_index:
+        Cumulative channel position (bytes, message count) of this message on
+        its (src, dst) application channel, used by re-executed senders to
+        skip duplicates after a rollback.  Stamped only under failure
+        injection.
     seq:
         Globally unique, monotonically increasing id (tie-breaker and
         debugging aid).
@@ -72,6 +83,10 @@ class Message:
     payload: Any = None
     sent_at: float = -1.0
     arrived_at: float = -1.0
+    src_epoch: int = 0
+    dst_epoch: int = 0
+    end_offset: int = -1
+    msg_index: int = -1
     seq: int = field(default_factory=lambda: next(_message_counter))
 
     def __post_init__(self) -> None:
@@ -195,6 +210,33 @@ class ChannelAccount:
     def total_received(self) -> int:
         """Total application bytes received from all peers."""
         return sum(self._received.values())
+
+    def messages_sent_by_destination(self) -> Dict[int, int]:
+        """Copy of the per-peer sent-message counters."""
+        return dict(self._sent_msgs)
+
+    def messages_received_by_source(self) -> Dict[int, int]:
+        """Copy of the per-peer received-message counters."""
+        return dict(self._received_msgs)
+
+    def restore(
+        self,
+        sent: Dict[int, int],
+        received: Dict[int, int],
+        sent_msgs: Optional[Dict[int, int]] = None,
+        received_msgs: Optional[Dict[int, int]] = None,
+    ) -> None:
+        """Reset every counter to a previously captured state (rollback).
+
+        Used when a process is rolled back to its last checkpoint during live
+        failure recovery: the counters must return to exactly the values the
+        checkpointed process would have had, so the byte offsets of
+        re-executed sends line up with what peers already received.
+        """
+        self._sent = dict(sent)
+        self._received = dict(received)
+        self._sent_msgs = dict(sent_msgs) if sent_msgs is not None else {}
+        self._received_msgs = dict(received_msgs) if received_msgs is not None else {}
 
     # -- snapshots ----------------------------------------------------------
     def snapshot_sent(self) -> Dict[int, int]:

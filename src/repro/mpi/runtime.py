@@ -15,9 +15,11 @@ process.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.ckpt.base import ResumePoint
 from repro.cluster.topology import Cluster
 from repro.mpi import collectives as coll
 from repro.mpi.messages import ChannelAccount, Message, MessageKind, fast_message
@@ -37,7 +39,7 @@ from repro.mpi.ops import (
     Wait,
 )
 from repro.mpi.tracer import Tracer
-from repro.sim.engine import SimProcess, Simulator
+from repro.sim.engine import Interrupt, SimProcess, Simulator
 from repro.sim.primitives import Event, Store, Timeout
 from repro.sim.rng import RandomStreams
 
@@ -87,6 +89,11 @@ class RankStats:
     finished_at: Optional[float] = None
     checkpoints: List[Any] = field(default_factory=list)
     progress_marks: List[Tuple[float, str]] = field(default_factory=list)
+    #: live-failure accounting: rollbacks suffered, and re-executed sends
+    #: suppressed because the receiver already held the data (skip accounting)
+    rollbacks: int = 0
+    skipped_sends: int = 0
+    skipped_bytes: int = 0
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -122,6 +129,49 @@ class RankContext:
         self._arrival_watchers: List[Tuple[int, int, Event]] = []
         #: True while this rank is inside a checkpoint procedure
         self.in_checkpoint = False
+        # -- live failure-injection state (inert unless an injector attaches) --
+        #: incremented on every kill/rollback; messages stamped with an older
+        #: epoch were carried by a connection the restart has since reset
+        self.rollback_epoch = 0
+        #: True between the kill instant and the completion of recovery
+        self.in_recovery = False
+        #: True from the kill instant until the process is re-created
+        self.failed = False
+        #: index of the operation currently executing (the resume position of
+        #: a checkpoint taken inside or at the boundary of that operation)
+        self.op_cursor = 0
+        #: per-channel sends of the *currently executing* operation — what a
+        #: mid-operation checkpoint must subtract to get pre-op send counters
+        self._op_sent: Dict[int, int] = {}
+        self._op_sent_msgs: Dict[int, int] = {}
+        #: application messages consumed by the currently executing operation
+        #: (re-consumed after a rollback restarts the operation)
+        self._op_consumed: List[Any] = []
+        #: the get-event of a blocked application receive (failure runs only).
+        #: A message can be *matched* into it while the rank handles a
+        #: checkpoint mid-receive — neither in the inbox nor consumed — and
+        #: the resume capture must not lose it.
+        self.pending_get: Optional[Event] = None
+
+    def reset_for_rollback(self) -> None:
+        """Discard volatile runtime state when this rank is rolled back.
+
+        The inbox is replaced wholesale: items received after the checkpoint
+        are gone with the dead process, and get-events of the interrupted
+        script must never consume messages destined for the restarted one.
+        """
+        self.rollback_epoch += 1
+        self.inbox = Store(self.sim, name=f"inbox:{self.rank}")
+        self._arrival_watchers = []
+        self._signal_event = Event(self.sim, name="signal")
+        self.pending_requests = []
+        self.in_checkpoint = False
+        self.in_recovery = True
+        self.finished = False
+        self._op_sent.clear()
+        self._op_sent_msgs.clear()
+        del self._op_consumed[:]
+        self.pending_get = None
 
     # -- checkpoint signalling ------------------------------------------------
     @property
@@ -209,6 +259,8 @@ class ApplicationResult:
     contexts: List[RankContext]
     deliveries: List[Tuple[float, int, int, int]]
     trace: Optional[Any] = None
+    #: live-failure recovery reports (empty for failure-free runs)
+    recovery: List[Any] = field(default_factory=list)
 
     @property
     def checkpoint_records(self) -> List[Any]:
@@ -318,6 +370,18 @@ class MpiRuntime:
         #: True once a checkpoint-request source (a coordinator) is attached;
         #: until then blocked receives need no signal wake-up condition.
         self.checkpoints_enabled = False
+        #: True once a failure injector is attached; gates all rollback
+        #: bookkeeping (epoch stamps, resume capture, duplicate skipping) so
+        #: failure-free runs execute the exact pre-existing fast path.
+        self.failures_enabled = False
+        self._program_factory: Optional[ProgramFactory] = None
+        #: recovery orchestrations currently in flight (driven alongside the
+        #: rank processes by :meth:`run_to_completion`)
+        self._recovery_inflight: List[SimProcess] = []
+        #: completed :class:`~repro.core.restart.RecoveryReport` objects
+        self.recovery_reports: List[Any] = []
+        #: messages dropped because an endpoint was rolled back in flight
+        self.dropped_messages = 0
 
     def attach_checkpoint_source(self) -> None:
         """Declare that checkpoint requests may be delivered to the ranks.
@@ -329,6 +393,19 @@ class MpiRuntime:
         so waiting on the bare inbox event is provably equivalent.
         """
         self.checkpoints_enabled = True
+
+    def attach_failure_source(self) -> None:
+        """Declare that ranks may be killed and rolled back mid-run.
+
+        Called by :class:`~repro.cluster.failure.FailureInjector` before the
+        application launches.  Turns on the failure bookkeeping: operation
+        cursors and per-op channel tracking (resume points), message epoch /
+        offset stamps (connection-reset drops and duplicate skipping), and
+        snapshot history retention in the protocols.  Without an injector all
+        of it is skipped, keeping failure-free runs bit-identical to the
+        golden parity metrics.
+        """
+        self.failures_enabled = True
 
     # ------------------------------------------------------------------ basics
     @property
@@ -374,17 +451,31 @@ class MpiRuntime:
     ) -> Message:
         if not 0 <= dst < self.n_ranks:
             raise ValueError(f"destination rank {dst} out of range")
-        return fast_message(
+        msg = fast_message(
             src, dst, nbytes, tag, kind,
             dict(piggyback) if piggyback else {},
             payload, self.sim.now,
         )
+        if self.failures_enabled:
+            msg.src_epoch = self.contexts[src].rollback_epoch
+            msg.dst_epoch = self.contexts[dst].rollback_epoch
+        return msg
 
     def _finish_delivery(self, msg: Message) -> None:
         """Terminal stage of a delivery: accounting, protocol hook, inbox."""
         now = self.sim.now
-        msg.arrived_at = now
         dst_ctx = self.contexts[msg.dst]
+        if self.failures_enabled and (
+            msg.dst_epoch != dst_ctx.rollback_epoch
+            or msg.src_epoch != self.contexts[msg.src].rollback_epoch
+        ):
+            # An endpoint was killed/rolled back while this message was in
+            # flight: the connection it travelled on has been reset.  Data the
+            # receiver genuinely lacks is re-sent by re-execution or replayed
+            # from the sender's log, never from the wire.
+            self.dropped_messages += 1
+            return
+        msg.arrived_at = now
         if msg.kind is MessageKind.APP:
             dst_ctx.account.add_received(msg.src, msg.nbytes)
             stats = dst_ctx.stats
@@ -478,6 +569,26 @@ class MpiRuntime:
                 Message(src=ctx.rank, dst=dst, nbytes=nbytes, tag=tag), sim.now
             )
         msg = self._make_message(ctx.rank, dst, nbytes, tag, MessageKind.APP, piggyback)
+        skip = False
+        if self.failures_enabled:
+            end_offset = ctx.account.sent_to(dst) + nbytes
+            msg_index = ctx.account.messages_sent_to(dst) + 1
+            msg.end_offset = end_offset
+            msg.msg_index = msg_index
+            ctx._op_sent[dst] = ctx._op_sent.get(dst, 0) + nbytes
+            ctx._op_sent_msgs[dst] = ctx._op_sent_msgs.get(dst, 0) + 1
+            if ctx.rollback_epoch > 0:
+                # Skip accounting (Algorithm 1, restart part): a re-executed
+                # send whose channel position the receiver already covers is
+                # a duplicate — the data survived at the receiver, so only
+                # the local library cost is paid and nothing hits the wire.
+                dst_account = self.contexts[dst].account
+                received = dst_account.received_from(ctx.rank)
+                if end_offset < received or (
+                    end_offset == received
+                    and msg_index <= dst_account.messages_received_from(ctx.rank)
+                ):
+                    skip = True
         ctx.account.add_sent(dst, nbytes)
         stats = ctx.stats
         stats.messages_sent += 1
@@ -488,6 +599,12 @@ class MpiRuntime:
             yield Timeout(sim, extra_delay)
 
         net = self.cluster.network
+        if skip:
+            stats.skipped_sends += 1
+            stats.skipped_bytes += nbytes
+            yield Timeout(sim, net.spec.per_message_overhead_s)
+            stats.send_time += sim.now - start
+            return msg
         src_node = ctx.node_id
         dst_node = self.contexts[dst].node_id
         if blocking and src_node != dst_node:
@@ -496,8 +613,12 @@ class MpiRuntime:
             if fast is not None:
                 done, reservation = fast
                 sim.stats.events_elided += 2
-                yield done
-                net.finish_tx(src_node, reservation)
+                try:
+                    yield done
+                finally:
+                    # finally: an interrupt (failure injection) must release
+                    # the NIC reservation, exactly like the coroutine model.
+                    net.finish_tx(src_node, reservation)
             else:
                 yield from net.tx(src_node, wire_bytes)
         else:
@@ -567,6 +688,8 @@ class MpiRuntime:
             # vacuous and the receive waits on the bare inbox event.
             interruptible = False
         get_ev = ctx.inbox.get(self._match(MessageKind.APP, src, tag))
+        if self.failures_enabled:
+            ctx.pending_get = get_ev
         while True:
             if interruptible and not ctx.in_checkpoint and ctx.has_visible_request(self.sim.now):
                 yield from self.handle_pending_checkpoints(ctx)
@@ -594,6 +717,9 @@ class MpiRuntime:
                 yield get_ev
                 msg = get_ev._value
                 break
+        if self.failures_enabled:
+            ctx.pending_get = None
+            ctx._op_consumed.append(msg)
         ctx.stats.recv_wait_time += self.sim.now - start
         return msg
 
@@ -636,6 +762,140 @@ class MpiRuntime:
             ctx.stats.checkpoint_time += self.sim.now - start
             if record is not None:
                 ctx.stats.checkpoints.append(record)
+
+    # ----------------------------------------------------- live failure injection
+    def capture_resume(self, ctx: RankContext) -> Optional[ResumePoint]:
+        """The re-execution position of ``ctx`` for a checkpoint taken *now*.
+
+        Returns None unless a failure injector is attached.  Send counters
+        are the checkpoint-time values minus the currently executing
+        operation's own sends (a rollback restarts that operation from its
+        beginning); receive counters stay delivery-based, and the restored
+        inbox holds every delivered-but-unconsumed application message plus
+        the ones the partial operation already consumed (see
+        :class:`~repro.ckpt.base.ResumePoint`).
+        """
+        if not self.failures_enabled:
+            return None
+        account = ctx.account
+        ss = account.snapshot_sent()
+        ss_msgs = account.messages_sent_by_destination()
+        for dst, nbytes in ctx._op_sent.items():
+            ss[dst] -= nbytes
+        for dst, count in ctx._op_sent_msgs.items():
+            ss_msgs[dst] -= count
+        inbox = list(ctx._op_consumed)
+        pending = ctx.pending_get
+        if pending is not None and pending._triggered:
+            # A message already matched into the blocked receive's get-event:
+            # it left the inbox but the script has not consumed it yet (it is
+            # handling this very checkpoint).  It is library-delivered data
+            # and belongs in the image.
+            limbo = pending._value
+            if limbo is not None and limbo.kind is MessageKind.APP:
+                inbox.append(limbo)
+        inbox.extend(m for m in ctx.inbox.items if m.kind is MessageKind.APP)
+        return ResumePoint(op_index=ctx.op_cursor, ss=ss,
+                           rr=account.snapshot_received(),
+                           ss_msgs=ss_msgs,
+                           rr_msgs=account.messages_received_by_source(),
+                           inbox=inbox)
+
+    def kill_rank(self, rank: int, cause: Any = "node-failure") -> None:
+        """Kill ``rank``'s process at the current instant (node death).
+
+        The script is interrupted wherever it is (mid-compute, blocked in a
+        receive, inside a checkpoint), and the rank's rollback epoch is
+        bumped so every message still in flight to or from it is dropped at
+        delivery — the TCP connections of a dead process do not survive it.
+        Recovery (rollback + replay + relaunch) is orchestrated separately by
+        :class:`~repro.core.restart.LiveRecovery`.
+        """
+        ctx = self.contexts[rank]
+        ctx.failed = True
+        ctx.rollback_epoch += 1
+        proc = self._rank_processes[rank]
+        if proc.is_alive:
+            proc.interrupt(cause)
+
+    def rollback_rank(self, rank: int, snapshot: Optional[Any]) -> int:
+        """Roll ``rank`` back to ``snapshot`` (None = process start).
+
+        Interrupts the script if it is still running (group members of a
+        victim roll back too, even though their own node is healthy), resets
+        the volatile runtime state, restores the channel accounting to the
+        snapshot's resume point and lets the protocol restore its own state.
+        Returns the operation index to relaunch from.
+        """
+        ctx = self.contexts[rank]
+        proc = self._rank_processes[rank]
+        if proc.is_alive:
+            proc.interrupt("group-rollback")
+        ctx.reset_for_rollback()
+        resume = snapshot.resume if snapshot is not None else ResumePoint(op_index=0)
+        ctx.account.restore(resume.ss, resume.rr, resume.ss_msgs, resume.rr_msgs)
+        # Messages that had been drained into the MPI library by checkpoint
+        # time are part of the restored image; the re-executed script will
+        # consume them again.
+        ctx.inbox.items.extend(resume.inbox)
+        if ctx.protocol is not None:
+            ctx.protocol.rollback_to(snapshot)
+        ctx.stats.rollbacks += 1
+        return resume.op_index
+
+    def relaunch_rank(self, rank: int, op_index: int) -> SimProcess:
+        """Re-create ``rank``'s process, resuming its script at ``op_index``.
+
+        The operations before ``op_index`` are *not* re-executed — their
+        effects live in the restored checkpoint image — so the fresh program
+        iterator is simply advanced past them.
+        """
+        if self._program_factory is None:
+            raise RuntimeError("launch() must run before a rank can be relaunched")
+        ctx = self.contexts[rank]
+        program = iter(self._program_factory(rank))
+        if op_index > 0:
+            program = itertools.islice(program, op_index, None)
+        proc = self.sim.process(
+            self._run_rank(ctx, program, start_index=op_index, fresh=False),
+            name=f"rank:{rank}",
+        )
+        self._rank_processes[rank] = proc
+        ctx.in_recovery = False
+        ctx.failed = False
+        return proc
+
+    def replay_channel(
+        self, src: int, dst: int, entries: Sequence[Any], read_log_from_storage: bool
+    ) -> Generator[Event, None, Tuple[int, int]]:
+        """Resend logged messages on one channel during live recovery.
+
+        Entries are replayed in order over the simulated network (contending
+        with live traffic on both NICs) and delivered through the normal
+        terminal delivery stage, so the restarted receiver's tag-matched
+        receives consume them exactly like the original messages.  When the
+        *sender* was itself rolled back, its in-memory log is gone and the
+        flushed log is first fetched from checkpoint storage.  Returns
+        ``(bytes, messages)`` replayed.
+        """
+        src_ctx = self.contexts[src]
+        dst_ctx = self.contexts[dst]
+        src_node, dst_node = src_ctx.node_id, dst_ctx.node_id
+        net = self.cluster.network
+        total = sum(e.nbytes for e in entries)
+        if read_log_from_storage and total > 0:
+            yield from self.cluster.checkpoint_storage.read(src_node, total)
+        replayed = 0
+        for entry in entries:
+            if src_node == dst_node:
+                yield Timeout(self.sim, net.spec.per_message_overhead_s)
+            else:
+                yield from net.transfer(src_node, dst_node, entry.nbytes)
+            msg = self._make_message(src, dst, entry.nbytes, entry.tag, MessageKind.APP)
+            msg.end_offset = entry.end_offset
+            self._finish_delivery(msg)
+            replayed += 1
+        return total, replayed
 
     # ------------------------------------------------------------------ execution
     def _collective_tag(self, base_tag: int) -> int:
@@ -750,56 +1010,83 @@ class MpiRuntime:
                 raise TypeError(f"unsupported operation type {type(op).__name__}")
         yield from handler(self, ctx, op)
 
-    def _run_rank(self, ctx: RankContext, program: Iterable[Op]) -> Generator[Event, None, None]:
+    def _run_rank(self, ctx: RankContext, program: Iterable[Op],
+                  start_index: int = 0, fresh: bool = True) -> Generator[Event, None, None]:
         sim = self.sim
-        ctx.stats.started_at = sim.now
+        if fresh:
+            ctx.stats.started_at = sim.now
         dispatch = self._OP_DISPATCH
         stats = ctx.stats
-        for op in program:
-            if ctx.pending_requests and ctx.has_visible_request(sim.now):
-                yield from self.handle_pending_checkpoints(ctx)
-            # The five hottest operation kinds are interpreted inline — every
-            # generator frame removed here is removed from every resume of
-            # this rank (CPython walks the yield-from chain per send()).
-            # Everything else goes through the dispatch table / execute_op.
-            # These branches are verbatim copies of _op_compute/_op_send/
-            # _op_recv/_op_sendrecv/_op_marker: edits must be mirrored.
-            cls = op.__class__
-            stats.ops_executed += 1
-            if cls is SendRecv:
-                yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
-                if op.src is not None:
+        failures = self.failures_enabled
+        op_index = start_index
+        try:
+            for op in program:
+                if failures:
+                    # Resume-point bookkeeping: remember which operation is
+                    # executing and wipe the previous operation's traffic.
+                    ctx.op_cursor = op_index
+                    op_index += 1
+                    if ctx._op_sent:
+                        ctx._op_sent.clear()
+                        ctx._op_sent_msgs.clear()
+                    if ctx._op_consumed:
+                        del ctx._op_consumed[:]
+                if ctx.pending_requests and ctx.has_visible_request(sim.now):
+                    yield from self.handle_pending_checkpoints(ctx)
+                # The five hottest operation kinds are interpreted inline — every
+                # generator frame removed here is removed from every resume of
+                # this rank (CPython walks the yield-from chain per send()).
+                # Everything else goes through the dispatch table / execute_op.
+                # These branches are verbatim copies of _op_compute/_op_send/
+                # _op_recv/_op_sendrecv/_op_marker: edits must be mirrored.
+                cls = op.__class__
+                stats.ops_executed += 1
+                if cls is SendRecv:
+                    yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
+                    if op.src is not None:
+                        yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+                elif cls is Compute:
+                    node = self.cluster.nodes[ctx.node_id]
+                    duration = node.compute_time(op.seconds)
+                    if op.jitter and node.spec.os_jitter_sigma > 0:
+                        duration = self.rng.lognormal_jitter(
+                            ctx.jitter_key, duration, node.spec.os_jitter_sigma
+                        )
+                    stats.compute_time += duration
+                    if duration > 0:
+                        yield Timeout(sim, duration)
+                elif cls is Send:
+                    yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
+                elif cls is Recv:
                     yield from self.app_recv(ctx, src=op.src, tag=op.tag)
-            elif cls is Compute:
-                node = self.cluster.nodes[ctx.node_id]
-                duration = node.compute_time(op.seconds)
-                if op.jitter and node.spec.os_jitter_sigma > 0:
-                    duration = self.rng.lognormal_jitter(
-                        ctx.jitter_key, duration, node.spec.os_jitter_sigma
-                    )
-                stats.compute_time += duration
-                if duration > 0:
-                    yield Timeout(sim, duration)
-            elif cls is Send:
-                yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
-            elif cls is Recv:
-                yield from self.app_recv(ctx, src=op.src, tag=op.tag)
-            elif cls is Marker:
-                stats.progress_marks.append((sim.now, op.label))
-            else:
-                handler = dispatch.get(cls)
-                if handler is None:
-                    stats.ops_executed -= 1  # execute_op counts it itself
-                    yield from self.execute_op(ctx, op)
+                elif cls is Marker:
+                    stats.progress_marks.append((sim.now, op.label))
                 else:
-                    yield from handler(self, ctx, op)
-        # Handle any request that was delivered but not yet handled, so group
-        # barriers never wait on a rank that has already exited.  Requests that
-        # are not yet visible are waited out first.
-        while ctx.has_pending_request():
-            if not ctx.has_visible_request(self.sim.now):
-                yield self.sim.timeout(max(ctx.next_visible_at() - self.sim.now, 0.0))
-            yield from self.handle_pending_checkpoints(ctx)
+                    handler = dispatch.get(cls)
+                    if handler is None:
+                        stats.ops_executed -= 1  # execute_op counts it itself
+                        yield from self.execute_op(ctx, op)
+                    else:
+                        yield from handler(self, ctx, op)
+            if failures:
+                ctx.op_cursor = op_index
+                if ctx._op_sent:
+                    ctx._op_sent.clear()
+                    ctx._op_sent_msgs.clear()
+                if ctx._op_consumed:
+                    del ctx._op_consumed[:]
+            # Handle any request that was delivered but not yet handled, so group
+            # barriers never wait on a rank that has already exited.  Requests that
+            # are not yet visible are waited out first.
+            while ctx.has_pending_request():
+                if not ctx.has_visible_request(self.sim.now):
+                    yield self.sim.timeout(max(ctx.next_visible_at() - self.sim.now, 0.0))
+                yield from self.handle_pending_checkpoints(ctx)
+        except Interrupt:
+            # Killed by the failure injector (or rolled back with its group).
+            # The process ends quietly; LiveRecovery re-creates it from the
+            # rollback target's resume point.
+            return
         ctx.finished = True
         ctx.stats.finished_at = self.sim.now
 
@@ -807,6 +1094,7 @@ class MpiRuntime:
         """Start one simulation process per rank executing its script."""
         if self._rank_processes:
             raise RuntimeError("launch() may only be called once per runtime")
+        self._program_factory = program_factory
         for ctx in self.contexts:
             program = program_factory(ctx.rank)
             proc = self.sim.process(self._run_rank(ctx, iter(program)), name=f"rank:{ctx.rank}")
@@ -814,12 +1102,33 @@ class MpiRuntime:
         return self._rank_processes
 
     def run_to_completion(self, limit_s: Optional[float] = None) -> ApplicationResult:
-        """Run the simulation until every rank's script has finished."""
+        """Run the simulation until every rank's script has finished.
+
+        With a failure injector attached, rank processes may be killed and
+        re-created mid-run, so the wait set is rebuilt whenever it drains:
+        in-flight recovery orchestrations are waited on alongside the rank
+        processes until every context reports its script finished.
+        """
         if not self._rank_processes:
             raise RuntimeError("launch() must be called before run_to_completion()")
-        done = self.sim.all_of(self._rank_processes)
-        if not self.sim.run_until_event(done, limit=limit_s):
-            raise RuntimeError(f"application did not finish within {limit_s} simulated seconds")
+        if not self.failures_enabled:
+            done = self.sim.all_of(self._rank_processes)
+            if not self.sim.run_until_event(done, limit=limit_s):
+                raise RuntimeError(
+                    f"application did not finish within {limit_s} simulated seconds")
+        else:
+            while not all(ctx.finished for ctx in self.contexts):
+                waits = [p for p in self._rank_processes if not p._processed]
+                waits += [p for p in self._recovery_inflight if not p._processed]
+                if not waits:
+                    unfinished = [c.rank for c in self.contexts if not c.finished]
+                    raise RuntimeError(
+                        f"ranks {unfinished[:8]} neither finished nor recovering "
+                        "(a failure was injected but recovery never relaunched them)")
+                done = self.sim.all_of(waits)
+                if not self.sim.run_until_event(done, limit=limit_s):
+                    raise RuntimeError(
+                        f"application did not finish within {limit_s} simulated seconds")
         makespan = max(
             ctx.stats.finished_at for ctx in self.contexts if ctx.stats.finished_at is not None
         )
@@ -830,4 +1139,5 @@ class MpiRuntime:
             contexts=self.contexts,
             deliveries=self.deliveries,
             trace=self.tracer.log if self.tracer is not None else None,
+            recovery=self.recovery_reports,
         )

@@ -53,6 +53,13 @@ class HplParameters:
     factorization_exchanges: int = 2
     #: cap on the number of simulated panel steps (real steps are coarsened)
     max_steps: int = 48
+    #: panel broadcast along the rows: ``"ring"`` is HPL's increasing-ring
+    #: (every row channel used in ONE direction only — the RR piggyback can
+    #: never garbage-collect sender logs on this workload); ``"bidirectional"``
+    #: splits the panel and circulates the halves both ways around the row
+    #: ring (HPL's split-ring/2-ring broadcast variants), so every row
+    #: channel carries traffic in both directions and log GC stays live.
+    row_bcast: str = "ring"
 
     def __post_init__(self) -> None:
         if self.problem_size < 1 or self.block_size < 1:
@@ -67,6 +74,9 @@ class HplParameters:
             raise ValueError("factorization_exchanges must be non-negative")
         if self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if self.row_bcast not in ("ring", "bidirectional"):
+            raise ValueError(
+                f"unknown row_bcast {self.row_bcast!r}; expected 'ring' or 'bidirectional'")
 
 
 class HplWorkload(Workload):
@@ -173,12 +183,38 @@ class HplWorkload(Workload):
                 ring = [row_members[(row_members.index(self.rank_of(row, owner_col)) + i) % self.Q]
                         for i in range(self.Q)]
                 pos = ring.index(rank)
-                if pos == 0:
-                    yield Send(dst=ring[1], nbytes=panel, tag=2)
+                if p.row_bcast == "ring":
+                    if pos == 0:
+                        yield Send(dst=ring[1], nbytes=panel, tag=2)
+                    else:
+                        yield Recv(src=ring[pos - 1], tag=2)
+                        if pos + 1 < self.Q:
+                            yield Send(dst=ring[pos + 1], nbytes=panel, tag=2)
                 else:
-                    yield Recv(src=ring[pos - 1], tag=2)
-                    if pos + 1 < self.Q:
-                        yield Send(dst=ring[pos + 1], nbytes=panel, tag=2)
+                    # Split-ring ("2-ring") broadcast: the ring is cut into a
+                    # forward and a backward arc and the *full* panel travels
+                    # along each, so every receiver still gets the whole
+                    # panel and total row volume stays (Q-1)×panel — exactly
+                    # the increasing ring's.  As the owning column rotates
+                    # with the step, every row channel ends up carrying
+                    # traffic in both directions — which is what keeps the
+                    # RR-piggyback log GC alive on this workload.
+                    h_fwd = self.Q // 2
+                    h_bwd = (self.Q - 1) // 2
+                    right = ring[(pos + 1) % self.Q]
+                    left = ring[(pos - 1) % self.Q]
+                    if pos == 0:
+                        yield Send(dst=right, nbytes=panel, tag=2)
+                        if h_bwd > 0:
+                            yield Send(dst=left, nbytes=panel, tag=4)
+                    elif pos <= h_fwd:
+                        yield Recv(src=left, tag=2)
+                        if pos < h_fwd:
+                            yield Send(dst=right, nbytes=panel, tag=2)
+                    else:  # backward arc: positions Q-1 down to Q-h_bwd
+                        yield Recv(src=right, tag=4)
+                        if pos > self.Q - h_bwd:
+                            yield Send(dst=left, nbytes=panel, tag=4)
 
             # 3. row swaps + U broadcast along every column
             if self.P > 1 and swap > 0:
@@ -193,7 +229,8 @@ class HplWorkload(Workload):
     def describe(self) -> str:
         """One-line description for reports."""
         p = self.params
+        bcast = "" if p.row_bcast == "ring" else f", {p.row_bcast} row bcast"
         return (
             f"HPL N={p.problem_size} NB={p.block_size} on {self.P}x{self.Q} grid "
-            f"({self.n_ranks} ranks, {len(self._chunks)} simulated steps)"
+            f"({self.n_ranks} ranks, {len(self._chunks)} simulated steps{bcast})"
         )

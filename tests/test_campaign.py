@@ -240,11 +240,12 @@ def test_campaign_run_is_scoped_but_resume_drains_the_store():
 
 def test_campaign_rerun_recovers_orphaned_running_rows():
     # "interrupt, then simply re-run" — rows left 'running' by a crashed
-    # worker are re-opened by the next run() over the same configs
+    # worker are re-opened by the next run() over the same configs once
+    # their lease has lapsed (lease_s=0 models an already-expired claim)
     campaign = Campaign()
     configs = ring_grid().expand()
     campaign.store.add_many(configs)
-    crashed = campaign.store.claim("doomed-worker")
+    crashed = campaign.store.claim("doomed-worker", lease_s=0.0)
     results = campaign.run(configs)
     assert len(results) == len(configs)
     assert campaign.counts()["done"] == len(configs)
@@ -257,7 +258,8 @@ def test_campaign_resume_after_simulated_worker_crash(tmp_path):
     configs = ring_grid().expand()
     campaign.store.add_many(configs)
     # a worker claims a row and "crashes" before writing anything back
-    crashed = campaign.store.claim("doomed-worker")
+    # (its heartbeat dies with it, so the zero-length lease is already stale)
+    crashed = campaign.store.claim("doomed-worker", lease_s=0.0)
     assert crashed is not None
     assert campaign.counts()["running"] == 1
 
@@ -457,3 +459,106 @@ def test_failure_rate_sweep_runs_through_campaign_and_caches():
         assert campaign.last_executed == 0
     finally:
         set_default_campaign(None)
+
+
+# ------------------------------------------------------------------ lease/heartbeat
+def test_claim_stamps_a_lease_and_renewal_extends_it():
+    store = CampaignStore(":memory:")
+    store.add(ring_config())
+    row = store.claim("w1", lease_s=120.0)
+    assert row.lease_expires_at is not None
+    before = row.lease_expires_at
+    assert store.renew_lease(row.key, "w1", lease_s=600.0)
+    assert store.get(row.key).lease_expires_at > before
+    # the wrong worker (or a finished row) cannot renew
+    assert not store.renew_lease(row.key, "someone-else")
+    store.mark_done(row.key, {"makespan": 1.0})
+    assert not store.renew_lease(row.key, "w1")
+
+
+def test_expired_leases_are_reclaimed_but_live_ones_are_not():
+    store = CampaignStore(":memory:")
+    configs = ring_grid().expand()
+    store.add_many(configs)
+    stale = store.claim("crashed", lease_s=0.0)
+    live = store.claim("alive", lease_s=3600.0)
+    assert store.expired_running_keys() == [stale.key]
+    assert store.reclaim_expired() == 1
+    assert store.get(stale.key).status == "pending"
+    assert store.get(live.key).status == "running"
+    # a reclaimed row's original owner cannot renew its stale lease
+    assert not store.renew_lease(stale.key, "crashed")
+
+
+def test_concurrent_run_waits_for_live_rows_instead_of_duplicating(tmp_path):
+    import threading
+    import time as _time
+
+    from repro.campaign.results import payload_stamp
+
+    path = str(tmp_path / "campaign.sqlite")
+    config = ring_config()
+    holder = CampaignStore(path)
+    holder.add(config)
+    held = holder.claim("other-live-campaign", lease_s=3600.0)
+
+    results = {}
+
+    def run():
+        # sqlite connections are per-thread: build the campaign in here
+        campaign = Campaign(CampaignStore(path))
+        results["rows"] = campaign.run([config])
+        results["executed"] = campaign.last_executed
+        campaign.store.close()
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    _time.sleep(0.15)
+    # the concurrent run() must still be waiting, not re-executing
+    assert thread.is_alive()
+    assert holder.get(held.key).status == "running"
+    metrics = dict(payload_stamp(), makespan=1.25)
+    assert holder.mark_done(held.key, metrics)
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert results["executed"] == 0  # served, never duplicated
+    assert results["rows"][0].makespan == 1.25
+    assert holder.get(held.key).attempts == 1
+    holder.close()
+
+
+def test_run_takes_over_once_a_lease_expires(tmp_path):
+    path = str(tmp_path / "campaign.sqlite")
+    config = ring_config()
+    holder = CampaignStore(path)
+    holder.add(config)
+    holder.claim("crashed-campaign", lease_s=0.05)
+
+    import time as _time
+    _time.sleep(0.06)
+    campaign = Campaign(CampaignStore(path))
+    results = campaign.run([config])
+    assert campaign.last_executed == 1
+    assert results[0].makespan > 0
+    holder.close()
+
+
+def test_heartbeat_thread_keeps_a_claim_alive(tmp_path):
+    import time as _time
+
+    from repro.campaign.executor import _LeaseHeartbeat
+
+    path = str(tmp_path / "campaign.sqlite")
+    store = CampaignStore(path)
+    store.add(ring_config())
+    row = store.claim("hb-worker", lease_s=0.3)
+    heartbeat = _LeaseHeartbeat(path, row.key, "hb-worker", lease_s=0.3)
+    try:
+        _time.sleep(0.5)
+        # without renewal the 0.3 s lease would have lapsed by now
+        assert store.expired_running_keys() == []
+    finally:
+        heartbeat.stop()
+    _time.sleep(0.4)
+    assert store.expired_running_keys() == [row.key]
+    store.close()

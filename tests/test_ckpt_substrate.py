@@ -245,3 +245,30 @@ def test_schedule_from_intervals_maps_zero_to_none():
 def test_explicit_times_combined_with_periodic():
     sched = CheckpointSchedule(times=(5.0,), interval_s=50.0)
     assert sched.request_times(120.0) == [5.0, 50.0, 100.0]
+
+
+def test_log_entries_preserve_message_tags():
+    log = SenderLog(0)
+    log.append(dst=1, nbytes=10, end_offset=10, timestamp=0.0, tag=7)
+    log.append(dst=1, nbytes=10, end_offset=20, timestamp=1.0)
+    tags = [e.tag for e in log.entries_for(1)]
+    assert tags == [7, 0]
+
+
+def test_log_rollback_to_checkpoint_offsets():
+    log = SenderLog(0)
+    for i in range(1, 5):
+        log.append(dst=1, nbytes=10, end_offset=10 * i, timestamp=float(i), tag=i)
+    log.append(dst=2, nbytes=5, end_offset=5, timestamp=0.5)
+    log.mark_flushed()
+    log.append(dst=1, nbytes=10, end_offset=50, timestamp=9.0)
+
+    # checkpoint had seen 20 bytes to rank 1 and nothing to rank 2
+    discarded = log.rollback_to({1: 20})
+    assert discarded == 10 * 3 + 5  # entries 30..50 to rank 1, all of rank 2
+    assert [e.end_offset for e in log.entries_for(1)] == [10, 20]
+    assert log.entries_for(2) == []
+    assert log.unflushed_bytes == 0
+    # re-execution re-appends the discarded range at the same offsets
+    log.append(dst=1, nbytes=10, end_offset=30, timestamp=10.0, tag=3)
+    assert log.replay_plan(1, receiver_rr=10) == log.entries_for(1)[1:]

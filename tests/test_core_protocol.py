@@ -328,3 +328,45 @@ def test_group_members_finish_restart_together():
     for group in groups.groups:
         ends = {by_rank[r] for r in group}
         assert max(ends) - min(ends) < 1e-9
+
+
+def test_queue_dispatch_policy_never_loses_a_wave():
+    # Figure 10-style fidelity: under the "queue" policy every requested
+    # periodic tick is eventually issued, where "drop" discards colliders.
+    def run(policy):
+        n = 16
+        sim = Simulator()
+        cluster = Cluster(sim, GIDEON_300.with_nodes(n))
+        family = norm_family(n)
+        runtime = MpiRuntime(sim, cluster, n, protocol_family=family,
+                             rng=RandomStreams(5))
+        workload = Halo2DWorkload(n, SyntheticParameters())
+        runtime.set_memory(workload.memory_map())
+        coordinator = CheckpointCoordinator(
+            runtime, family, periodic(0.2, max_checkpoints=4),
+            dispatch_policy=policy)
+        coordinator.start()
+        runtime.launch(workload.program_factory())
+        runtime.run_to_completion(limit_s=1e5)
+        return coordinator.report
+
+    queued = run("queue")
+    dropped = run("drop")
+    assert queued.checkpoints_requested == 4
+    assert queued.queued_waves > 0
+    assert dropped.checkpoints_requested < queued.checkpoints_requested
+    assert dropped.skipped_waves > 0
+    # fidelity accounting never loses a tick silently
+    assert (dropped.checkpoints_requested + dropped.skipped_waves
+            >= queued.checkpoints_requested)
+
+
+def test_dispatch_policy_is_validated():
+    n = 4
+    sim = Simulator()
+    cluster = Cluster(sim, GIDEON_300.with_nodes(n))
+    family = norm_family(n)
+    runtime = MpiRuntime(sim, cluster, n, protocol_family=family)
+    with pytest.raises(ValueError, match="dispatch_policy"):
+        CheckpointCoordinator(runtime, family, periodic(1.0),
+                              dispatch_policy="bogus")

@@ -312,3 +312,55 @@ def test_program_factory_and_memory_map_helpers():
     assert isinstance(next(iter(factory(0))), Op)
     assert len(wl.memory_map()) == 3
     assert wl.total_operations(0) > 0
+
+
+def test_hpl_bidirectional_row_exchange_uses_channels_both_ways():
+    # the increasing ring drives each row channel in one direction only
+    # (for Q > 2), which is why RR piggyback GC is structurally dead on the
+    # paper's own workload; the bidirectional variant fixes that.
+    def row_channel_directions(params):
+        wl = HplWorkload(24, params)  # 8x3 grid: Q = 3
+        directions = set()
+        for rank in range(24):
+            row = wl.coords(rank)[0]
+            row_set = set(wl.row_members(row))
+            for op in wl.program(rank):
+                if isinstance(op, Send) and op.dst in row_set:
+                    directions.add((rank, op.dst))
+        return directions
+
+    ring = row_channel_directions(HplParameters(max_steps=6))
+    bidir = row_channel_directions(
+        HplParameters(max_steps=6, row_bcast="bidirectional"))
+    # ring: no channel is ever used in both directions
+    assert not any((b, a) in ring for (a, b) in ring)
+    # bidirectional: every used row channel eventually carries both directions
+    assert any((b, a) in bidir for (a, b) in bidir)
+    reversed_pairs = {(b, a) for (a, b) in bidir}
+    assert bidir == reversed_pairs
+
+
+def test_hpl_bidirectional_broadcast_conserves_row_volume():
+    # the variant changes channel *directions*, not the modeled volume: both
+    # broadcasts move (Q-1) x panel bytes per row per step, so makespans and
+    # method comparisons stay comparable across variants
+    def row_bcast_bytes(params, n):
+        wl = HplWorkload(n, params)
+        total = 0
+        for rank in range(n):
+            row_set = set(wl.row_members(wl.coords(rank)[0]))
+            for op in wl.program(rank):
+                if isinstance(op, Send) and op.dst in row_set and op.tag in (2, 4):
+                    total += op.nbytes
+        return total
+
+    for n in (16, 24, 32):  # Q = 2, 3, 4
+        ring = row_bcast_bytes(HplParameters(max_steps=6), n)
+        bidir = row_bcast_bytes(
+            HplParameters(max_steps=6, row_bcast="bidirectional"), n)
+        assert ring == bidir > 0
+
+
+def test_hpl_row_bcast_parameter_validation():
+    with pytest.raises(ValueError, match="row_bcast"):
+        HplParameters(row_bcast="zigzag")
