@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Long-horizon availability sweep: sustained failures, concurrent recovery.
+
+The paper's scalability argument is that group-based rollback confines each
+failure to one checkpoint group, so the machine stays *available* as the
+failure rate rises.  This example measures that end to end with the
+recovery-orchestration subsystem:
+
+1. a (method × node-MTBF × spare-count) grid runs under a seeded Poisson
+   failure process — several kills per run, recoveries scheduled by the
+   RecoveryManager (concurrent for disjoint groups, abort-and-restart when a
+   failure lands mid-recovery, spare-node placement with in-place fallback),
+2. each cell reports seed-averaged makespan, availability fraction and
+   per-failure recovery cost (mean ± spread via ``average_over_seeds``),
+3. the measured recovery costs calibrate the checkpoint-interval advisor
+   (analytic vs measured-calibrated suggestions),
+4. a concurrency ablation runs the same failure stream with recovery
+   overlap disabled (the pre-manager serialised schedule).
+
+Everything goes through the campaign engine: re-running this script serves
+finished cells from the store and only simulates what is missing.
+
+Run:  python examples/availability_sweep.py [--db PATH] [--workers N]
+          [--seeds N] [--spares N] [--csv PATH] [--quick]
+"""
+
+import argparse
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.campaign import Campaign, CampaignStore, results_to_csv, set_default_campaign
+from repro.experiments.availability import (
+    availability_experiment,
+    calibrated_interval_table,
+    concurrency_ablation,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--db", default=None,
+                        help="campaign store path (default: in-memory)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel campaign workers (needs --db)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="seeds averaged per cell (default 2)")
+    parser.add_argument("--spares", type=int, default=2,
+                        help="spare-node count of the spares-on cells (default 2)")
+    parser.add_argument("--csv", default=None,
+                        help="write the seed-averaged cells to this CSV file")
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny grid (2 rates, 1 seed) for smoke runs")
+    args = parser.parse_args(argv)
+
+    if args.db is not None:
+        set_default_campaign(Campaign(CampaignStore(args.db), n_workers=args.workers))
+    elif args.workers > 1:
+        parser.error("--workers > 1 needs a file-backed store (--db)")
+
+    seeds = tuple(range(1 if args.quick else args.seeds))
+    rates = (100.0, 50.0) if args.quick else (240.0, 100.0, 50.0)
+
+    out = availability_experiment(
+        mtbf_per_node_s=rates,
+        spare_counts=(0, args.spares),
+        seeds=seeds,
+    )
+    print(format_table(out["table"]))
+    print()
+
+    cal = calibrated_interval_table(out["results"], mtbf_s=5000.0)
+    print(format_table(cal["table"]))
+    print()
+
+    ablation = concurrency_ablation(seeds=seeds)
+    print(format_table(ablation["table"]))
+
+    if args.csv:
+        fields = ("makespan", "makespan_std", "availability", "failures_injected",
+                  "measured_lost_work_s", "recovery_rank_seconds",
+                  "spare_migrations", "inplace_reboots", "aborted_recoveries",
+                  "max_concurrent_recoveries")
+        n = results_to_csv(out["results"], args.csv, metric_fields=fields)
+        print(f"\nwrote {n} seed-averaged cells to {args.csv}")
+
+    print("\nReading the table: as the per-node MTBF shrinks (left to right in")
+    print("the series), NORM's makespan balloons — every failure rolls the")
+    print("whole machine back — while GP only reruns the victim group and GP1")
+    print("only the victim.  Spare-node placement removes the reboot wait from")
+    print("every recovery, so the spares-on rows never trail the spares-off ones.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

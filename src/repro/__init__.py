@@ -10,6 +10,8 @@ The package is organised bottom-up:
   baseline protocols (blocking coordinated / Chandy–Lamport),
 * :mod:`repro.core` — the paper's contribution: the group-based protocol,
   trace-assisted group formation, the checkpoint coordinator and restart,
+* :mod:`repro.recovery` — recovery orchestration: concurrent group
+  recoveries, failure-during-recovery supersession, spare-node placement,
 * :mod:`repro.workloads` — HPL / NPB CG / NPB SP communication patterns,
 * :mod:`repro.analysis` — metrics and report builders,
 * :mod:`repro.experiments` — one entry point per paper figure/table,
@@ -36,10 +38,11 @@ from repro.core import (
     CheckpointCoordinator,
     simulate_restart,
 )
+from repro.recovery import RecoveryManager, SparePool
 from repro.workloads import HplWorkload, CgWorkload, SpWorkload
 from repro.campaign import Campaign, CampaignStore, ParameterGrid
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",
@@ -65,6 +68,8 @@ __all__ = [
     "form_groups",
     "CheckpointCoordinator",
     "simulate_restart",
+    "RecoveryManager",
+    "SparePool",
     "HplWorkload",
     "CgWorkload",
     "SpWorkload",

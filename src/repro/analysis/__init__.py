@@ -15,7 +15,7 @@ from repro.analysis.trace_analysis import (
     pair_volume_histogram,
 )
 from repro.analysis.reporting import Series, Table, format_table
-from repro.analysis.advisor import suggest_checkpoint_interval
+from repro.analysis.advisor import MeasuredCosts, measured_costs, suggest_checkpoint_interval
 
 __all__ = [
     "CheckpointBreakdown",
@@ -31,5 +31,7 @@ __all__ = [
     "Series",
     "Table",
     "format_table",
+    "MeasuredCosts",
+    "measured_costs",
     "suggest_checkpoint_interval",
 ]

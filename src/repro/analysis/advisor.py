@@ -3,8 +3,16 @@
 The paper's future-work section suggests using the communication trace (and
 the measured per-checkpoint cost) to pick a good fixed checkpoint interval.
 This module implements the classic first-order optimum (Young's
-approximation) plus a small refinement that accounts for the extra steady-
-state overhead message logging adds under the group-based scheme.
+approximation) plus two refinements:
+
+* the extra steady-state overhead message logging adds under the group-based
+  scheme (``logging_overhead_fraction``), and
+* a *measured* per-failure recovery cost (from live failure injection /
+  availability runs): time spent in rollback-and-replay is time the
+  application makes no progress, so the mean time between failures *in
+  useful-work time* is ``MTBF − R`` and the optimum shifts to slightly more
+  frequent checkpoints.  :func:`measured_costs` extracts the calibration
+  from a measured run's payload in place of the analytic guesses.
 """
 
 from __future__ import annotations
@@ -22,13 +30,69 @@ class IntervalSuggestion:
     checkpoint_cost_s: float
     mtbf_s: float
     expected_checkpoints_per_failure: float
+    #: measured per-failure recovery cost the suggestion was calibrated with
+    #: (0 = analytic-only suggestion)
+    recovery_cost_s: float = 0.0
 
     def describe(self) -> str:
         """One-line summary."""
-        return (
+        out = (
             f"checkpoint every {self.interval_s:.0f}s "
-            f"(cost {self.checkpoint_cost_s:.1f}s, MTBF {self.mtbf_s:.0f}s)"
+            f"(cost {self.checkpoint_cost_s:.1f}s, MTBF {self.mtbf_s:.0f}s"
         )
+        if self.recovery_cost_s > 0:
+            out += f", measured recovery {self.recovery_cost_s:.1f}s/failure"
+        return out + ")"
+
+
+@dataclass(frozen=True)
+class MeasuredCosts:
+    """Calibration quantities extracted from a measured failure run.
+
+    Built by :func:`measured_costs` from a
+    :class:`~repro.experiments.runner.ScenarioResult`, a
+    :class:`~repro.campaign.results.StoredResult` or a raw payload dict —
+    anything carrying the v3+ measured failure metrics.
+    """
+
+    #: mean per-process checkpoint duration (the cost term of the optimum)
+    checkpoint_cost_s: float
+    #: mean wall-clock recovery cost per failure (failure → group resumed)
+    recovery_cost_s: float
+    #: mean discarded work per failure, summed over the rolled-back ranks
+    lost_work_per_failure_s: float
+    #: failures the measurements were averaged over
+    n_failures: int
+
+
+def measured_costs(result) -> MeasuredCosts:
+    """Extract advisor calibration from a measured failure run.
+
+    ``result`` may be any object exposing the measured metric properties
+    (``mean_checkpoint_duration``, ``recovery_rank_seconds``,
+    ``rollback_ranks_total``, ``measured_lost_work_s``,
+    ``failures_injected``) or a plain payload dict with those keys.  The
+    per-failure recovery cost is the average per-rank failure→resumption
+    time — group members resume together, so this approximates the wall
+    clock each failure stalls its group for.
+    """
+    if isinstance(result, dict):
+        get = result.get
+    else:
+        def get(name, default=0):
+            return getattr(result, name, default)
+    failures = int(get("failures_injected", 0))
+    if failures < 1:
+        raise ValueError("no failures were injected; nothing to calibrate from "
+                         "(run with a FailureSpec first)")
+    rolled = int(get("rollback_ranks_total", 0))
+    recovery_rank_seconds = float(get("recovery_rank_seconds", 0.0))
+    return MeasuredCosts(
+        checkpoint_cost_s=float(get("mean_checkpoint_duration", 0.0)),
+        recovery_cost_s=recovery_rank_seconds / max(rolled, 1),
+        lost_work_per_failure_s=float(get("measured_lost_work_s", 0.0)) / failures,
+        n_failures=failures,
+    )
 
 
 def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
@@ -45,6 +109,8 @@ def suggest_checkpoint_interval(
     mtbf_s: float,
     logging_overhead_fraction: float = 0.0,
     min_interval_s: Optional[float] = None,
+    recovery_cost_s: float = 0.0,
+    measured: Optional[MeasuredCosts] = None,
 ) -> IntervalSuggestion:
     """Suggest a fixed checkpoint interval.
 
@@ -64,11 +130,31 @@ def suggest_checkpoint_interval(
     min_interval_s:
         Optional floor (a checkpoint cannot be scheduled more often than it
         takes to complete).
+    recovery_cost_s:
+        Measured per-failure recovery cost (rollback + replay + relaunch,
+        from :class:`~repro.core.restart.RecoveryReport` metrics).  Recovery
+        time does no useful work, so the mean time between failures *in
+        work time* shrinks to ``mtbf_s − recovery_cost_s`` and the optimum
+        moves toward more frequent checkpoints.
+    measured:
+        A :class:`MeasuredCosts` calibration; overrides ``checkpoint_cost_s``
+        and ``recovery_cost_s`` with the measured values (pass the original
+        analytic guesses for comparison tables).
     """
     if not 0.0 <= logging_overhead_fraction < 1.0:
         raise ValueError("logging_overhead_fraction must be in [0, 1)")
+    if recovery_cost_s < 0:
+        raise ValueError("recovery_cost_s must be non-negative")
+    if measured is not None:
+        if measured.checkpoint_cost_s > 0:
+            checkpoint_cost_s = measured.checkpoint_cost_s
+        recovery_cost_s = measured.recovery_cost_s
+    # Recovery stalls the application: of every `mtbf_s` between failures
+    # only `mtbf_s − recovery_cost_s` is forward progress, so that is the
+    # horizon a checkpoint interval actually protects.
+    effective_mtbf = max(mtbf_s - recovery_cost_s, checkpoint_cost_s, 1e-9)
     effective_cost = checkpoint_cost_s * (1.0 - logging_overhead_fraction)
-    interval = young_interval(max(effective_cost, 1e-9), mtbf_s)
+    interval = young_interval(max(effective_cost, 1e-9), effective_mtbf)
     floor = max(min_interval_s or 0.0, checkpoint_cost_s)
     interval = max(interval, floor)
     return IntervalSuggestion(
@@ -76,6 +162,7 @@ def suggest_checkpoint_interval(
         checkpoint_cost_s=checkpoint_cost_s,
         mtbf_s=mtbf_s,
         expected_checkpoints_per_failure=mtbf_s / interval if interval > 0 else 0.0,
+        recovery_cost_s=recovery_cost_s,
     )
 
 

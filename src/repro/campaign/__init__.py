@@ -42,6 +42,7 @@ from repro.campaign.executor import (
     set_default_campaign,
 )
 from repro.campaign.export import (
+    average_over_seeds,
     results_to_csv,
     results_to_series,
     results_to_table,
@@ -62,6 +63,7 @@ from repro.campaign.store import (
 __all__ = [
     "Campaign",
     "CampaignError",
+    "average_over_seeds",
     "CampaignStore",
     "ExperimentRow",
     "ParameterGrid",

@@ -213,6 +213,7 @@ class Campaign:
         configs: Sequence[ScenarioConfig],
         n_workers: Optional[int] = None,
         strict: bool = True,
+        priority: int = 0,
     ) -> List[StoredResult]:
         """Ensure every config has a result and return them in input order.
 
@@ -229,9 +230,15 @@ class Campaign:
         concurrent ``run()``s over overlapping grids no longer duplicate
         work.  With ``strict`` (default) a failed experiment raises
         :class:`CampaignError` carrying its stored traceback; otherwise
-        failed entries come back as None.
+        failed entries come back as None.  ``priority`` stamps the requested
+        rows: pending work is claimed highest priority first, so an urgent
+        sweep jumps the queue of a store shared with bulk campaigns.
         """
-        keys = self.store.add_many(configs)
+        keys = self.store.add_many(configs, priority=priority)
+        if priority:
+            # rows that already existed at a lower priority are promoted too
+            # (never demoted: another sweep's higher stamp wins)
+            self.store.set_priority(keys, priority, only_raise=True)
         self.store.reset(("failed",), keys=keys)
         self.store.reclaim_expired(keys=keys)
         stale = self.store.stale_done_keys(payload_stamp(), keys=keys)

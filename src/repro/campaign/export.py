@@ -2,13 +2,16 @@
 
 Bridges the campaign store to the existing :mod:`repro.analysis.reporting`
 layer: grouped :class:`Series` (one line per method, say), flat
-:class:`Table` grids, and plain-stdlib CSV dumps for external analysis.
+:class:`Table` grids, seed-axis aggregation (:func:`average_over_seeds`),
+and plain-stdlib CSV dumps for external analysis.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import Callable, Dict, List, Optional, Sequence, Union
+import json
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.reporting import Series, Table
 from repro.campaign.results import StoredResult
@@ -78,6 +81,58 @@ def results_to_series(
             grouped[label] = Series(name=str(label))
         grouped[label].append(row.get(x), row.get(y))
     return list(grouped.values())
+
+
+def average_over_seeds(
+    results: Sequence[StoredResult],
+    over: str = "seed",
+) -> List[StoredResult]:
+    """Collapse the ``seed`` axis: one aggregate result per distinct cell.
+
+    Results whose configs differ only in ``over`` (and, for measured failure
+    runs, the failure spec's own seed) form one *cell*.  The aggregate is a
+    :class:`StoredResult` carrying, for every numeric payload entry, the
+    cell **mean** under the original name plus ``<name>_std`` (population
+    standard deviation) and ``n_seeds`` — so downstream helpers work
+    unchanged (``results_to_series(avg, y="makespan")`` plots means,
+    ``y="makespan_std"`` the spread).  Non-numeric entries are kept when
+    identical across the cell and dropped otherwise.  The representative
+    config is the member with the smallest seed.  Cells appear in first-seen
+    order; singleton cells aggregate trivially (std 0).
+    """
+    cells: Dict[str, List[StoredResult]] = {}
+    order: List[str] = []
+    for result in results:
+        cfg = config_to_dict(result.config)
+        cfg.pop(over, None)
+        failure = cfg.get("failure")
+        if isinstance(failure, dict):
+            failure = dict(failure)
+            failure.pop("seed", None)
+            cfg["failure"] = failure
+        cell = json.dumps(cfg, sort_keys=True, separators=(",", ":"))
+        if cell not in cells:
+            cells[cell] = []
+            order.append(cell)
+        cells[cell].append(result)
+    out: List[StoredResult] = []
+    for cell in order:
+        members = sorted(cells[cell], key=lambda r: getattr(r.config, over, 0))
+        metrics: Dict[str, object] = {"n_seeds": len(members)}
+        names = [name for name in members[0].metrics
+                 if all(name in m.metrics for m in members)]
+        for name in names:
+            values = [m.metrics[name] for m in members]
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in values):
+                mean = sum(values) / len(values)
+                var = sum((v - mean) ** 2 for v in values) / len(values)
+                metrics[name] = mean
+                metrics[f"{name}_std"] = math.sqrt(var)
+            elif all(v == values[0] for v in values):
+                metrics[name] = values[0]
+        out.append(StoredResult(members[0].config, metrics))
+    return out
 
 
 def results_to_table(

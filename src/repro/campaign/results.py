@@ -18,8 +18,9 @@ from repro.experiments.config import ScenarioConfig
 
 #: payload format version, bump when the metric set changes so stale stores
 #: are detected instead of silently missing keys (v3 added the measured
-#: failure-recovery metrics)
-PAYLOAD_VERSION = 3
+#: failure-recovery metrics; v4 the recovery-orchestration metrics:
+#: availability, recovery rank-seconds, spare/concurrency counters)
+PAYLOAD_VERSION = 4
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -73,6 +74,13 @@ def metrics_payload(result) -> Dict[str, object]:
         "replayed_bytes": result.replayed_bytes,
         "replayed_messages": result.replayed_messages,
         "skipped_bytes": result.skipped_bytes,
+        # recovery-orchestration metrics (availability experiments)
+        "recovery_rank_seconds": result.recovery_rank_seconds,
+        "availability": result.availability,
+        "spare_migrations": result.spare_migrations,
+        "inplace_reboots": result.inplace_reboots,
+        "aborted_recoveries": result.aborted_recoveries,
+        "max_concurrent_recoveries": result.max_concurrent_recoveries,
     }
 
 
@@ -179,6 +187,37 @@ class StoredResult:
     def skipped_bytes(self) -> int:
         """Re-executed send bytes suppressed by skip accounting."""
         return self.metrics.get("skipped_bytes", 0)
+
+    # -- recovery-orchestration metrics ------------------------------------------
+    @property
+    def recovery_rank_seconds(self) -> float:
+        """Rank-seconds spent recovering (Σ per-rank failure→resumption time)."""
+        return self.metrics.get("recovery_rank_seconds", 0.0)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of total rank-time spent making forward progress."""
+        return self.metrics.get("availability", 1.0)
+
+    @property
+    def spare_migrations(self) -> int:
+        """Victim ranks relaunched on spare nodes."""
+        return self.metrics.get("spare_migrations", 0)
+
+    @property
+    def inplace_reboots(self) -> int:
+        """Victim ranks that waited out a dead node's reboot in place."""
+        return self.metrics.get("inplace_reboots", 0)
+
+    @property
+    def aborted_recoveries(self) -> int:
+        """Recovery attempts superseded by a failure landing mid-recovery."""
+        return self.metrics.get("aborted_recoveries", 0)
+
+    @property
+    def max_concurrent_recoveries(self) -> int:
+        """Peak number of simultaneously in-flight group recoveries."""
+        return self.metrics.get("max_concurrent_recoveries", 0)
 
     @property
     def sim_version(self) -> Optional[str]:

@@ -75,26 +75,48 @@ def _cluster_from_dict(data: Dict[str, object]) -> ClusterSpec:
     return ClusterSpec(**data)
 
 
+#: (field, default) pairs dropped from serialised configs when at their
+#: default, so keys minted before the field existed remain valid.  The
+#: cluster's switch radix and the failure spec's recovery-placement knobs
+#: arrived with the recovery-orchestration subsystem; configs not using them
+#: must keep their pre-subsystem key shape.
+_CLUSTER_DEFAULT_FIELDS = (("nodes_per_switch", ClusterSpec().nodes_per_switch),)
+_FAILURE_DEFAULT_FIELDS = (
+    ("n_spares", 0),
+    ("reboot_delay_s", 0.0),
+    ("serialize_recoveries", False),
+)
+
+
 def config_to_dict(config: ScenarioConfig) -> Dict[str, object]:
     """JSON-safe dictionary fully describing a :class:`ScenarioConfig`.
 
     The ``failure`` entry is omitted entirely when no failure is injected, so
     scenario keys of failure-free configs are unchanged by the existence of
-    the measured failure experiments.
+    the measured failure experiments; later-added fields are dropped when at
+    their defaults for the same reason (see ``_*_DEFAULT_FIELDS``).
     """
+    cluster = dataclasses.asdict(config.cluster)
+    for name, default in _CLUSTER_DEFAULT_FIELDS:
+        if cluster.get(name) == default:
+            del cluster[name]
     out = {
         "workload": config.workload,
         "n_ranks": config.n_ranks,
         "method": config.method,
         "schedule": _schedule_to_dict(config.schedule),
-        "cluster": dataclasses.asdict(config.cluster),
+        "cluster": cluster,
         "seed": config.seed,
         "workload_options": dict(config.workload_options),
         "max_group_size": config.max_group_size,
         "do_restart": config.do_restart,
     }
     if config.failure is not None:
-        out["failure"] = dataclasses.asdict(config.failure)
+        failure = dataclasses.asdict(config.failure)
+        for name, default in _FAILURE_DEFAULT_FIELDS:
+            if failure.get(name) == default:
+                del failure[name]
+        out["failure"] = failure
     return out
 
 
@@ -142,6 +164,7 @@ class ExperimentRow:
     finished_at: Optional[float] = None
     duration_s: Optional[float] = None
     lease_expires_at: Optional[float] = None
+    priority: int = 0
 
 
 _SCHEMA = """
@@ -157,7 +180,8 @@ CREATE TABLE IF NOT EXISTS experiments (
     started_at  REAL,
     finished_at REAL,
     duration_s  REAL,
-    lease_expires_at REAL
+    lease_expires_at REAL,
+    priority    INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS idx_experiments_status ON experiments (status);
 CREATE TABLE IF NOT EXISTS benchmarks (
@@ -171,7 +195,7 @@ CREATE INDEX IF NOT EXISTS idx_benchmarks_name ON benchmarks (name);
 
 _COLUMNS = ("key", "config", "status", "metrics", "error", "worker",
             "attempts", "created_at", "started_at", "finished_at", "duration_s",
-            "lease_expires_at")
+            "lease_expires_at", "priority")
 
 
 class CampaignStore:
@@ -200,6 +224,9 @@ class CampaignStore:
         if "lease_expires_at" not in have:
             self._conn.execute(
                 "ALTER TABLE experiments ADD COLUMN lease_expires_at REAL")
+        if "priority" not in have:
+            self._conn.execute(
+                "ALTER TABLE experiments ADD COLUMN priority INTEGER NOT NULL DEFAULT 0")
 
     @property
     def is_memory(self) -> bool:
@@ -211,17 +238,22 @@ class CampaignStore:
         self._conn.close()
 
     # -- writing ----------------------------------------------------------------------
-    def add(self, config: ScenarioConfig) -> str:
-        """Register a scenario (no-op if its key already exists) and return its key."""
+    def add(self, config: ScenarioConfig, priority: int = 0) -> str:
+        """Register a scenario (no-op if its key already exists) and return its key.
+
+        ``priority`` orders the claim queue: higher-priority pending rows are
+        claimed first (ties broken by age then key, as before).
+        """
         key = scenario_key(config)
         self._conn.execute(
-            "INSERT OR IGNORE INTO experiments (key, config, status, created_at) "
-            "VALUES (?, ?, 'pending', ?)",
-            (key, json.dumps(config_to_dict(config), sort_keys=True), time.time()),
+            "INSERT OR IGNORE INTO experiments (key, config, status, created_at, priority) "
+            "VALUES (?, ?, 'pending', ?, ?)",
+            (key, json.dumps(config_to_dict(config), sort_keys=True), time.time(),
+             priority),
         )
         return key
 
-    def add_many(self, configs: Iterable[ScenarioConfig]) -> List[str]:
+    def add_many(self, configs: Iterable[ScenarioConfig], priority: int = 0) -> List[str]:
         """Register several scenarios in one transaction; keys in input order."""
         conn = self._conn
         keys: List[str] = []
@@ -231,9 +263,11 @@ class CampaignStore:
             for config in configs:
                 key = scenario_key(config)
                 conn.execute(
-                    "INSERT OR IGNORE INTO experiments (key, config, status, created_at) "
-                    "VALUES (?, ?, 'pending', ?)",
-                    (key, json.dumps(config_to_dict(config), sort_keys=True), now),
+                    "INSERT OR IGNORE INTO experiments "
+                    "(key, config, status, created_at, priority) "
+                    "VALUES (?, ?, 'pending', ?, ?)",
+                    (key, json.dumps(config_to_dict(config), sort_keys=True), now,
+                     priority),
                 )
                 keys.append(key)
             conn.execute("COMMIT")
@@ -243,6 +277,29 @@ class CampaignStore:
             raise
         return keys
 
+    def set_priority(self, keys: Sequence[str], priority: int,
+                     only_raise: bool = False) -> int:
+        """Re-prioritise experiments (affects the order pending rows are claimed).
+
+        Returns the number of rows updated.  Raising a row's priority moves
+        it to the front of every worker's claim queue; the stamp on
+        already-running or finished rows is bookkeeping only (claims read it
+        solely on ``pending`` rows).  With ``only_raise`` the call never
+        *demotes*: rows already stamped higher by another sweep keep their
+        priority (this is what ``Campaign.run(priority=...)`` uses, so two
+        campaigns sharing rows cannot silently undercut each other).
+        """
+        if not keys:
+            return 0
+        marks = ",".join("?" for _ in keys)
+        query = f"UPDATE experiments SET priority = ? WHERE key IN ({marks})"
+        params = [priority, *keys]
+        if only_raise:
+            query += " AND priority < ?"
+            params.append(priority)
+        cur = self._conn.execute(query, tuple(params))
+        return cur.rowcount
+
     def claim(
         self,
         worker: str = "worker",
@@ -251,7 +308,9 @@ class CampaignStore:
     ) -> Optional[ExperimentRow]:
         """Atomically claim one ``pending`` experiment (``pending → running``).
 
-        Returns None when no pending experiment is left.  ``keys`` restricts
+        Returns None when no pending experiment is left.  Pending rows are
+        claimed highest ``priority`` first (ties: oldest, then key), so urgent
+        sweeps sharing a store with bulk ones drain first.  ``keys`` restricts
         the claim to those experiments (None = any pending row — the
         whole-store pull model).  The claim is a single ``BEGIN IMMEDIATE``
         transaction, so concurrent workers on the same database never claim
@@ -267,7 +326,7 @@ class CampaignStore:
                 return None
             query += f" AND key IN ({','.join('?' for _ in keys)})"
             params = tuple(keys)
-        query += " ORDER BY created_at, key LIMIT 1"
+        query += " ORDER BY priority DESC, created_at, key LIMIT 1"
         try:
             conn.execute("BEGIN IMMEDIATE")
             picked = conn.execute(query, params).fetchone()
@@ -487,6 +546,7 @@ class CampaignStore:
             finished_at=data["finished_at"],
             duration_s=data["duration_s"],
             lease_expires_at=data["lease_expires_at"],
+            priority=data["priority"],
         )
 
     def get(self, key_or_config) -> Optional[ExperimentRow]:

@@ -25,8 +25,14 @@ from repro.cluster.storage import (
     LOCAL_IDE_DISK,
     NFS_CHECKPOINT_SERVER,
 )
-from repro.cluster.topology import ClusterSpec, Cluster, GIDEON_300
-from repro.cluster.failure import FailureModel, FailureEvent, ExponentialFailureModel, TraceFailureModel
+from repro.cluster.topology import ClusterSpec, Cluster, GIDEON_300, NodeTopology
+from repro.cluster.failure import (
+    FailureModel,
+    FailureEvent,
+    ExponentialFailureModel,
+    PoissonFailureModel,
+    TraceFailureModel,
+)
 
 __all__ = [
     "Node",
@@ -45,8 +51,10 @@ __all__ = [
     "ClusterSpec",
     "Cluster",
     "GIDEON_300",
+    "NodeTopology",
     "FailureModel",
     "FailureEvent",
     "ExponentialFailureModel",
+    "PoissonFailureModel",
     "TraceFailureModel",
 ]

@@ -203,18 +203,22 @@ def expected_lost_work(
 
 
 class FailureInjector:
-    """Turns failure events into live kills + group rollback in a running sim.
+    """Turns failure events into live kills + orchestrated recovery.
 
     Wire-up (done before ``runtime.launch``): the injector registers itself
-    as a simulation process; at each failure event's time it interrupts the
-    rank processes of the victim node (they stop mid-operation, their
-    in-flight messages die with the connections) and hands recovery to
-    :class:`~repro.core.restart.LiveRecovery`, which rolls the victim's
-    checkpoint group back, replays sender logs and re-creates the scripts.
-    Failures are serialised: an event arriving while a recovery is in flight
-    is deferred until the recovery completes (real dispatchers do the same —
-    a second fault during recovery restarts recovery, which our deterministic
-    ordering approximates by queueing).
+    as a simulation process; at each failure event's time it *submits* the
+    failure to a :class:`~repro.recovery.manager.RecoveryManager`, which
+    kills the victim node's rank processes (they stop mid-operation, their
+    in-flight messages die with the connections), decides whether the
+    recovery runs concurrently with / merges into / queues behind in-flight
+    recoveries, places relaunches through an optional spare pool, and drives
+    :class:`~repro.core.restart.LiveRecovery`.
+
+    By default failures overlap (``concurrent=True``): the injector submits
+    and moves on to the next event, so two failures in channel-independent
+    groups recover at the same time.  ``concurrent=False`` restores the
+    PR 3 behaviour — every event waits until the manager fully drains —
+    which serves as the serialised baseline in the concurrency experiments.
 
     Parameters
     ----------
@@ -226,7 +230,15 @@ class FailureInjector:
         Upper bound for event generation (events beyond the application's
         actual completion are ignored).
     detection_delay_s / barrier_cost_s:
-        Recovery timing knobs, forwarded to :class:`LiveRecovery`.
+        Recovery timing knobs, forwarded through the manager.
+    manager:
+        An explicit :class:`RecoveryManager` (one is built otherwise).
+    spare_pool / reboot_delay_s:
+        Forwarded to the auto-built manager (ignored when ``manager`` is
+        given): the replacement-node pool and the reboot time an in-place
+        restart of a crashed node must wait out.
+    concurrent:
+        False serialises failure handling (the pre-manager behaviour).
     """
 
     def __init__(
@@ -236,6 +248,10 @@ class FailureInjector:
         horizon_s: float = 1e7,
         detection_delay_s: float = 0.25,
         barrier_cost_s: float = 0.02,
+        manager: Optional[Any] = None,
+        spare_pool: Optional[Any] = None,
+        reboot_delay_s: float = 0.0,
+        concurrent: bool = True,
     ) -> None:
         if horizon_s < 0:
             raise ValueError("horizon_s must be non-negative")
@@ -246,6 +262,18 @@ class FailureInjector:
         self.horizon_s = horizon_s
         self.detection_delay_s = detection_delay_s
         self.barrier_cost_s = barrier_cost_s
+        self.concurrent = concurrent
+        if manager is None:
+            from repro.recovery.manager import RecoveryManager
+
+            manager = RecoveryManager(
+                runtime,
+                spare_pool=spare_pool,
+                detection_delay_s=detection_delay_s,
+                barrier_cost_s=barrier_cost_s,
+                reboot_delay_s=reboot_delay_s,
+            )
+        self.manager = manager
         #: events that found no live rank on the victim node (already
         #: finished, or the node hosts no ranks)
         self.ignored_events: List[FailureEvent] = []
@@ -267,8 +295,6 @@ class FailureInjector:
                 if ctx.node_id == node and not ctx.finished and not ctx.failed]
 
     def _run(self) -> Generator["Event", Any, None]:
-        from repro.core.restart import LiveRecovery
-
         runtime = self.runtime
         sim = runtime.sim
         n_nodes = runtime.cluster.spec.n_nodes
@@ -280,19 +306,15 @@ class FailureInjector:
                 return
             victims = self._victims_of(event.node)
             if not victims:
+                # No live rank to kill, but the node is dead all the same:
+                # an idle spare that dies must leave the pool instead of
+                # being handed out as a healthy replacement later.
+                self.manager.node_failed(event.node)
                 self.ignored_events.append(event)
                 continue
             self.injected_events.append(event)
-            for rank in victims:
-                runtime.kill_rank(rank, cause=event)
-            recovery = LiveRecovery(
-                runtime, victims,
-                detection_delay_s=self.detection_delay_s,
-                barrier_cost_s=self.barrier_cost_s,
-                node=event.node,
-            )
-            proc = sim.process(recovery.run(), name="live-recovery")
-            runtime._recovery_inflight.append(proc)
-            # Serialise failures: wait the recovery out before the next event.
-            yield proc
-            runtime._recovery_inflight.remove(proc)
+            self.manager.submit(event, victims)
+            if not self.concurrent:
+                # Serialised baseline: wait every recovery out before the
+                # next event (the pre-manager PR 3 behaviour).
+                yield self.manager.drained()

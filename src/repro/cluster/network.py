@@ -50,6 +50,7 @@ from typing import Generator, List, Optional, Tuple, TYPE_CHECKING
 from repro.sim.primitives import Event, Resource, ResourceHold, ResourceRequest
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import NodeTopology
     from repro.sim.engine import Simulator
 
 #: environment switch forcing the full coroutine model (determinism parity)
@@ -242,12 +243,16 @@ class Network:
     """
 
     def __init__(self, sim: "Simulator", spec: NetworkSpec, n_nodes: int,
-                 fast_path: Optional[bool] = None) -> None:
+                 fast_path: Optional[bool] = None,
+                 topology: Optional["NodeTopology"] = None) -> None:
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
         self.sim = sim
         self.spec = spec
         self.n_nodes = n_nodes
+        #: physical switch layout (informational: drives *placement* choices
+        #: like restart-on-spare, not link timing — see NodeTopology)
+        self.topology = topology
         #: closed-form fast path enabled (see module docstring)
         self.fast_path = fast_path_default() if fast_path is None else fast_path
         # hot-path constants hoisted out of the (frozen) spec
@@ -570,21 +575,41 @@ class Network:
         if fast_tx is not None:
             done, req = fast_tx
             stats.events_elided += 2
-            yield done
-            self.finish_tx(src_node, req)
+            try:
+                yield done
+            finally:
+                # finally: an interrupted caller (an aborted recovery's image
+                # fetch or replay) must release the NIC reservation, exactly
+                # like the coroutine model's try/finally does.
+                self.finish_tx(src_node, req)
         else:
             yield from self.tx(src_node, nbytes)
         fast_rx = self.try_reserve_rx(dst_node, nbytes)
         if fast_rx is not None:
             done, req = fast_rx
             stats.events_elided += 2
-            yield done
-            self.finish_rx(dst_node, req)
+            try:
+                yield done
+            finally:
+                self.finish_rx(dst_node, req)
         else:
             yield from self.rx_path(dst_node, nbytes)
         return self.sim.now
 
     # -- introspection -----------------------------------------------------
+    def same_switch(self, a: int, b: int) -> bool:
+        """Whether two nodes share an edge switch (True without a topology).
+
+        A cluster without an attached :class:`NodeTopology` behaves as one
+        flat switch — every pair is local, which is also the conservative
+        answer for spare-placement preferences.
+        """
+        self._check_node(a)
+        self._check_node(b)
+        if self.topology is None:
+            return True
+        return self.topology.same_switch(a, b)
+
     def tx_queue_length(self, node: int) -> int:
         """Messages currently waiting for the node's transmit NIC."""
         self._check_node(node)

@@ -74,6 +74,9 @@ class Node:
     spec: NodeSpec = field(default_factory=NodeSpec)
     hostname: Optional[str] = None
     ranks: list[int] = field(default_factory=list)
+    #: True once the node has crashed; a failed node hosts no new ranks until
+    #: it reboots (in-place restart) and is never handed out as a spare
+    failed: bool = False
     _reserved_bytes: int = 0
 
     def __post_init__(self) -> None:
@@ -99,6 +102,15 @@ class Node:
             self.ranks.remove(rank)
         except ValueError as exc:
             raise ValueError(f"rank {rank} is not placed on node {self.node_id}") from exc
+
+    # -- failure lifecycle ----------------------------------------------
+    def mark_failed(self) -> None:
+        """Record that this node crashed (its processes are gone)."""
+        self.failed = True
+
+    def mark_rebooted(self) -> None:
+        """The node came back after an in-place reboot."""
+        self.failed = False
 
     # -- memory ---------------------------------------------------------
     @property

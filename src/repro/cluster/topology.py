@@ -26,6 +26,55 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
 
 
+#: default edge-switch radix (nodes per top-of-rack switch)
+DEFAULT_NODES_PER_SWITCH = 32
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """Physical placement of nodes on edge switches.
+
+    The cluster is modelled as ``ceil(n_nodes / nodes_per_switch)`` edge
+    switches connected by a non-blocking core (the paper's Gideon 300 is
+    Fast-Ethernet edge switches under a core switch).  The topology does not
+    change link timing — the :class:`~repro.cluster.network.NetworkSpec`
+    already models the NIC/link — but it drives *placement* decisions:
+    restart-on-spare prefers a spare on the victim's own switch so replay and
+    post-recovery traffic stay within the rack.
+    """
+
+    n_nodes: int
+    nodes_per_switch: int = DEFAULT_NODES_PER_SWITCH
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
+
+    @property
+    def n_switches(self) -> int:
+        """Number of edge switches."""
+        return -(-self.n_nodes // self.nodes_per_switch)
+
+    def switch_of(self, node: int) -> int:
+        """Edge switch hosting ``node``."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.n_nodes})")
+        return node // self.nodes_per_switch
+
+    def same_switch(self, a: int, b: int) -> bool:
+        """True when both nodes hang off the same edge switch."""
+        return self.switch_of(a) == self.switch_of(b)
+
+    def switch_nodes(self, switch: int) -> range:
+        """Node ids on ``switch``."""
+        if not 0 <= switch < self.n_switches:
+            raise ValueError(f"switch {switch} out of range [0, {self.n_switches})")
+        lo = switch * self.nodes_per_switch
+        return range(lo, min(lo + self.nodes_per_switch, self.n_nodes))
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
     """Declarative description of a cluster configuration.
@@ -48,6 +97,8 @@ class ClusterSpec:
         Number of dedicated servers when ``checkpoint_storage == "remote"``.
     remote_storage:
         Spec of each remote checkpoint server.
+    nodes_per_switch:
+        Edge-switch radix for the node topology (drives spare placement).
     name:
         Label used in reports.
     """
@@ -59,6 +110,7 @@ class ClusterSpec:
     checkpoint_storage: str = "local"
     n_checkpoint_servers: int = 4
     remote_storage: StorageSpec = NFS_CHECKPOINT_SERVER
+    nodes_per_switch: int = DEFAULT_NODES_PER_SWITCH
     name: str = "cluster"
 
     def __post_init__(self) -> None:
@@ -68,6 +120,8 @@ class ClusterSpec:
             raise ValueError("checkpoint_storage must be 'local' or 'remote'")
         if self.n_checkpoint_servers < 1:
             raise ValueError("n_checkpoint_servers must be >= 1")
+        if self.nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
 
     def with_nodes(self, n_nodes: int) -> "ClusterSpec":
         """A copy of this spec with a different node count."""
@@ -106,7 +160,8 @@ class Cluster:
         self.sim = sim
         self.spec = spec
         self.nodes: List[Node] = [Node(node_id=i, spec=spec.node) for i in range(spec.n_nodes)]
-        self.network = Network(sim, spec.network, spec.n_nodes)
+        self.topology = NodeTopology(spec.n_nodes, spec.nodes_per_switch)
+        self.network = Network(sim, spec.network, spec.n_nodes, topology=self.topology)
         self.local_disks = LocalDiskArray(sim, spec.n_nodes, spec.local_storage)
         self.remote_storage: Optional[RemoteStorageServers] = None
         if spec.checkpoint_storage == "remote":
@@ -149,6 +204,29 @@ class Cluster:
             return self._rank_to_node[rank]
         except KeyError as exc:
             raise KeyError(f"rank {rank} has not been placed; call place_ranks() first") from exc
+
+    def free_nodes(self) -> List[int]:
+        """Healthy nodes currently hosting no ranks (spare candidates)."""
+        return [node.node_id for node in self.nodes
+                if not node.ranks and not node.failed]
+
+    def migrate_rank(self, rank: int, new_node: int) -> int:
+        """Move a placed rank onto ``new_node`` (restart-on-spare placement).
+
+        Updates the rank→node map and both nodes' occupancy; returns the old
+        node id.  The caller (the recovery orchestration) is responsible for
+        updating the rank context so subsequent traffic uses the new node's
+        NIC and storage.
+        """
+        if not 0 <= new_node < self.spec.n_nodes:
+            raise ValueError(f"node {new_node} out of range [0, {self.spec.n_nodes})")
+        old_node = self.node_of(rank)
+        if old_node == new_node:
+            return old_node
+        self.nodes[old_node].remove_rank(rank)
+        self.nodes[new_node].place_rank(rank)
+        self._rank_to_node[rank] = new_node
+        return old_node
 
     @property
     def n_ranks(self) -> int:

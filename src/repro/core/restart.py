@@ -41,7 +41,7 @@ from repro.ckpt.base import CheckpointSnapshot, ProtocolConfig, RestartRecord
 from repro.ckpt.blcr import BlcrModel
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.mpi.runtime import ApplicationResult
-from repro.sim.engine import Simulator
+from repro.sim.engine import Interrupt, Simulator
 from repro.sim.primitives import Event
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -300,7 +300,7 @@ class RankRecovery:
 
     rank: int
     #: work discarded by the rollback: time from the restored checkpoint's
-    #: completion (or process start) to the failure instant
+    #: completion (or process start) to the instant the script last executed
     lost_work_s: float
     #: simulation time at which the re-created script resumed execution
     resumed_at: float
@@ -308,6 +308,10 @@ class RankRecovery:
     recovery_time_s: float
     resume_op_index: int
     image_bytes: int
+    #: node the rank resumed on (== its original node unless migrated)
+    restart_node: int = -1
+    #: node the rank ran on before a spare-pool migration (None = in place)
+    migrated_from: Optional[int] = None
 
 
 @dataclass
@@ -325,6 +329,15 @@ class RecoveryReport:
     ranks: List[RankRecovery] = field(default_factory=list)
     #: channels actually replayed, with measured bytes/messages
     channels: List[ReplayChannel] = field(default_factory=list)
+    #: (rank, from_node, to_node) spare-pool migrations performed
+    placements: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: victim ranks that restarted in place on a rebooted dead node
+    inplace_reboots: int = 0
+    #: migrations that landed on the victim's own edge switch
+    same_switch_placements: int = 0
+    #: earlier recovery attempts of this scope aborted by a failure landing
+    #: mid-recovery (this report covers the attempt that converged)
+    superseded_attempts: int = 0
 
     @property
     def replayed_bytes(self) -> int:
@@ -345,6 +358,11 @@ class RecoveryReport:
     def max_recovery_time_s(self) -> float:
         """Slowest rank's failure-to-resumption time."""
         return max((r.recovery_time_s for r in self.ranks), default=0.0)
+
+    @property
+    def recovery_rank_seconds(self) -> float:
+        """Sum of per-rank failure-to-resumption times (unavailability cost)."""
+        return sum(r.recovery_time_s for r in self.ranks)
 
 
 def rollback_scope(runtime: "MpiRuntime", victims: Sequence[int]) -> Set[int]:
@@ -405,11 +423,18 @@ class LiveRecovery:
         blcr: Optional[BlcrModel] = None,
         config: Optional[ProtocolConfig] = None,
         node: int = -1,
+        placements: Optional[Dict[int, int]] = None,
+        dead_nodes: Sequence[int] = (),
+        reboot_delay_s: float = 0.0,
+        superseded_attempts: int = 0,
+        origin_time: Optional[float] = None,
     ) -> None:
         if detection_delay_s < 0:
             raise ValueError("detection_delay_s must be non-negative")
         if barrier_cost_s < 0:
             raise ValueError("barrier_cost_s must be non-negative")
+        if reboot_delay_s < 0:
+            raise ValueError("reboot_delay_s must be non-negative")
         self.runtime = runtime
         self.victims = tuple(sorted(victims))
         if not self.victims:
@@ -420,16 +445,65 @@ class LiveRecovery:
         self.blcr = blcr if blcr is not None else getattr(family, "blcr", None) or BlcrModel()
         self.config = config if config is not None else getattr(family, "config", None) or ProtocolConfig()
         self.node = node
+        #: rank → replacement node decided by the spare pool (empty = in place)
+        self.placements: Dict[int, int] = dict(placements or {})
+        #: crashed nodes: a rank restarting in place on one must wait out the
+        #: node reboot before its image can be restored
+        self.dead_nodes = frozenset(dead_nodes)
+        self.reboot_delay_s = reboot_delay_s
+        self.superseded_attempts = superseded_attempts
+        #: time of the earliest failure this recovery covers.  A merged or
+        #: queued recovery starts later than the failure that triggered it;
+        #: the *measured* recovery time must span from the original failure
+        #: (the group was already dead/recovering in between), not from this
+        #: attempt's start.  None = this attempt starts at the failure.
+        self.origin_time = origin_time
+        #: processes spawned by :meth:`run` (restart + replay coroutines);
+        #: an abort interrupts them alongside the orchestration itself
+        self._children: List["Event"] = []
 
     # -- orchestration --------------------------------------------------------
-    def run(self) -> Generator[Event, None, RecoveryReport]:
-        """The recovery coroutine (registered as a process by the injector)."""
+    def abort(self) -> None:
+        """Cancel this in-flight recovery (a newer failure superseded it).
+
+        Interrupts the restart/replay coroutines it spawned; the orchestration
+        process itself is interrupted by the caller (the recovery manager).
+        In-flight replayed messages die by rollback-epoch mismatch once the
+        superseding recovery re-rolls the group, so channel accounting stays
+        exact.
+        """
+        for child in self._children:
+            if child.is_alive:
+                child.interrupt("recovery-superseded")
+        del self._children[:]
+
+    def run(self) -> Generator[Event, None, Optional[RecoveryReport]]:
+        """The recovery coroutine (registered as a process by the manager).
+
+        Returns the completed :class:`RecoveryReport`, or None when the
+        recovery was aborted mid-flight by a superseding failure (the
+        manager restarts the affected scope from its new rollback target).
+        """
+        try:
+            report = yield from self._run_body()
+        except Interrupt:
+            self.abort()
+            return None
+        return report
+
+    def _run_body(self) -> Generator[Event, None, RecoveryReport]:
         runtime = self.runtime
         sim = runtime.sim
-        t_fail = sim.now
+        #: this attempt's start (bounds lost-work horizons: work executed up
+        #: to the instant each rank actually halted, never past this attempt)
+        t_attempt = sim.now
+        #: the original failure instant — recovery time is measured from here,
+        #: so superseded attempts and queue waits count as recovery time
+        t_fail = self.origin_time if self.origin_time is not None else t_attempt
         report = RecoveryReport(
             failure_time=t_fail, node=self.node, victims=self.victims,
             rollback_ranks=(), target_ckpt_id=None,
+            superseded_attempts=self.superseded_attempts,
         )
 
         # mpirun notices the dead node only after the detection delay; the
@@ -473,8 +547,13 @@ class LiveRecovery:
             ctx = runtime.ctx(rank)
             snap = target_by_rank[rank]
             since = snap.time if snap is not None else ctx.stats.started_at
-            horizon = t_fail
-            if ctx.stats.finished_at is not None and ctx.stats.finished_at < t_fail:
+            horizon = t_attempt
+            if ctx.halted_at is not None and ctx.halted_at < horizon:
+                # the script stopped before this failure (killed or rolled
+                # back by a superseded recovery attempt): no work was done
+                # (hence none lost) between the halt and now
+                horizon = ctx.halted_at
+            if ctx.stats.finished_at is not None and ctx.stats.finished_at < horizon:
                 horizon = ctx.stats.finished_at  # it had already finished
             lost_work[rank] = max(horizon - since, 0.0)
             resume_index[rank] = runtime.rollback_rank(rank, snap)
@@ -530,37 +609,71 @@ class LiveRecovery:
         rtt = 2 * (runtime.cluster.network.spec.latency_s
                    + runtime.cluster.network.spec.per_message_overhead_s)
 
+        remote_storage = runtime.cluster.spec.checkpoint_storage == "remote"
+        migrated_from: Dict[int, int] = {}
+        rebooted: List[int] = []
+
         def alive_replay(src: int, dst: int, entries: List):
             # An out-of-group survivor serves replay from its in-memory log
             # in the background while its own script keeps running.
-            nbytes, count = yield from runtime.replay_channel(src, dst, entries, False)
+            try:
+                nbytes, count = yield from runtime.replay_channel(src, dst, entries, False)
+            except Interrupt:
+                return  # recovery superseded; accounting is epoch-protected
             channel_done(src, dst, nbytes, count)
 
         def rank_restart(rank: int):
-            ctx = runtime.ctx(rank)
-            snap = target_by_rank[rank]
-            # 1. re-create the process and restore its image
-            image_bytes = snap.image_bytes if snap is not None else 0
-            if image_bytes > 0:
-                yield from storage.read(ctx.node_id, image_bytes)
-                yield sim.timeout(self.blcr.restore_exec_s)
-            # 2. rebuild MPI internal structures
-            yield sim.timeout(self.config.restart_rebuild_s)
-            # 3. R/S exchange with peers outside the rollback set
-            out_peers = {p for p in ctx.account.peers() if p not in rollback_set}
-            if out_peers:
-                yield sim.timeout(len(out_peers) * rtt)
-            # 4. replay this rank's own logged messages (flushed log read back)
-            for dst, entries in out_by_src.get(rank, []):
-                nbytes, count = yield from runtime.replay_channel(rank, dst, entries, True)
-                channel_done(rank, dst, nbytes, count)
-            # ... and wait for everything owed to this rank
-            yield incoming_done[rank]
+            try:
+                ctx = runtime.ctx(rank)
+                snap = target_by_rank[rank]
+                new_node = self.placements.get(rank)
+                if new_node is not None and new_node != ctx.node_id:
+                    # 0. relaunch on a spare node: every later step (image
+                    # fetch, replay, application traffic) uses the spare's NIC
+                    migrated_from[rank] = runtime.migrate_rank(rank, new_node)
+                elif ctx.node_id in self.dead_nodes:
+                    # in-place restart on the crashed node: wait out its reboot
+                    rebooted.append(rank)
+                    if self.reboot_delay_s > 0:
+                        yield sim.timeout(self.reboot_delay_s)
+                    runtime.cluster.nodes[ctx.node_id].mark_rebooted()
+                # 1. re-create the process and restore its image
+                image_bytes = snap.image_bytes if snap is not None else 0
+                if image_bytes > 0:
+                    old = migrated_from.get(rank)
+                    if old is not None and not remote_storage:
+                        # local checkpoint storage: the image sits on the dead
+                        # node's (surviving) disk — read it there and ship it
+                        # to the spare over the network
+                        yield from storage.read(old, image_bytes)
+                        yield from runtime.cluster.network.transfer(
+                            old, ctx.node_id, image_bytes)
+                    else:
+                        # local disk in place, or checkpoint servers that
+                        # stream the image straight to wherever the rank is
+                        yield from storage.read(ctx.node_id, image_bytes)
+                    yield sim.timeout(self.blcr.restore_exec_s)
+                # 2. rebuild MPI internal structures
+                yield sim.timeout(self.config.restart_rebuild_s)
+                # 3. R/S exchange with peers outside the rollback set
+                out_peers = {p for p in ctx.account.peers() if p not in rollback_set}
+                if out_peers:
+                    yield sim.timeout(len(out_peers) * rtt)
+                # 4. replay this rank's own logged messages (flushed log read back)
+                for dst, entries in out_by_src.get(rank, []):
+                    nbytes, count = yield from runtime.replay_channel(rank, dst, entries, True)
+                    channel_done(rank, dst, nbytes, count)
+                # ... and wait for everything owed to this rank
+                yield incoming_done[rank]
+            except Interrupt:
+                return  # recovery superseded; the new attempt re-rolls us
 
         prepared = [sim.process(rank_restart(rank), name=f"recover:{rank}")
                     for rank in rollback]
+        self._children.extend(prepared)
         for src, dst, entries in alive_plans:
-            sim.process(alive_replay(src, dst, entries), name="replay")
+            self._children.append(
+                sim.process(alive_replay(src, dst, entries), name="replay"))
 
         yield sim.all_of(prepared)
         # 5. group members resume together
@@ -568,8 +681,10 @@ class LiveRecovery:
             yield sim.timeout(self.barrier_cost_s)
 
         resumed_at = sim.now
+        network = runtime.cluster.network
         for rank in rollback:
             snap = target_by_rank[rank]
+            ctx = runtime.ctx(rank)
             runtime.relaunch_rank(rank, resume_index[rank])
             report.ranks.append(RankRecovery(
                 rank=rank,
@@ -578,8 +693,17 @@ class LiveRecovery:
                 recovery_time_s=resumed_at - t_fail,
                 resume_op_index=resume_index[rank],
                 image_bytes=snap.image_bytes if snap is not None else 0,
+                restart_node=ctx.node_id,
+                migrated_from=migrated_from.get(rank),
             ))
         report.completed_at = resumed_at
         report.channels = measured
+        report.placements = [(rank, old, runtime.ctx(rank).node_id)
+                             for rank, old in sorted(migrated_from.items())]
+        report.same_switch_placements = sum(
+            1 for _rank, old, new in report.placements
+            if network.same_switch(old, new))
+        report.inplace_reboots = len(rebooted)
         runtime.recovery_reports.append(report)
+        del self._children[:]
         return report

@@ -7,7 +7,10 @@
 * :mod:`repro.experiments.figures` — ``figure1()`` … ``figure14()`` and
   ``table1()``, each returning the data series/rows the paper plots,
 * :mod:`repro.experiments.failures` — failure-injection extension experiments
-  (expected lost work vs grouping method and checkpoint interval).
+  (expected lost work vs grouping method and checkpoint interval),
+* :mod:`repro.experiments.availability` — long-horizon availability grids
+  (method × MTBF × spare count under sustained Poisson failures, with
+  concurrent group recoveries and spare-node placement).
 """
 
 from repro.experiments.config import ScenarioConfig, QUICK, FULL, ExperimentProfile

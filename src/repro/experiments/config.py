@@ -35,6 +35,18 @@ class FailureSpec:
 
     Exactly one of the two must be set.  ``detection_delay_s`` models the
     dispatcher noticing the dead node before starting the group rollback.
+
+    Recovery placement (the recovery-orchestration subsystem):
+
+    * ``n_spares`` reserves that many idle nodes as a
+      :class:`~repro.recovery.spare.SparePool`; a victim's ranks relaunch on
+      a spare (same-switch preferred) instead of waiting for the dead node,
+    * ``reboot_delay_s`` is the reboot time an *in-place* restart of a
+      crashed node must wait out (spare placements skip it; the default 0
+      keeps the pre-spare model of instantly restartable nodes),
+    * ``serialize_recoveries`` disables concurrent recovery scheduling
+      (every failure waits the previous recovery out) — the baseline the
+      concurrency experiments compare against.
     """
 
     at_s: Optional[float] = None
@@ -43,6 +55,9 @@ class FailureSpec:
     max_failures: int = 1
     detection_delay_s: float = 0.25
     seed: int = 0
+    n_spares: int = 0
+    reboot_delay_s: float = 0.0
+    serialize_recoveries: bool = False
 
     def __post_init__(self) -> None:
         if (self.at_s is None) == (self.mtbf_per_node_s is None):
@@ -60,6 +75,10 @@ class FailureSpec:
             raise ValueError("detection_delay_s must be non-negative")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.n_spares < 0:
+            raise ValueError("n_spares must be non-negative")
+        if self.reboot_delay_s < 0:
+            raise ValueError("reboot_delay_s must be non-negative")
 
 
 @dataclass(frozen=True)

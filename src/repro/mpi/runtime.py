@@ -137,6 +137,10 @@ class RankContext:
         self.in_recovery = False
         #: True from the kill instant until the process is re-created
         self.failed = False
+        #: instant this rank's script stopped executing (kill or rollback);
+        #: None while the script runs.  Bounds the measured lost work when a
+        #: second failure re-rolls a group that never resumed in between.
+        self.halted_at: Optional[float] = None
         #: index of the operation currently executing (the resume position of
         #: a checkpoint taken inside or at the boundary of that operation)
         self.op_cursor = 0
@@ -261,6 +265,9 @@ class ApplicationResult:
     trace: Optional[Any] = None
     #: live-failure recovery reports (empty for failure-free runs)
     recovery: List[Any] = field(default_factory=list)
+    #: recovery-manager scheduling counters (empty for failure-free runs):
+    #: aborted/serialized/concurrent recovery counts, spare-pool usage
+    recovery_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def checkpoint_records(self) -> List[Any]:
@@ -380,6 +387,9 @@ class MpiRuntime:
         self._recovery_inflight: List[SimProcess] = []
         #: completed :class:`~repro.core.restart.RecoveryReport` objects
         self.recovery_reports: List[Any] = []
+        #: the :class:`~repro.recovery.manager.RecoveryManager` owning the
+        #: failure lifecycle (set by the manager itself on construction)
+        self.recovery_manager: Optional[Any] = None
         #: messages dropped because an endpoint was rolled back in flight
         self.dropped_messages = 0
 
@@ -814,6 +824,8 @@ class MpiRuntime:
         ctx = self.contexts[rank]
         ctx.failed = True
         ctx.rollback_epoch += 1
+        if ctx.halted_at is None:
+            ctx.halted_at = self.sim.now
         proc = self._rank_processes[rank]
         if proc.is_alive:
             proc.interrupt(cause)
@@ -831,6 +843,8 @@ class MpiRuntime:
         proc = self._rank_processes[rank]
         if proc.is_alive:
             proc.interrupt("group-rollback")
+        if ctx.halted_at is None:
+            ctx.halted_at = self.sim.now
         ctx.reset_for_rollback()
         resume = snapshot.resume if snapshot is not None else ResumePoint(op_index=0)
         ctx.account.restore(resume.ss, resume.rr, resume.ss_msgs, resume.rr_msgs)
@@ -863,7 +877,25 @@ class MpiRuntime:
         self._rank_processes[rank] = proc
         ctx.in_recovery = False
         ctx.failed = False
+        ctx.halted_at = None
         return proc
+
+    def migrate_rank(self, rank: int, new_node: int) -> int:
+        """Re-place a halted rank onto ``new_node`` (restart on a spare).
+
+        Only valid while the rank's process is down (killed or rolled back):
+        a live script cannot change nodes.  All subsequent traffic — image
+        restore, log replay, application messages — flows over the new
+        node's NIC because every delivery resolves ``ctx.node_id`` at issue
+        time; messages still in flight toward the old node die by the usual
+        rollback-epoch connection reset.  Returns the old node id.
+        """
+        ctx = self.contexts[rank]
+        if self._rank_processes and self._rank_processes[rank].is_alive:
+            raise RuntimeError(f"rank {rank} is live; only a halted rank can migrate")
+        old_node = self.cluster.migrate_rank(rank, new_node)
+        ctx.node_id = new_node
+        return old_node
 
     def replay_channel(
         self, src: int, dst: int, entries: Sequence[Any], read_log_from_storage: bool
@@ -1140,4 +1172,6 @@ class MpiRuntime:
             deliveries=self.deliveries,
             trace=self.tracer.log if self.tracer is not None else None,
             recovery=self.recovery_reports,
+            recovery_stats=(self.recovery_manager.stats()
+                            if self.recovery_manager is not None else {}),
         )

@@ -1,0 +1,13 @@
+"""Recovery orchestration subsystem.
+
+Owns the failure lifecycle end to end: concurrent per-group recoveries for
+disjoint failures, abort-and-restart when a failure lands during an in-flight
+recovery, and topology-aware restart-on-spare placement.  See
+:class:`RecoveryManager` for the scheduling rules and
+:class:`SparePool` for placement.
+"""
+
+from repro.recovery.manager import RecoveryManager
+from repro.recovery.spare import SparePlacement, SparePool
+
+__all__ = ["RecoveryManager", "SparePlacement", "SparePool"]

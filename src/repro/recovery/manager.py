@@ -1,0 +1,321 @@
+"""Recovery orchestration: the failure lifecycle owner.
+
+PR 3's injector handled one failure at a time: kill, wait the recovery out,
+take the next event.  That serialisation hides the paper's central claim —
+*independent groups recover independently* — and cannot express the two
+situations long-horizon runs hit constantly:
+
+* two failures striking **disjoint** checkpoint groups should recover
+  **concurrently** (the rest of the machine keeps computing either way), and
+* a failure landing **during** an in-flight recovery of the same group must
+  abort that recovery and restart it from the new rollback target.
+
+:class:`RecoveryManager` owns this lifecycle.  Failure events are *submitted*
+(never awaited) by the :class:`~repro.cluster.failure.FailureInjector`; the
+manager kills the victims, computes the rollback scope, and decides:
+
+``merge``
+    The scope overlaps an in-flight (or queued) recovery: that recovery is
+    aborted — its restart/replay coroutines are interrupted, in-flight
+    replayed messages die by rollback-epoch mismatch — and one merged
+    recovery restarts the union scope from its (possibly older) common
+    checkpoint.  Channel accounting stays exact because every rollback
+    restores the counters wholesale from the target's resume point.
+
+``serialize``
+    The scope is disjoint but *channel-coupled* to an active recovery (some
+    rank in one scope has exchanged data with a rank in the other — their
+    sender logs / skip accounting interlock).  The failure queues and starts
+    the moment the conflicting recovery drains.
+
+``concurrent``
+    Disjoint and channel-independent: a second
+    :class:`~repro.core.restart.LiveRecovery` runs alongside the first, and
+    the measured recovery windows overlap.
+
+Victims are placed through an optional :class:`~repro.recovery.spare.
+SparePool` (topology-aware, degrading to in-place reboot on exhaustion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.failure import FailureEvent
+    from repro.core.restart import LiveRecovery
+    from repro.mpi.runtime import MpiRuntime
+    from repro.recovery.spare import SparePool
+    from repro.sim.engine import SimProcess
+
+
+@dataclass
+class _Pending:
+    """A failure whose recovery is queued behind a channel-coupled one."""
+
+    event: "FailureEvent"
+    victims: Set[int]
+    scope: Set[int]
+    attempts: int = 0
+    #: time of the earliest failure this entry covers (queue waits and
+    #: superseded attempts count toward the measured recovery time)
+    origin_time: float = 0.0
+
+
+@dataclass
+class _Active:
+    """One in-flight recovery."""
+
+    event: "FailureEvent"
+    victims: Set[int]
+    scope: Set[int]
+    recovery: "LiveRecovery"
+    proc: "SimProcess"
+    attempts: int = 0
+    origin_time: float = 0.0
+
+
+class RecoveryManager:
+    """Admits failures, schedules (possibly concurrent) group recoveries.
+
+    Parameters
+    ----------
+    runtime:
+        The MPI runtime whose ranks fail and recover.
+    spare_pool:
+        Optional replacement-node pool; None restarts every victim in place.
+    detection_delay_s / barrier_cost_s:
+        Forwarded to each :class:`LiveRecovery`.
+    reboot_delay_s:
+        Reboot time a crashed node needs before an *in-place* restart can
+        read its image (spare placements skip it; 0 keeps the pre-spare
+        behaviour of instantly restartable nodes).
+    """
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        spare_pool: Optional["SparePool"] = None,
+        detection_delay_s: float = 0.25,
+        barrier_cost_s: float = 0.02,
+        reboot_delay_s: float = 0.0,
+    ) -> None:
+        if detection_delay_s < 0:
+            raise ValueError("detection_delay_s must be non-negative")
+        if reboot_delay_s < 0:
+            raise ValueError("reboot_delay_s must be non-negative")
+        self.runtime = runtime
+        self.spare_pool = spare_pool
+        self.detection_delay_s = detection_delay_s
+        self.barrier_cost_s = barrier_cost_s
+        self.reboot_delay_s = reboot_delay_s
+        self.active: List[_Active] = []
+        self.queue: List[_Pending] = []
+        self._drain_waiters: List[Event] = []
+        # -- statistics ------------------------------------------------------
+        self.failures_handled = 0
+        self.aborted_recoveries = 0
+        self.serialized_conflicts = 0
+        self.max_concurrent_recoveries = 0
+        runtime.attach_failure_source()
+        runtime.recovery_manager = self
+
+    # -- failure admission ---------------------------------------------------
+    def submit(self, event: "FailureEvent", victims: List[int]) -> None:
+        """Handle one node failure: kill the victims, schedule recovery.
+
+        Returns immediately — recovery runs as its own simulation process
+        (or queues behind a conflicting one).  Callers that want the PR 3
+        serialised behaviour wait on :meth:`drained` instead.
+        """
+        runtime = self.runtime
+        self.failures_handled += 1
+        self.node_failed(event.node)
+        for rank in victims:
+            runtime.kill_rank(rank, cause=event)
+        self._admit(event, set(victims), attempts=0, origin_time=event.time)
+
+    def node_failed(self, node: int) -> None:
+        """Record a node death (also for nodes hosting no ranks).
+
+        The injector reports *every* failure event here, including ones it
+        otherwise ignores because no live rank runs on the node: an idle
+        spare that dies must leave the pool instead of being handed out as
+        a healthy replacement later.
+        """
+        self.runtime.cluster.nodes[node].mark_failed()
+        if self.spare_pool is not None:
+            self.spare_pool.node_failed(node)
+
+    def _release_unused_spares(self, active: "_Active") -> None:
+        """Return spares an aborted attempt reserved but never migrated onto."""
+        if self.spare_pool is None:
+            return
+        for rank, node in active.recovery.placements.items():
+            if self.runtime.ctx(rank).node_id != node:
+                self.spare_pool.release(node, rank)
+
+    def _admit(self, event: "FailureEvent", victims: Set[int], attempts: int,
+               origin_time: float) -> None:
+        from repro.core.restart import rollback_scope
+
+        scope = rollback_scope(self.runtime, sorted(victims))
+        # A failure inside a recovering (or queued) scope supersedes that
+        # attempt: abort it and recover the union from the new target.
+        overlapping = [a for a in self.active if a.scope & scope]
+        for act in overlapping:
+            act.proc.interrupt("recovery-superseded")
+            self._release_unused_spares(act)
+            self.active.remove(act)
+            victims |= act.victims
+            attempts += act.attempts + 1
+            origin_time = min(origin_time, act.origin_time)
+            self.aborted_recoveries += 1
+        queued_overlap = [p for p in self.queue if p.scope & scope]
+        for pend in queued_overlap:
+            self.queue.remove(pend)
+            victims |= pend.victims
+            attempts += pend.attempts
+            origin_time = min(origin_time, pend.origin_time)
+        if overlapping or queued_overlap:
+            scope = rollback_scope(self.runtime, sorted(victims))
+        if (any(self._channel_coupled(a.scope, scope) for a in self.active)
+                or any(self._channel_coupled(p.scope, scope) for p in self.queue)):
+            # Disjoint scopes, shared channels: their sender logs / skip
+            # accounting interlock, so the recoveries must not interleave.
+            self.serialized_conflicts += 1
+            self.queue.append(_Pending(event, victims, scope, attempts, origin_time))
+            return
+        self._start(event, victims, scope, attempts, origin_time)
+
+    def _channel_coupled(self, scope_a: Set[int], scope_b: Set[int]) -> bool:
+        """Whether any rank of one scope has a channel into the other.
+
+        Channel accounting is the coupling that matters: replay plans and
+        duplicate-send skipping read the *peer's* counters, so two recoveries
+        sharing a channel endpoint would race on them.  Scope-disjoint,
+        channel-disjoint recoveries touch disjoint accounting state and are
+        provably independent.
+        """
+        runtime = self.runtime
+        small, large = sorted((scope_a, scope_b), key=len)
+        for rank in small:
+            if not runtime.ctx(rank).account.peers().isdisjoint(large):
+                return True
+        return False
+
+    # -- recovery lifecycle ----------------------------------------------------
+    def _start(self, event: "FailureEvent", victims: Set[int],
+               scope: Set[int], attempts: int, origin_time: float) -> None:
+        from repro.core.restart import LiveRecovery
+
+        runtime = self.runtime
+        placements: Dict[int, int] = {}
+        dead_nodes: Set[int] = set()
+        for rank in sorted(victims):
+            ctx = runtime.ctx(rank)
+            if not runtime.cluster.nodes[ctx.node_id].failed:
+                continue  # healthy node (rank merged in from a group rollback)
+            spare = (self.spare_pool.acquire(ctx.node_id, rank)
+                     if self.spare_pool is not None else None)
+            if spare is not None:
+                placements[rank] = spare
+            else:
+                dead_nodes.add(ctx.node_id)
+        recovery = LiveRecovery(
+            runtime, sorted(victims),
+            detection_delay_s=self.detection_delay_s,
+            barrier_cost_s=self.barrier_cost_s,
+            node=event.node,
+            placements=placements,
+            dead_nodes=dead_nodes,
+            reboot_delay_s=self.reboot_delay_s,
+            superseded_attempts=attempts,
+            origin_time=origin_time,
+        )
+        proc = runtime.sim.process(recovery.run(), name="live-recovery")
+        runtime._recovery_inflight.append(proc)
+        active = _Active(event, victims, scope, recovery, proc, attempts,
+                         origin_time)
+        self.active.append(active)
+        self.max_concurrent_recoveries = max(
+            self.max_concurrent_recoveries, len(self.active))
+        proc.callbacks.append(_OnDone(self, active))
+
+    def _on_done(self, active: _Active) -> None:
+        if active.proc in self.runtime._recovery_inflight:
+            self.runtime._recovery_inflight.remove(active.proc)
+        if active in self.active:
+            self.active.remove(active)
+        self._drain_queue()
+        if not self.active and not self.queue and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed(None)
+
+    def _drain_queue(self) -> None:
+        """Start every queued recovery whose conflicts have cleared (FIFO)."""
+        remaining: List[_Pending] = []
+        for pending in self.queue:
+            blocked = (
+                any(self._channel_coupled(a.scope, pending.scope) for a in self.active)
+                or any(self._channel_coupled(p.scope, pending.scope) for p in remaining))
+            if blocked:
+                remaining.append(pending)
+            else:
+                self._start(pending.event, pending.victims, pending.scope,
+                            pending.attempts, pending.origin_time)
+        self.queue = remaining
+
+    # -- introspection ---------------------------------------------------------
+    def drained(self) -> Event:
+        """Event firing once no recovery is active or queued.
+
+        Already-drained managers return an immediately-succeeded event, so
+        ``yield manager.drained()`` serialises failure handling exactly like
+        the PR 3 injector did.
+        """
+        ev = Event(self.runtime.sim, name="recoveries-drained")
+        if not self.active and not self.queue:
+            ev.succeed(None)
+        else:
+            self._drain_waiters.append(ev)
+        return ev
+
+    def stats(self) -> Dict[str, int]:
+        """Counters describing how failures were scheduled (for payloads)."""
+        out = {
+            "failures_handled": self.failures_handled,
+            "aborted_recoveries": self.aborted_recoveries,
+            "serialized_conflicts": self.serialized_conflicts,
+            "max_concurrent_recoveries": self.max_concurrent_recoveries,
+        }
+        pool = self.spare_pool
+        out["spare_migrations"] = len(pool.placements) if pool is not None else 0
+        out["spare_exhausted_requests"] = (
+            pool.exhausted_requests if pool is not None else 0)
+        out["spare_same_switch"] = (
+            sum(1 for p in pool.placements if p.same_switch)
+            if pool is not None else 0)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RecoveryManager active={len(self.active)} "
+                f"queued={len(self.queue)} handled={self.failures_handled}>")
+
+
+class _OnDone:
+    """Completion callback of one recovery process (picklable-free closure)."""
+
+    __slots__ = ("manager", "active")
+
+    def __init__(self, manager: RecoveryManager, active: _Active) -> None:
+        self.manager = manager
+        self.active = active
+
+    def __call__(self, _ev: Event) -> None:
+        self.manager._on_done(self.active)

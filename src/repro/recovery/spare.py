@@ -1,0 +1,120 @@
+"""Spare-node pool for restart-on-spare placement.
+
+Production checkpoint/restart systems (DMTCP at NERSC, SCR) keep a handful of
+idle *spare* nodes per job: when a node dies, its processes are relaunched on
+a spare instead of waiting for the dead node to reboot.  The pool here models
+that policy on top of the simulated cluster:
+
+* spares are healthy nodes hosting no ranks, reserved at pool construction,
+* placement is **topology-aware** — a spare on the victim's own edge switch
+  is preferred (replay and post-recovery traffic stay within the rack),
+  falling back to any spare cluster-wide,
+* when the pool is dry the recovery degrades to an in-place restart (the
+  dead node reboots first), so a run never gets stuck on exhaustion,
+* a spare node that itself fails before being used leaves the pool.
+
+All draws are deterministic (lowest eligible node id first) so multi-failure
+runs stay bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.topology import Cluster
+
+
+@dataclass(frozen=True)
+class SparePlacement:
+    """One rank relocated onto a spare node."""
+
+    rank: int
+    from_node: int
+    to_node: int
+    same_switch: bool
+
+
+class SparePool:
+    """Reserved replacement nodes for failed ones.
+
+    Parameters
+    ----------
+    cluster:
+        The instantiated cluster; spares are drawn from nodes that host no
+        ranks.  Raises when fewer free nodes exist than requested.
+    n_spares:
+        How many nodes to reserve.  The *highest*-numbered free nodes are
+        taken so the pool never collides with the round-robin rank placement
+        growing from node 0.
+    """
+
+    def __init__(self, cluster: "Cluster", n_spares: int) -> None:
+        if n_spares < 0:
+            raise ValueError("n_spares must be non-negative")
+        self.cluster = cluster
+        free = cluster.free_nodes()
+        if n_spares > len(free):
+            raise ValueError(
+                f"cannot reserve {n_spares} spares: only {len(free)} free nodes "
+                f"(n_nodes={cluster.spec.n_nodes}, ranks={cluster.n_ranks})")
+        #: unassigned spares, ascending node id (deterministic draws)
+        self.available: List[int] = sorted(free)[len(free) - n_spares:]
+        self.n_spares = n_spares
+        # -- statistics ------------------------------------------------------
+        self.placements: List[SparePlacement] = []
+        self.exhausted_requests = 0
+        self.lost_spares = 0
+
+    @property
+    def remaining(self) -> int:
+        """Spares still available."""
+        return len(self.available)
+
+    def acquire(self, near_node: int, rank: int) -> Optional[int]:
+        """Take a spare for ``rank`` (whose node ``near_node`` died).
+
+        Prefers a spare on the victim's edge switch, falls back to the
+        lowest-numbered spare cluster-wide, and returns None when the pool
+        is dry (the caller degrades to an in-place restart).
+        """
+        if not self.available:
+            self.exhausted_requests += 1
+            return None
+        network = self.cluster.network
+        chosen = next((n for n in self.available
+                       if network.same_switch(near_node, n)), self.available[0])
+        self.available.remove(chosen)
+        self.placements.append(SparePlacement(
+            rank=rank, from_node=near_node, to_node=chosen,
+            same_switch=network.same_switch(near_node, chosen)))
+        return chosen
+
+    def release(self, node: int, rank: int) -> None:
+        """Return an acquired-but-unused spare (its recovery was aborted).
+
+        A recovery attempt superseded by a newer failure may have reserved a
+        spare without ever migrating the rank onto it; the replacement node
+        is still healthy and idle, so it goes back into the pool (and the
+        never-realised placement record is dropped, keeping the migration
+        statistics equal to what actually happened).
+        """
+        for i, placement in enumerate(self.placements):
+            if placement.to_node == node and placement.rank == rank:
+                del self.placements[i]
+                break
+        if node not in self.available and not self.cluster.nodes[node].failed:
+            bisect.insort(self.available, node)
+
+    def node_failed(self, node: int) -> None:
+        """Drop ``node`` from the pool if it was an unused spare (it died)."""
+        if node in self.available:
+            self.available.remove(node)
+            self.lost_spares += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SparePool {self.remaining}/{self.n_spares} free, "
+                f"{len(self.placements)} placed, "
+                f"{self.exhausted_requests} exhausted>")

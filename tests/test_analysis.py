@@ -172,3 +172,35 @@ def test_expected_overhead_fraction_tradeoff():
     assert optimal < rare
     with pytest.raises(ValueError):
         expected_overhead_fraction(0.0, 1.0, 100.0)
+
+
+def test_measured_recovery_cost_shifts_the_optimum():
+    from repro.analysis.advisor import MeasuredCosts, measured_costs
+
+    base = suggest_checkpoint_interval(10.0, 10000.0)
+    calibrated = suggest_checkpoint_interval(10.0, 10000.0, recovery_cost_s=4000.0)
+    # recovery time does no work: effective MTBF shrinks, checkpoints tighten
+    assert calibrated.interval_s < base.interval_s
+    assert calibrated.recovery_cost_s == 4000.0
+    assert "recovery" in calibrated.describe()
+
+    costs = MeasuredCosts(checkpoint_cost_s=8.0, recovery_cost_s=2000.0,
+                          lost_work_per_failure_s=30.0, n_failures=3)
+    via_measured = suggest_checkpoint_interval(10.0, 10000.0, measured=costs)
+    assert via_measured.checkpoint_cost_s == 8.0
+    assert via_measured.recovery_cost_s == 2000.0
+    assert via_measured.interval_s == suggest_checkpoint_interval(
+        8.0, 10000.0, recovery_cost_s=2000.0).interval_s
+
+    with pytest.raises(ValueError):
+        suggest_checkpoint_interval(10.0, 1000.0, recovery_cost_s=-1.0)
+    # extraction works on plain payload dicts too
+    payload = {"failures_injected": 2, "rollback_ranks_total": 8,
+               "recovery_rank_seconds": 16.0, "mean_checkpoint_duration": 3.0,
+               "measured_lost_work_s": 10.0}
+    costs = measured_costs(payload)
+    assert costs.checkpoint_cost_s == 3.0
+    assert costs.recovery_cost_s == pytest.approx(2.0)
+    assert costs.lost_work_per_failure_s == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        measured_costs({"failures_injected": 0})

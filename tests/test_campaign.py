@@ -562,3 +562,105 @@ def test_heartbeat_thread_keeps_a_claim_alive(tmp_path):
     _time.sleep(0.4)
     assert store.expired_running_keys() == [row.key]
     store.close()
+
+
+# ------------------------------------------------------------- priorities & seed-averaging
+def test_priority_orders_the_claim_queue():
+    store = CampaignStore()
+    low = store.add(ring_config(seed=1))
+    urgent = store.add(ring_config(seed=2), priority=5)
+    mid = store.add(ring_config(seed=3), priority=2)
+    order = []
+    while True:
+        row = store.claim("w")
+        if row is None:
+            break
+        order.append(row.key)
+        store.mark_done(row.key, {"makespan": 1.0})
+    assert order == [urgent, mid, low]
+    assert store.get(urgent).priority == 5
+
+
+def test_set_priority_promotes_existing_rows():
+    store = CampaignStore()
+    first = store.add(ring_config(seed=1))
+    second = store.add(ring_config(seed=2))
+    assert store.set_priority([second], 9) == 1
+    assert store.claim("w").key == second
+    assert store.set_priority([], 1) == 0
+
+
+def test_campaign_run_priority_jumps_a_shared_queue():
+    campaign = Campaign(CampaignStore())
+    bulk = ring_config(seed=1)
+    campaign.store.add(bulk)  # pending bulk work from another sweep
+    urgent = ring_config(seed=2)
+    results = campaign.run([urgent], priority=10)
+    assert len(results) == 1
+    # the bulk row is untouched (run() is scoped) and still lower priority
+    assert campaign.store.get(bulk).status == "pending"
+    assert campaign.store.get(scenario_key(urgent)).priority == 10
+
+
+def test_average_over_seeds_means_and_spread():
+    from repro.campaign import average_over_seeds
+
+    a = StoredResult(ring_config(seed=1), {"makespan": 2.0, "checkpoints_completed": 1,
+                                           "version": 4, "sim_version": "x"})
+    b = StoredResult(ring_config(seed=2), {"makespan": 4.0, "checkpoints_completed": 1,
+                                           "version": 4, "sim_version": "x"})
+    other = StoredResult(ring_config(method="GP1", seed=1), {"makespan": 10.0})
+    (cell, lone) = average_over_seeds([a, b, other])
+    assert cell.config.seed == 1 and cell.config.method == "NORM"
+    assert cell.metrics["n_seeds"] == 2
+    assert cell.makespan == pytest.approx(3.0)
+    assert cell.metrics["makespan_std"] == pytest.approx(1.0)
+    assert cell.metrics["checkpoints_completed"] == 1
+    assert cell.metrics["sim_version"] == "x"
+    assert lone.metrics["n_seeds"] == 1
+    assert lone.makespan == 10.0
+    assert lone.metrics["makespan_std"] == 0.0
+
+
+def test_average_over_seeds_collapses_failure_seed_too():
+    from repro.campaign import average_over_seeds
+    from repro.experiments.config import FailureSpec
+
+    def cfg(seed):
+        return ring_config(seed=seed,
+                           failure=FailureSpec(mtbf_per_node_s=50.0, seed=seed))
+
+    a = StoredResult(cfg(1), {"makespan": 1.0})
+    b = StoredResult(cfg(2), {"makespan": 3.0})
+    (cell,) = average_over_seeds([a, b])
+    assert cell.metrics["n_seeds"] == 2
+    assert cell.makespan == pytest.approx(2.0)
+
+
+def test_average_over_seeds_feeds_series_helpers():
+    from repro.campaign import average_over_seeds
+
+    results = [
+        StoredResult(ring_config(method=m, seed=s), {"makespan": v})
+        for (m, s, v) in [("NORM", 1, 2.0), ("NORM", 2, 4.0),
+                          ("GP1", 1, 1.0), ("GP1", 2, 3.0)]
+    ]
+    averaged = average_over_seeds(results)
+    series = results_to_series(averaged, x="n_ranks", y="makespan")
+    assert {s.name for s in series} == {"NORM", "GP1"}
+    (norm,) = [s for s in series if s.name == "NORM"]
+    assert list(zip(norm.x, norm.y)) == [(4, 3.0)]
+
+
+def test_set_priority_only_raise_never_demotes():
+    store = CampaignStore()
+    key = store.add(ring_config(seed=1), priority=5)
+    # plain call may demote (explicit re-prioritisation)
+    assert store.set_priority([key], 2) == 1
+    assert store.get(key).priority == 2
+    # only_raise never undercuts a higher stamp
+    store.set_priority([key], 7)
+    assert store.set_priority([key], 3, only_raise=True) == 0
+    assert store.get(key).priority == 7
+    assert store.set_priority([key], 9, only_raise=True) == 1
+    assert store.get(key).priority == 9
