@@ -42,7 +42,7 @@ from repro.recovery import RecoveryManager, SparePool
 from repro.workloads import HplWorkload, CgWorkload, SpWorkload
 from repro.campaign import Campaign, CampaignStore, ParameterGrid
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Simulator",

@@ -18,8 +18,8 @@ approximation) plus two refinements:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -163,6 +163,112 @@ def suggest_checkpoint_interval(
         mtbf_s=mtbf_s,
         expected_checkpoints_per_failure=mtbf_s / interval if interval > 0 else 0.0,
         recovery_cost_s=recovery_cost_s,
+    )
+
+
+@dataclass(frozen=True)
+class MultiLevelSuggestion:
+    """Per-tier checkpoint cadence for a multi-level storage hierarchy.
+
+    ``intervals_s`` maps each level to its own Young-optimal interval (each
+    level's checkpoint cost against the MTBF of the failure class only that
+    level can recover); ``multipliers`` rounds those to the FTI-style
+    every-k-th-checkpoint counters a
+    :class:`~repro.storage.policy.StoragePolicy` consumes: the L1 interval is
+    the base cadence, and every ``multipliers["L2"]``-th checkpoint is
+    promoted to the partner, every ``multipliers["L3"]``-th to the remote
+    file system.
+    """
+
+    intervals_s: Dict[str, float] = field(default_factory=dict)
+    multipliers: Dict[str, int] = field(default_factory=dict)
+    costs_s: Dict[str, float] = field(default_factory=dict)
+    mtbf_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def base_interval_s(self) -> float:
+        """The cadence of the cheapest configured level."""
+        for level in ("L1", "L2", "L3"):
+            if level in self.intervals_s:
+                return self.intervals_s[level]
+        raise ValueError("no levels configured")
+
+    def as_policy_args(self) -> Dict[str, int]:
+        """``l2_every`` / ``l3_every`` keyword arguments for a StoragePolicy."""
+        out: Dict[str, int] = {}
+        if "L2" in self.multipliers:
+            out["l2_every"] = self.multipliers["L2"]
+        if "L3" in self.multipliers:
+            out["l3_every"] = self.multipliers["L3"]
+        return out
+
+    def describe(self) -> str:
+        """One-line summary."""
+        parts = [f"{level} every {self.intervals_s[level]:.0f}s"
+                 + (f" (every {self.multipliers[level]}-th ckpt)"
+                    if level != "L1" and level in self.multipliers else "")
+                 for level in ("L1", "L2", "L3") if level in self.intervals_s]
+        return "; ".join(parts)
+
+
+def suggest_multilevel_intervals(
+    level_costs_s: Dict[str, float],
+    level_mtbf_s: Dict[str, float],
+    min_interval_s: Optional[float] = None,
+) -> MultiLevelSuggestion:
+    """Per-tier checkpoint cadence for a multi-level storage hierarchy.
+
+    The FTI observation: each storage level protects against a different
+    failure class with a different rate — L1 (local disk) covers software
+    crashes that a reboot survives, L2 (partner replica) covers whole-node
+    loss, L3 (remote file system) covers correlated events like a
+    whole-switch outage, which are progressively *rarer* while the levels
+    get progressively more expensive to write.  Running Young's optimum per
+    level — that level's cost against the MTBF of the failures only it (or
+    something above it) can recover — yields one interval per level, and the
+    ratios round to the ``every k-th checkpoint`` promotion counters of a
+    :class:`~repro.storage.policy.StoragePolicy`.
+
+    Parameters
+    ----------
+    level_costs_s:
+        Per-checkpoint cost of writing each configured level ("L1"/"L2"/"L3"
+        → seconds).  L2's entry should be the *observed back-pressure* cost
+        per promoted checkpoint, not the full async copy duration.
+    level_mtbf_s:
+        Mean time between failures of the class each level protects against.
+        Must be non-increasing in severity order (correlated events are not
+        more frequent than node crashes).
+    min_interval_s:
+        Optional floor on every level's interval.
+    """
+    if not level_costs_s:
+        raise ValueError("level_costs_s must not be empty")
+    intervals: Dict[str, float] = {}
+    multipliers: Dict[str, int] = {}
+    for level in ("L1", "L2", "L3"):
+        if level not in level_costs_s:
+            continue
+        if level not in level_mtbf_s:
+            raise ValueError(f"level_mtbf_s missing entry for {level}")
+        cost = level_costs_s[level]
+        mtbf = level_mtbf_s[level]
+        if cost <= 0:
+            raise ValueError(f"level cost for {level} must be positive")
+        if mtbf <= 0:
+            raise ValueError(f"level MTBF for {level} must be positive")
+        interval = young_interval(cost, mtbf)
+        if min_interval_s is not None:
+            interval = max(interval, min_interval_s)
+        intervals[level] = interval
+    base = MultiLevelSuggestion(intervals_s=intervals).base_interval_s
+    for level, interval in intervals.items():
+        multipliers[level] = max(1, round(interval / base))
+    return MultiLevelSuggestion(
+        intervals_s=intervals,
+        multipliers=multipliers,
+        costs_s=dict(level_costs_s),
+        mtbf_s=dict(level_mtbf_s),
     )
 
 

@@ -19,8 +19,10 @@ from repro.experiments.config import ScenarioConfig
 #: payload format version, bump when the metric set changes so stale stores
 #: are detected instead of silently missing keys (v3 added the measured
 #: failure-recovery metrics; v4 the recovery-orchestration metrics:
-#: availability, recovery rank-seconds, spare/concurrency counters)
-PAYLOAD_VERSION = 4
+#: availability, recovery rank-seconds, spare/concurrency counters; v5 the
+#: storage-hierarchy metrics: per-tier bytes written/read, partner copies,
+#: outages survived, spare refills, survived flag)
+PAYLOAD_VERSION = 5
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -81,6 +83,16 @@ def metrics_payload(result) -> Dict[str, object]:
         "inplace_reboots": result.inplace_reboots,
         "aborted_recoveries": result.aborted_recoveries,
         "max_concurrent_recoveries": result.max_concurrent_recoveries,
+        # storage-hierarchy metrics (v5; zero/empty for single-tier runs)
+        "survived": int(result.survived),
+        "tier_bytes_written": dict(result.tier_bytes_written),
+        "tier_bytes_read": dict(result.tier_bytes_read),
+        "partner_copies": result.partner_copies,
+        "partner_copies_lost": result.partner_copies_lost,
+        "replication_stalls": result.replication_stalls,
+        "outages_survived": result.outages_survived,
+        "spare_refills": result.spare_refills,
+        "skipped_in_recovery": result.skipped_in_recovery,
     }
 
 
@@ -218,6 +230,52 @@ class StoredResult:
     def max_concurrent_recoveries(self) -> int:
         """Peak number of simultaneously in-flight group recoveries."""
         return self.metrics.get("max_concurrent_recoveries", 0)
+
+    # -- storage-hierarchy metrics -------------------------------------------------
+    @property
+    def survived(self) -> bool:
+        """False when the run was declared unsurvivable (required image lost)."""
+        return bool(self.metrics.get("survived", 1))
+
+    @property
+    def tier_bytes_written(self) -> Dict[str, int]:
+        """Checkpoint bytes written per storage level (L1/L2/L3)."""
+        return dict(self.metrics.get("tier_bytes_written", {}))
+
+    @property
+    def tier_bytes_read(self) -> Dict[str, int]:
+        """Checkpoint bytes read back per storage level (L1/L2/L3)."""
+        return dict(self.metrics.get("tier_bytes_read", {}))
+
+    @property
+    def partner_copies(self) -> int:
+        """Completed L2 partner replications."""
+        return self.metrics.get("partner_copies", 0)
+
+    @property
+    def partner_copies_lost(self) -> int:
+        """Partner replications that died with an endpoint mid-copy."""
+        return self.metrics.get("partner_copies_lost", 0)
+
+    @property
+    def replication_stalls(self) -> int:
+        """Checkpoints that waited on the bounded L2 in-flight buffer."""
+        return self.metrics.get("replication_stalls", 0)
+
+    @property
+    def outages_survived(self) -> int:
+        """Correlated switch outages this run recovered from end to end."""
+        return self.metrics.get("outages_survived", 0)
+
+    @property
+    def spare_refills(self) -> int:
+        """Rebooted victim nodes that rejoined the spare pool."""
+        return self.metrics.get("spare_refills", 0)
+
+    @property
+    def skipped_in_recovery(self) -> int:
+        """Per-group checkpoint ticks skipped because the group was recovering."""
+        return self.metrics.get("skipped_in_recovery", 0)
 
     @property
     def sim_version(self) -> Optional[str]:

@@ -34,6 +34,7 @@ from repro.cluster.node import NodeSpec
 from repro.cluster.storage import StorageSpec
 from repro.cluster.topology import ClusterSpec
 from repro.experiments.config import FailureSpec, ScenarioConfig
+from repro.storage.policy import StoragePolicy
 
 #: experiment lifecycle states
 STATUSES: Tuple[str, ...] = ("pending", "running", "done", "failed")
@@ -72,19 +73,28 @@ def _cluster_from_dict(data: Dict[str, object]) -> ClusterSpec:
     data["network"] = NetworkSpec(**data["network"])
     data["local_storage"] = StorageSpec(**data["local_storage"])
     data["remote_storage"] = StorageSpec(**data["remote_storage"])
+    if data.get("storage_policy") is not None:
+        data["storage_policy"] = StoragePolicy(**data["storage_policy"])
     return ClusterSpec(**data)
 
 
 #: (field, default) pairs dropped from serialised configs when at their
 #: default, so keys minted before the field existed remain valid.  The
 #: cluster's switch radix and the failure spec's recovery-placement knobs
-#: arrived with the recovery-orchestration subsystem; configs not using them
-#: must keep their pre-subsystem key shape.
-_CLUSTER_DEFAULT_FIELDS = (("nodes_per_switch", ClusterSpec().nodes_per_switch),)
+#: arrived with the recovery-orchestration subsystem, the storage policy and
+#: switch-outage knobs with the storage-hierarchy subsystem; configs not
+#: using them must keep their pre-subsystem key shape.
+_CLUSTER_DEFAULT_FIELDS = (
+    ("nodes_per_switch", ClusterSpec().nodes_per_switch),
+    ("storage_policy", None),
+)
 _FAILURE_DEFAULT_FIELDS = (
     ("n_spares", 0),
     ("reboot_delay_s", 0.0),
     ("serialize_recoveries", False),
+    ("switch_outage_at_s", None),
+    ("outage_switch", 0),
+    ("outage_spares_disks", False),
 )
 
 

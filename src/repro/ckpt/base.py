@@ -175,6 +175,12 @@ class CheckpointSnapshot:
 
     ``resume`` carries the re-execution position for live failure recovery
     (None unless a failure injector is attached to the run).
+
+    ``tiers`` records which storage levels the image was scheduled onto at
+    dump time ("L1" local disk, "L2" partner replica, "L3" remote file
+    system).  An L2 entry means the async partner copy was *initiated*; the
+    storage hierarchy's catalog is the ground truth for whether it completed
+    and still survives.
     """
 
     rank: int
@@ -188,6 +194,7 @@ class CheckpointSnapshot:
     logged_messages: Dict[int, int] = field(default_factory=dict)
     image_bytes: int = 0
     resume: Optional[ResumePoint] = None
+    tiers: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

@@ -154,7 +154,7 @@ class VclRankProtocol(RankProtocol):
         image_bytes = self.blcr.image_bytes(ctx.memory_bytes)
         if self.blcr.dump_fork_s > 0:
             yield runtime.sim.timeout(self.blcr.dump_fork_s)
-        yield from runtime.storage_write(ctx, image_bytes)
+        tiers = yield from runtime.checkpoint_image_write(ctx, request.ckpt_id, image_bytes)
         resume = runtime.capture_resume(ctx)
         if resume is not None:
             resume.protocol_state = {"in_transit": self.in_transit_logged_bytes}
@@ -168,6 +168,7 @@ class VclRankProtocol(RankProtocol):
             rr=ctx.account.snapshot_received(),
             image_bytes=image_bytes,
             resume=resume,
+            tiers=tiers,
         ))
         stages[STAGE_CHECKPOINT] = runtime.now - t0
 

@@ -11,7 +11,10 @@ Figure 13 experiments).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.policy import StoragePolicy
 
 
 @dataclass(frozen=True)
@@ -103,6 +106,38 @@ def periodic(
 def no_checkpoints() -> CheckpointSchedule:
     """The interval-0 configuration of Figure 10: never checkpoint."""
     return CheckpointSchedule()
+
+
+def tier_levels(policy: "StoragePolicy", ckpt_id: int) -> Tuple[str, ...]:
+    """Storage levels checkpoint ``ckpt_id`` is written to under ``policy``.
+
+    FTI-style level scheduling: every checkpoint lands on the policy's
+    synchronous base levels that are due, with L2/L3 promoted every
+    ``l2_every`` / ``l3_every``-th wave (checkpoint ids are 0-based and
+    global per wave, so every member of a group promotes the same wave —
+    a partner replica of half a group would be useless at restart).
+
+    The returned tuple is ordered cheapest-first and always non-empty:
+    a wave that is due for *no* configured level still lands on the
+    policy's cheapest synchronous level, because a checkpoint with no
+    durable copy could never be restarted from.
+    """
+    if ckpt_id < 0:
+        raise ValueError("ckpt_id must be non-negative")
+    ordinal = ckpt_id + 1  # 1-based wave number, "every k-th" counts from the first
+    out: List[str] = []
+    if policy.uses_l1:
+        out.append("L1")
+    if policy.uses_l2 and ordinal % policy.l2_every == 0:
+        out.append("L2")
+    if policy.uses_l3 and ordinal % policy.l3_every == 0:
+        out.append("L3")
+    if not any(level in out for level in ("L1", "L3")):
+        # No synchronous home this wave (L3-only policy with l3_every > 1):
+        # force the base level so the image is durable somewhere.
+        out.append("L3")
+        out.sort(key=("L1", "L2", "L3").index)
+    return tuple(out)
 
 
 def schedule_from_intervals(intervals: Sequence[float]) -> List[CheckpointSchedule]:

@@ -16,7 +16,7 @@ generate failure events (which node, at what time); two consumers exist:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Iterator, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Generator, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.sim.rng import RandomStreams
 
@@ -28,11 +28,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True, order=True)
 class FailureEvent:
-    """A single node failure at a point in virtual time."""
+    """A single node failure at a point in virtual time.
+
+    ``destroys_disk`` distinguishes a process/OS crash (the node's disk — and
+    the checkpoint images on it — survives an in-place reboot) from a
+    destructive correlated event (a whole-rack power hit): with the disk gone,
+    only off-node checkpoint copies (partner replica, remote file system) can
+    restore the victim's ranks.
+    """
 
     time: float
     node: int
     cause: str = field(default="crash", compare=False)
+    destroys_disk: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -175,6 +183,104 @@ class TraceFailureModel(FailureModel):
         ]
 
 
+class SwitchOutageFailureModel(FailureModel):
+    """Correlated whole-switch outages: every node behind one edge switch dies.
+
+    This is the spatially-correlated failure mode the ROADMAP's availability
+    work left open and the storage-tier experiments exercise: a top-of-rack
+    switch (or its rack PDU) fails and *all* of its nodes go down at the same
+    instant.  Same-switch checkpoint replicas die with their primaries, so
+    only cross-switch partner copies or the remote file system can restore
+    the victims.
+
+    Two modes:
+
+    * ``at_s`` set — one deterministic outage of edge switch ``switch`` at
+      that time,
+    * ``rate_per_switch_s`` set — seeded Poisson outages at total rate
+      ``rate × n_switches`` with a uniformly drawn victim switch per event
+      (a single stream, so the k-th outage is seed-stable).
+
+    ``destroy_disks`` (default True) marks the victims' local disks — and the
+    checkpoint images on them — as lost: the model represents a destructive
+    rack event, not a graceful power-down.  Set it False to model a pure
+    connectivity outage whose nodes reboot with their images intact.
+    """
+
+    def __init__(
+        self,
+        at_s: Optional[float] = None,
+        switch: int = 0,
+        nodes_per_switch: int = 32,
+        rate_per_switch_s: Optional[float] = None,
+        rng: Optional[RandomStreams] = None,
+        max_outages: Optional[int] = None,
+        destroy_disks: bool = True,
+        stream: str = "switch-outages",
+    ) -> None:
+        if (at_s is None) == (rate_per_switch_s is None):
+            raise ValueError("set exactly one of at_s (deterministic outage) or "
+                             "rate_per_switch_s (Poisson outages)")
+        if at_s is not None and at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if switch < 0:
+            raise ValueError("switch must be non-negative")
+        if nodes_per_switch < 1:
+            raise ValueError("nodes_per_switch must be >= 1")
+        if rate_per_switch_s is not None and rate_per_switch_s <= 0:
+            raise ValueError("rate_per_switch_s must be positive")
+        if max_outages is not None and max_outages < 0:
+            raise ValueError("max_outages must be non-negative")
+        self.at_s = at_s
+        self.switch = switch
+        self.nodes_per_switch = nodes_per_switch
+        self.rate_per_switch_s = rate_per_switch_s
+        self.rng = rng if rng is not None else RandomStreams(0)
+        self.max_outages = max_outages
+        self.destroy_disks = destroy_disks
+        self.stream = stream
+
+    def _topology(self, n_nodes: int):
+        from repro.cluster.topology import NodeTopology
+
+        return NodeTopology(n_nodes, self.nodes_per_switch)
+
+    def outages(self, horizon: float, n_nodes: int) -> List[Tuple[float, int]]:
+        """The ``(time, switch)`` outage events within ``[0, horizon)``."""
+        if horizon < 0:
+            raise ValueError("horizon must be non-negative")
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        topo = self._topology(n_nodes)
+        if self.at_s is not None:
+            if self.at_s >= horizon or self.switch >= topo.n_switches:
+                return []
+            return [(self.at_s, self.switch)]
+        mean_gap = 1.0 / (self.rate_per_switch_s * topo.n_switches)
+        out: List[Tuple[float, int]] = []
+        t = 0.0
+        while True:
+            if self.max_outages is not None and len(out) >= self.max_outages:
+                break
+            t += self.rng.exponential(self.stream, mean_gap)
+            if t >= horizon:
+                break
+            switch = self.rng.integers(f"{self.stream}:victims", 0, topo.n_switches)
+            out.append((t, switch))
+        return out
+
+    def failures(self, horizon: float, n_nodes: int) -> List[FailureEvent]:
+        topo = self._topology(n_nodes)
+        out: List[FailureEvent] = []
+        for t, switch in self.outages(horizon, n_nodes):
+            for node in topo.switch_nodes(switch):
+                out.append(FailureEvent(
+                    time=t, node=node, cause="switch-outage",
+                    destroys_disk=self.destroy_disks))
+        out.sort()
+        return out
+
+
 def expected_lost_work(
     checkpoint_interval_s: float,
     failure_time_s: float,
@@ -309,7 +415,8 @@ class FailureInjector:
                 # No live rank to kill, but the node is dead all the same:
                 # an idle spare that dies must leave the pool instead of
                 # being handed out as a healthy replacement later.
-                self.manager.node_failed(event.node)
+                self.manager.node_failed(event.node,
+                                         disk_lost=event.destroys_disk)
                 self.ignored_events.append(event)
                 continue
             self.injected_events.append(event)

@@ -77,6 +77,9 @@ class Node:
     #: True once the node has crashed; a failed node hosts no new ranks until
     #: it reboots (in-place restart) and is never handed out as a spare
     failed: bool = False
+    #: lifetime crash counter; a reboot scheduled before a *second* death can
+    #: tell that its node died again in between (and must not resurrect it)
+    death_count: int = 0
     _reserved_bytes: int = 0
 
     def __post_init__(self) -> None:
@@ -107,6 +110,7 @@ class Node:
     def mark_failed(self) -> None:
         """Record that this node crashed (its processes are gone)."""
         self.failed = True
+        self.death_count += 1
 
     def mark_rebooted(self) -> None:
         """The node came back after an in-place reboot."""

@@ -21,6 +21,8 @@ from repro.cluster.storage import (
     StorageSpec,
     StorageSystem,
 )
+from repro.storage.hierarchy import StorageHierarchy
+from repro.storage.policy import StoragePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -99,6 +101,12 @@ class ClusterSpec:
         Spec of each remote checkpoint server.
     nodes_per_switch:
         Edge-switch radix for the node topology (drives spare placement).
+    storage_policy:
+        Optional multi-level checkpoint-storage policy (L1 local disk,
+        L2 topology-aware partner replica, L3 remote file system — see
+        :class:`repro.storage.policy.StoragePolicy`).  None keeps the
+        single-tier behaviour selected by ``checkpoint_storage``,
+        bit-identical to the pre-hierarchy model.
     name:
         Label used in reports.
     """
@@ -111,6 +119,7 @@ class ClusterSpec:
     n_checkpoint_servers: int = 4
     remote_storage: StorageSpec = NFS_CHECKPOINT_SERVER
     nodes_per_switch: int = DEFAULT_NODES_PER_SWITCH
+    storage_policy: Optional[StoragePolicy] = None
     name: str = "cluster"
 
     def __post_init__(self) -> None:
@@ -134,6 +143,10 @@ class ClusterSpec:
             checkpoint_storage="remote",
             n_checkpoint_servers=n_servers if n_servers is not None else self.n_checkpoint_servers,
         )
+
+    def with_storage_policy(self, policy: Optional[StoragePolicy]) -> "ClusterSpec":
+        """A copy of this spec using a multi-level checkpoint-storage policy."""
+        return replace(self, storage_policy=policy)
 
 
 #: The HKU Gideon 300 cluster as described in Section 5 of the paper:
@@ -164,10 +177,26 @@ class Cluster:
         self.network = Network(sim, spec.network, spec.n_nodes, topology=self.topology)
         self.local_disks = LocalDiskArray(sim, spec.n_nodes, spec.local_storage)
         self.remote_storage: Optional[RemoteStorageServers] = None
-        if spec.checkpoint_storage == "remote":
+        needs_remote = (spec.checkpoint_storage == "remote"
+                        or (spec.storage_policy is not None
+                            and spec.storage_policy.uses_l3))
+        if needs_remote:
             self.remote_storage = RemoteStorageServers(
                 sim, self.network, spec.n_checkpoint_servers, spec.remote_storage
             )
+        base_level = "L3" if spec.checkpoint_storage == "remote" else "L1"
+        self.hierarchy = StorageHierarchy(
+            sim,
+            nodes=self.nodes,
+            topology=self.topology,
+            network=self.network,
+            local=self.local_disks,
+            remote=self.remote_storage,
+            policy=spec.storage_policy,
+            base=(self.remote_storage if spec.checkpoint_storage == "remote"
+                  else self.local_disks),
+            base_level=base_level,
+        )
         self._rank_to_node: Dict[int, int] = {}
 
     # -- placement --------------------------------------------------------

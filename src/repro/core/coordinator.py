@@ -48,6 +48,9 @@ class CoordinatorReport:
     #: colliding periodic ticks held back and issued once the wave cleared
     #: (``dispatch_policy="queue"`` only)
     queued_waves: int = 0
+    #: per-group ticks dropped because that group was mid-recovery — the
+    #: rest of the wave proceeded instead of queueing behind the recovery
+    skipped_in_recovery: int = 0
 
     @property
     def checkpoints_requested(self) -> int:
@@ -158,6 +161,18 @@ class CheckpointCoordinator:
                     continue
             participants = self.family.participants_for(rank, running)
             groups.setdefault(participants, []).append(rank)
+        # Recovery-aware scheduling: a group that is mid-recovery (some member
+        # killed, rolled back or not yet relaunched) skips *its own* tick —
+        # mpirun does not ask a group to checkpoint while restoring it — and
+        # the rest of the wave proceeds instead of queueing behind it.
+        recovering = [
+            participants for participants in groups
+            if any(self.runtime.ctx(r).in_recovery or self.runtime.ctx(r).failed
+                   for r in participants)
+        ]
+        for participants in recovering:
+            del groups[participants]
+            self.report.skipped_in_recovery += 1
         if not groups:
             self.report.skipped_waves += 1
             return None
@@ -194,12 +209,11 @@ class CheckpointCoordinator:
     def wave_in_flight(self) -> bool:
         """True while any running rank is still busy with an earlier request.
 
-        Ranks undergoing live failure recovery count as busy: mpirun does
-        not ask a group to checkpoint while it is restoring that group.
+        A group that is merely mid-recovery does *not* hold the wave back:
+        :meth:`issue_wave` skips that group's tick (counted in
+        ``report.skipped_in_recovery``) and checkpoints everyone else, so a
+        long recovery no longer starves the healthy groups of checkpoints.
         """
-        for ctx in self.runtime.contexts:
-            if ctx.in_recovery:
-                return True
         for rank in self.runtime.running_ranks():
             ctx = self.runtime.ctx(rank)
             if ctx.in_checkpoint or ctx.has_pending_request():

@@ -81,11 +81,18 @@ class GroupRankProtocol(RankProtocol):
         self.config: ProtocolConfig = family.config
         self.blcr: BlcrModel = family.blcr
         self.log = SenderLog(ctx.rank)
-        #: RR values recorded at the latest checkpoint (per out-of-group peer)
+        #: RR values recorded at the latest *safe* checkpoint (per out-of-group
+        #: peer) — the values piggybacked for the peers' log GC.  A checkpoint
+        #: only becomes the GC point once the storage hierarchy reports all of
+        #: its copies materialised (immediately for single-tier configs).
         self.rr_recorded: Dict[int, int] = {}
         #: checkpoint epoch counter and the epoch at which each peer last got a piggyback
         self._ckpt_epoch = 0
         self._piggyback_epoch: Dict[int, int] = {}
+        #: newest checkpoint id adopted as the GC point, and the rollback
+        #: generation (a pending adoption from before a rollback is void)
+        self._gc_ckpt_id = -1
+        self._rollback_gen = 0
         #: counts for reporting
         self.logged_messages = 0
         self.piggybacks_sent = 0
@@ -208,16 +215,15 @@ class GroupRankProtocol(RankProtocol):
         rr = ctx.account.snapshot_received()
         ss = ctx.account.snapshot_sent()
         resume = runtime.capture_resume(ctx)
-        self.rr_recorded = {p: rr.get(p, 0) for p in self.out_of_group_peers()}
-        self._ckpt_epoch += 1
+        new_rr_recorded = {p: rr.get(p, 0) for p in self.out_of_group_peers()}
         image_bytes = self.blcr.image_bytes(ctx.memory_bytes)
         if self.blcr.dump_fork_s > 0:
             yield runtime.sim.timeout(self.blcr.dump_fork_s)
-        yield from runtime.storage_write(ctx, image_bytes)
+        tiers = yield from runtime.checkpoint_image_write(ctx, request.ckpt_id, image_bytes)
         if resume is not None:
             resume.protocol_state = {
-                "rr_recorded": dict(self.rr_recorded),
-                "ckpt_epoch": self._ckpt_epoch,
+                "rr_recorded": dict(new_rr_recorded),
+                "ckpt_epoch": self._ckpt_epoch + 1,
                 "piggyback_epoch": dict(self._piggyback_epoch),
             }
         self._record_snapshot(CheckpointSnapshot(
@@ -232,7 +238,17 @@ class GroupRankProtocol(RankProtocol):
             logged_messages=self.log.messages_by_destination(),
             image_bytes=image_bytes,
             resume=resume,
+            tiers=tiers,
         ))
+        # This checkpoint becomes the peers' log-GC point only once every
+        # scheduled copy of its image exists (immediately when nothing is
+        # async): until the partner replica has drained, a failure still
+        # rolls back to the *previous* checkpoint, whose replay bytes the
+        # peers must therefore keep.
+        runtime.cluster.hierarchy.on_image_safe(
+            ctx.rank, request.ckpt_id,
+            _GcAdoption(self, request.ckpt_id, new_rr_recorded,
+                        self._rollback_gen))
         stages[STAGE_CHECKPOINT] = runtime.now - t0
 
         # ----- Finalize: exit barrier and resume --------------------------------
@@ -258,14 +274,31 @@ class GroupRankProtocol(RankProtocol):
             group_size=len(participants),
         )
 
+    # -- GC-point adoption --------------------------------------------------------
+    def _adopt_gc_point(self, ckpt_id: int, rr_recorded: Dict[int, int],
+                        rollback_gen: int) -> None:
+        """Make checkpoint ``ckpt_id`` the log-GC point (its image is safe).
+
+        Ignored when a rollback happened since the adoption was registered
+        (the checkpoint belongs to a discarded timeline) or when a newer
+        checkpoint already adopted.
+        """
+        if rollback_gen != self._rollback_gen or ckpt_id <= self._gc_ckpt_id:
+            return
+        self._gc_ckpt_id = ckpt_id
+        self.rr_recorded = rr_recorded
+        self._ckpt_epoch += 1
+
     # -- restart support ----------------------------------------------------------
     def rollback_to(self, snapshot: Optional[CheckpointSnapshot]) -> None:
         """Restore protocol state to ``snapshot`` (None = back to process start)."""
+        self._rollback_gen += 1
         if snapshot is None:
             self.log.clear()
             self.rr_recorded = {}
             self._ckpt_epoch = 0
             self._piggyback_epoch = {}
+            self._gc_ckpt_id = -1
             self._restore_snapshot(None)
             return
         resume = snapshot.resume
@@ -279,12 +312,30 @@ class GroupRankProtocol(RankProtocol):
         self.rr_recorded = dict(state.get("rr_recorded", {}))
         self._ckpt_epoch = state.get("ckpt_epoch", 0)
         self._piggyback_epoch = dict(state.get("piggyback_epoch", {}))
+        self._gc_ckpt_id = snapshot.ckpt_id
         self._restore_snapshot(snapshot)
 
     @property
     def logged_bytes_total(self) -> int:
         """Bytes currently retained in this rank's sender-side log."""
         return self.log.retained_bytes
+
+
+class _GcAdoption:
+    """Deferred adoption of a checkpoint as the log-GC point (one slotted obj)."""
+
+    __slots__ = ("protocol", "ckpt_id", "rr_recorded", "rollback_gen")
+
+    def __init__(self, protocol: GroupRankProtocol, ckpt_id: int,
+                 rr_recorded: Dict[int, int], rollback_gen: int) -> None:
+        self.protocol = protocol
+        self.ckpt_id = ckpt_id
+        self.rr_recorded = rr_recorded
+        self.rollback_gen = rollback_gen
+
+    def __call__(self) -> None:
+        self.protocol._adopt_gc_point(self.ckpt_id, self.rr_recorded,
+                                      self.rollback_gen)
 
 
 class GroupProtocolFamily(ProtocolFamily):

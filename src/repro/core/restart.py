@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+from typing import Any, Dict, Generator, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.ckpt.base import CheckpointSnapshot, ProtocolConfig, RestartRecord
 from repro.ckpt.blcr import BlcrModel
@@ -186,7 +186,9 @@ def simulate_restart(
     cluster = Cluster(sim, cluster_spec)
     placement = cluster.place_ranks(n_ranks)
     network = cluster.network
-    storage = cluster.checkpoint_storage
+    # All restart I/O goes through the storage hierarchy's tier API; for
+    # single-tier specs it delegates verbatim to the configured storage.
+    storage = cluster.hierarchy
 
     channels = replay_volumes(result)
     incoming: Dict[int, List[ReplayChannel]] = {}
@@ -338,6 +340,14 @@ class RecoveryReport:
     #: earlier recovery attempts of this scope aborted by a failure landing
     #: mid-recovery (this report covers the attempt that converged)
     superseded_attempts: int = 0
+    #: failure cause ("crash" node death, "switch-outage" correlated event)
+    cause: str = "crash"
+    #: True when no surviving storage tier held a required image — the run
+    #: was declared failed instead of restored
+    unsurvivable: bool = False
+    #: storage level each rank's image was actually restored from
+    #: (rank → "L1"/"L2"/"L3"; empty for from-scratch restarts)
+    restore_tiers: Dict[int, str] = field(default_factory=dict)
 
     @property
     def replayed_bytes(self) -> int:
@@ -384,6 +394,22 @@ def rollback_scope(runtime: "MpiRuntime", victims: Sequence[int]) -> Set[int]:
     return out
 
 
+def common_checkpoint_ids(runtime: "MpiRuntime", members: Sequence[int]) -> List[int]:
+    """Checkpoint ids *every* member holds a snapshot for, newest first.
+
+    Empty means at least one member never checkpointed — the group can only
+    restart from scratch.
+    """
+    common: Optional[Set[int]] = None
+    for rank in members:
+        proto = runtime.ctx(rank).protocol
+        ids = {snap.ckpt_id for snap in proto.snapshot_history()} if proto else set()
+        common = ids if common is None else (common & ids)
+        if not common:
+            return []
+    return sorted(common or (), reverse=True)
+
+
 def common_checkpoint_id(runtime: "MpiRuntime", members: Sequence[int]) -> Optional[int]:
     """Newest checkpoint id that *every* member holds a snapshot for.
 
@@ -392,14 +418,8 @@ def common_checkpoint_id(runtime: "MpiRuntime", members: Sequence[int]) -> Optio
     completed dumping.  None means at least one member never checkpointed —
     the group restarts from scratch.
     """
-    common: Optional[Set[int]] = None
-    for rank in members:
-        proto = runtime.ctx(rank).protocol
-        ids = {snap.ckpt_id for snap in proto.snapshot_history()} if proto else set()
-        common = ids if common is None else (common & ids)
-        if not common:
-            return None
-    return max(common) if common else None
+    ids = common_checkpoint_ids(runtime, members)
+    return ids[0] if ids else None
 
 
 class LiveRecovery:
@@ -428,6 +448,8 @@ class LiveRecovery:
         reboot_delay_s: float = 0.0,
         superseded_attempts: int = 0,
         origin_time: Optional[float] = None,
+        cause: str = "crash",
+        spare_pool: Optional[Any] = None,
     ) -> None:
         if detection_delay_s < 0:
             raise ValueError("detection_delay_s must be non-negative")
@@ -448,10 +470,15 @@ class LiveRecovery:
         #: rank → replacement node decided by the spare pool (empty = in place)
         self.placements: Dict[int, int] = dict(placements or {})
         #: crashed nodes: a rank restarting in place on one must wait out the
-        #: node reboot before its image can be restored
-        self.dead_nodes = frozenset(dead_nodes)
+        #: node reboot before its image can be restored (tier selection may
+        #: add to this set when it cancels a spare placement)
+        self.dead_nodes = set(dead_nodes)
         self.reboot_delay_s = reboot_delay_s
         self.superseded_attempts = superseded_attempts
+        self.cause = cause
+        #: pool to hand a reserved spare back to when tier selection cancels
+        #: a placement (the only surviving image copy is on the dead node)
+        self.spare_pool = spare_pool
         #: time of the earliest failure this recovery covers.  A merged or
         #: queued recovery starts later than the failure that triggered it;
         #: the *measured* recovery time must span from the original failure
@@ -504,6 +531,7 @@ class LiveRecovery:
             failure_time=t_fail, node=self.node, victims=self.victims,
             rollback_ranks=(), target_ckpt_id=None,
             superseded_attempts=self.superseded_attempts,
+            cause=self.cause,
         )
 
         # mpirun notices the dead node only after the detection delay; the
@@ -515,8 +543,23 @@ class LiveRecovery:
         rollback = sorted(rollback_scope(runtime, self.victims))
         report.rollback_ranks = tuple(rollback)
 
+        # Where each rank will restart, and which dead nodes come back in
+        # place — the storage-tier selection needs both.
+        hierarchy = runtime.cluster.hierarchy
+        final_node: Dict[int, int] = {
+            rank: self.placements.get(rank, runtime.ctx(rank).node_id)
+            for rank in rollback
+        }
+        assume_rebooted = set(self.dead_nodes)
+
         # Partition the rollback set into its checkpoint groups and pick each
         # group's recovery line (they are usually one and the same group).
+        # With a storage hierarchy configured, the recovery line is the newest
+        # common checkpoint whose every image still has a *surviving* copy on
+        # some tier; losing the newest one degrades to an older checkpoint,
+        # and losing them all makes the failure unsurvivable.  Legacy mode
+        # keeps the pre-hierarchy rule (newest common checkpoint, dead nodes'
+        # disks assumed readable) bit-for-bit.
         groups: Dict[Tuple[int, ...], List[int]] = {}
         for rank in rollback:
             proto = runtime.ctx(rank).protocol
@@ -525,8 +568,100 @@ class LiveRecovery:
             groups.setdefault(members, []).append(rank)
         target_by_rank: Dict[int, Optional[CheckpointSnapshot]] = {}
         target_ids: List[int] = []
+        scope_set = set(rollback)
+
+        def replay_covered(rank: int, cid: int) -> bool:
+            """Do the out-of-scope senders' logs still cover ``cid``'s gap?
+
+            Rolling ``rank`` back to checkpoint ``cid`` re-opens the byte
+            range between its recorded R counters and the live frontier;
+            bytes from senders outside the rollback scope must come from
+            their retained logs (in-scope senders re-execute instead).  The
+            deferred GC-point rule makes this hold for every *safe*
+            checkpoint, but a copy destroyed after adoption can force an
+            older target — this check turns that into an explicit
+            unsurvivable verdict instead of a blocked receive.
+            """
+            proto = runtime.ctx(rank).protocol
+            snap = next((s for s in proto.snapshot_history()
+                         if s.ckpt_id == cid), None)
+            resume = snap.resume if snap is not None else None
+            if resume is None:
+                return True
+            for src_ctx in runtime.contexts:
+                q = src_ctx.rank
+                if q == rank or q in scope_set:
+                    continue
+                restored = resume.rr.get(q, 0)
+                if src_ctx.account.sent_to(rank) <= restored:
+                    continue
+                log = getattr(src_ctx.protocol, "log", None)
+                if log is None:
+                    return False
+                entries = log.entries_for(rank)
+                if not entries:
+                    return False
+                first = entries[0]
+                if first.end_offset - first.nbytes > restored:
+                    return False
+            return True
+
+        def feasible(ranks: List[int], cid: int) -> Optional[Set[int]]:
+            """Can every rank restore checkpoint ``cid``?
+
+            Returns the set of spare placements that must be *cancelled* for
+            it (the only surviving copy sits on the dead node's intact disk,
+            so the rank reboots in place instead of migrating), or None when
+            some rank has no surviving copy anywhere or some replay byte is
+            no longer retained.
+            """
+            cancels: Set[int] = set()
+            for rank in ranks:
+                plan = hierarchy.restore_plan(
+                    rank, cid, final_node[rank], assume_rebooted)
+                if plan is None and rank in self.placements:
+                    home = runtime.ctx(rank).node_id
+                    plan = hierarchy.restore_plan(
+                        rank, cid, home, assume_rebooted | {home})
+                    if plan is not None:
+                        cancels.add(rank)
+                if plan is None or not replay_covered(rank, cid):
+                    return None
+            return cancels
+
         for members, ranks in groups.items():
-            target_id = common_checkpoint_id(runtime, members)
+            candidates = common_checkpoint_ids(runtime, members)
+            if hierarchy.legacy:
+                target_id = candidates[0] if candidates else None
+            else:
+                target_id = None
+                for cid in candidates:
+                    cancels = feasible(ranks, cid)
+                    if cancels is None:
+                        continue
+                    target_id = cid
+                    for rank in cancels:
+                        # The spare cannot reach the image; restart in place
+                        # on the (rebooting) dead node and return the spare.
+                        spare = self.placements.pop(rank)
+                        home = runtime.ctx(rank).node_id
+                        self.dead_nodes.add(home)
+                        assume_rebooted.add(home)
+                        final_node[rank] = home
+                        if self.spare_pool is not None:
+                            self.spare_pool.release(spare, rank)
+                    break
+                if target_id is None and candidates:
+                    # Checkpoints exist but no retrievable set survives: a
+                    # real restart has nothing to restore these ranks from.
+                    reason = (f"no surviving copy of checkpoint images for "
+                              f"ranks {sorted(ranks)[:8]} "
+                              f"({self.cause} at t={t_fail:.3f})")
+                    report.unsurvivable = True
+                    report.completed_at = sim.now
+                    runtime.recovery_reports.append(report)
+                    runtime.abort_application(reason)
+                    return report
             if target_id is not None:
                 target_ids.append(target_id)
             for rank in ranks:
@@ -605,7 +740,6 @@ class LiveRecovery:
                 if incoming_remaining[dst] == 0 and not incoming_done[dst].triggered:
                     incoming_done[dst].succeed(sim.now)
 
-        storage = runtime.cluster.checkpoint_storage
         rtt = 2 * (runtime.cluster.network.spec.latency_s
                    + runtime.cluster.network.spec.per_message_overhead_s)
 
@@ -640,18 +774,37 @@ class LiveRecovery:
                 # 1. re-create the process and restore its image
                 image_bytes = snap.image_bytes if snap is not None else 0
                 if image_bytes > 0:
-                    old = migrated_from.get(rank)
-                    if old is not None and not remote_storage:
-                        # local checkpoint storage: the image sits on the dead
-                        # node's (surviving) disk — read it there and ship it
-                        # to the spare over the network
-                        yield from storage.read(old, image_bytes)
-                        yield from runtime.cluster.network.transfer(
-                            old, ctx.node_id, image_bytes)
+                    if hierarchy.legacy:
+                        old = migrated_from.get(rank)
+                        if old is not None and not remote_storage:
+                            # legacy local storage: the image sits on the dead
+                            # node's (surviving) disk — read it there and ship
+                            # it to the spare over the network
+                            yield from hierarchy.read(old, image_bytes)
+                            yield from runtime.cluster.network.transfer(
+                                old, ctx.node_id, image_bytes)
+                        else:
+                            # local disk in place, or checkpoint servers that
+                            # stream the image straight to wherever the rank is
+                            yield from hierarchy.read(ctx.node_id, image_bytes)
                     else:
-                        # local disk in place, or checkpoint servers that
-                        # stream the image straight to wherever the rank is
-                        yield from storage.read(ctx.node_id, image_bytes)
+                        # tier selection: cheapest copy that *still* survives
+                        # (re-resolved here — a correlated failure may have
+                        # taken the planned source since the target was picked;
+                        # an in-place node has rebooted by now)
+                        plan = hierarchy.restore_plan(
+                            rank, snap.ckpt_id, ctx.node_id)
+                        if plan is None:
+                            report.unsurvivable = True
+                            report.completed_at = sim.now
+                            runtime.recovery_reports.append(report)
+                            runtime.abort_application(
+                                f"image of rank {rank} ckpt {snap.ckpt_id} lost "
+                                f"mid-recovery ({self.cause})")
+                            return
+                        report.restore_tiers[rank] = plan.level
+                        yield from hierarchy.perform_restore(
+                            plan, ctx.node_id, image_bytes)
                     yield sim.timeout(self.blcr.restore_exec_s)
                 # 2. rebuild MPI internal structures
                 yield sim.timeout(self.config.restart_rebuild_s)

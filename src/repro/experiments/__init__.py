@@ -10,7 +10,11 @@
   (expected lost work vs grouping method and checkpoint interval),
 * :mod:`repro.experiments.availability` — long-horizon availability grids
   (method × MTBF × spare count under sustained Poisson failures, with
-  concurrent group recoveries and spare-node placement).
+  concurrent group recoveries and spare-node placement),
+* :mod:`repro.experiments.storage_tiers` — checkpoint-storage-hierarchy
+  sweeps (method × tier policy × failure model): steady-state overhead per
+  level, measured restart cost per surviving tier, and the correlated-failure
+  survivability matrix.
 """
 
 from repro.experiments.config import ScenarioConfig, QUICK, FULL, ExperimentProfile

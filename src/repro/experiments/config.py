@@ -24,7 +24,7 @@ METHODS: Tuple[str, ...] = ("GP", "GP1", "GP4", "NORM", "VCL")
 class FailureSpec:
     """Live failure injection for one scenario (measured failure experiments).
 
-    Two modes:
+    Three modes:
 
     * ``at_s`` set — one deterministic kill: the node hosting ``victim_rank``
       dies at ``at_s`` seconds of simulated time (the measured counterpart of
@@ -32,8 +32,15 @@ class FailureSpec:
     * ``mtbf_per_node_s`` set — seeded random kills from a
       :class:`~repro.cluster.failure.PoissonFailureModel` at the given
       per-node MTBF, capped at ``max_failures`` events.
+    * ``switch_outage_at_s`` set — one deterministic *correlated* failure: at
+      that time, every node behind edge switch ``outage_switch`` dies at once
+      (:class:`~repro.cluster.failure.SwitchOutageFailureModel`), destroying
+      the victims' local disks unless ``outage_spares_disks`` is True.  This
+      is the storage-tier survivability scenario: node-local checkpoint
+      images die with their rack, so only cross-switch partner replicas or
+      the remote file system can restore the job.
 
-    Exactly one of the two must be set.  ``detection_delay_s`` models the
+    Exactly one of the three must be set.  ``detection_delay_s`` models the
     dispatcher noticing the dead node before starting the group rollback.
 
     Recovery placement (the recovery-orchestration subsystem):
@@ -58,13 +65,25 @@ class FailureSpec:
     n_spares: int = 0
     reboot_delay_s: float = 0.0
     serialize_recoveries: bool = False
+    switch_outage_at_s: Optional[float] = None
+    outage_switch: int = 0
+    #: True models a connectivity-only outage: nodes reboot with their local
+    #: checkpoint images intact (the default outage destroys the disks)
+    outage_spares_disks: bool = False
 
     def __post_init__(self) -> None:
-        if (self.at_s is None) == (self.mtbf_per_node_s is None):
-            raise ValueError("set exactly one of at_s (deterministic kill) or "
-                             "mtbf_per_node_s (Poisson kills)")
+        modes = sum(x is not None for x in
+                    (self.at_s, self.mtbf_per_node_s, self.switch_outage_at_s))
+        if modes != 1:
+            raise ValueError("set exactly one of at_s (deterministic kill), "
+                             "mtbf_per_node_s (Poisson kills) or "
+                             "switch_outage_at_s (correlated switch outage)")
         if self.at_s is not None and self.at_s < 0:
             raise ValueError("at_s must be non-negative")
+        if self.switch_outage_at_s is not None and self.switch_outage_at_s < 0:
+            raise ValueError("switch_outage_at_s must be non-negative")
+        if self.outage_switch < 0:
+            raise ValueError("outage_switch must be non-negative")
         if self.victim_rank < 0:
             raise ValueError("victim_rank must be non-negative")
         if self.mtbf_per_node_s is not None and self.mtbf_per_node_s <= 0:

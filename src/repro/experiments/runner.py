@@ -37,6 +37,7 @@ from repro.cluster.failure import (
     FailureEvent,
     FailureInjector,
     PoissonFailureModel,
+    SwitchOutageFailureModel,
     TraceFailureModel,
 )
 from repro.cluster.topology import Cluster, ClusterSpec
@@ -176,6 +177,7 @@ class ScenarioResult:
     app: ApplicationResult
     restart: Optional[RestartResult] = None
     groupset: Optional[GroupSet] = None
+    coordinator_report: Optional[object] = None
 
     # -- derived metrics -----------------------------------------------------------
     @property
@@ -319,6 +321,62 @@ class ScenarioResult:
         """Peak number of simultaneously in-flight group recoveries."""
         return self.app.recovery_stats.get("max_concurrent_recoveries", 0)
 
+    @property
+    def spare_refills(self) -> int:
+        """Rebooted victim nodes that rejoined the spare pool."""
+        return self.app.recovery_stats.get("spare_refills", 0)
+
+    # -- storage-hierarchy metrics ------------------------------------------------
+    @property
+    def survived(self) -> bool:
+        """False when the run was declared unsurvivable (required image lost)."""
+        return self.app.aborted is None
+
+    @property
+    def abort_reason(self) -> Optional[str]:
+        """Why the run was declared failed (None when it survived)."""
+        return self.app.aborted
+
+    @property
+    def tier_bytes_written(self) -> Dict[str, int]:
+        """Checkpoint bytes written per storage level (L1/L2/L3)."""
+        return dict(self.app.storage_stats.get("tier_bytes_written", {}))
+
+    @property
+    def tier_bytes_read(self) -> Dict[str, int]:
+        """Checkpoint bytes read back per storage level (L1/L2/L3)."""
+        return dict(self.app.storage_stats.get("tier_bytes_read", {}))
+
+    @property
+    def partner_copies(self) -> int:
+        """Completed L2 partner replications."""
+        return self.app.storage_stats.get("partner_copies_completed", 0)
+
+    @property
+    def partner_copies_lost(self) -> int:
+        """Partner replications that died with an endpoint mid-copy."""
+        return self.app.storage_stats.get("partner_copies_lost", 0)
+
+    @property
+    def replication_stalls(self) -> int:
+        """Checkpoints that waited on the bounded L2 in-flight buffer."""
+        return self.app.storage_stats.get("replication_stalls", 0)
+
+    @property
+    def outages_survived(self) -> int:
+        """Correlated switch outages this run recovered from end to end."""
+        return len({rep.failure_time for rep in self.app.recovery
+                    if getattr(rep, "cause", "crash") == "switch-outage"
+                    and not getattr(rep, "unsurvivable", False)
+                    and rep.ranks})
+
+    @property
+    def skipped_in_recovery(self) -> int:
+        """Per-group checkpoint ticks skipped because the group was recovering."""
+        if self.coordinator_report is None:
+            return 0
+        return getattr(self.coordinator_report, "skipped_in_recovery", 0)
+
     def breakdown(self):
         """Average per-stage checkpoint breakdown (Figure 9)."""
         return stage_breakdown(self.app.checkpoint_records)
@@ -347,8 +405,10 @@ def run_scenario(
         sim, cluster, config.n_ranks, protocol_family=family, rng=RandomStreams(config.seed)
     )
     runtime.set_memory(workload.memory_map())
+    coordinator: Optional[CheckpointCoordinator] = None
     if config.schedule is not None:
-        CheckpointCoordinator(runtime, family, config.schedule).start()
+        coordinator = CheckpointCoordinator(runtime, family, config.schedule)
+        coordinator.start()
     if config.failure is not None:
         from repro.recovery import SparePool
 
@@ -356,6 +416,13 @@ def run_scenario(
         if fs.at_s is not None:
             node = runtime.ctx(fs.victim_rank).node_id
             model: object = TraceFailureModel([FailureEvent(fs.at_s, node)])
+        elif fs.switch_outage_at_s is not None:
+            model = SwitchOutageFailureModel(
+                at_s=fs.switch_outage_at_s,
+                switch=fs.outage_switch,
+                nodes_per_switch=cluster_spec.nodes_per_switch,
+                destroy_disks=not fs.outage_spares_disks,
+            )
         else:
             model = PoissonFailureModel(
                 rate_per_node_s=1.0 / fs.mtbf_per_node_s,
@@ -372,11 +439,15 @@ def run_scenario(
     app = runtime.run_to_completion(limit_s=1e8)
 
     restart: Optional[RestartResult] = None
-    if config.do_restart and config.schedule is not None and app.snapshots():
+    if (config.do_restart and config.schedule is not None and app.snapshots()
+            and app.aborted is None):
         restart = simulate_restart(app, cluster_spec, config=protocol_config)
 
     groupset = getattr(family, "groups", None)
-    return ScenarioResult(config=config, app=app, restart=restart, groupset=groupset)
+    return ScenarioResult(config=config, app=app, restart=restart,
+                          groupset=groupset,
+                          coordinator_report=(coordinator.report
+                                              if coordinator is not None else None))
 
 
 def average_over_seeds(

@@ -268,6 +268,11 @@ class ApplicationResult:
     #: recovery-manager scheduling counters (empty for failure-free runs):
     #: aborted/serialized/concurrent recovery counts, spare-pool usage
     recovery_stats: Dict[str, int] = field(default_factory=dict)
+    #: non-None when the run was aborted as unsurvivable (no remaining copy
+    #: of a required checkpoint image); the makespan is the abort instant
+    aborted: Optional[str] = None
+    #: storage-hierarchy counters: per-tier bytes, partner-copy totals
+    storage_stats: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def checkpoint_records(self) -> List[Any]:
@@ -392,6 +397,8 @@ class MpiRuntime:
         self.recovery_manager: Optional[Any] = None
         #: messages dropped because an endpoint was rolled back in flight
         self.dropped_messages = 0
+        #: reason string once the run has been declared unsurvivable
+        self.aborted: Optional[str] = None
 
     def attach_checkpoint_source(self) -> None:
         """Declare that checkpoint requests may be delivered to the ranks.
@@ -747,14 +754,34 @@ class MpiRuntime:
 
     # ----------------------------------------------------- storage for protocols
     def storage_write(self, ctx: RankContext, nbytes: int) -> Generator[Event, None, float]:
-        """Write ``nbytes`` to the configured checkpoint storage for this rank's node."""
-        result = yield from self.cluster.checkpoint_storage.write(ctx.node_id, nbytes)
+        """Write ``nbytes`` to checkpoint storage for this rank's node (log flushes).
+
+        Goes through the storage hierarchy's tier-agnostic path, which
+        delegates verbatim to the configured base storage system.
+        """
+        result = yield from self.cluster.hierarchy.write(ctx.node_id, nbytes)
         return result
 
     def storage_read(self, ctx: RankContext, nbytes: int) -> Generator[Event, None, float]:
-        """Read ``nbytes`` from the configured checkpoint storage for this rank's node."""
-        result = yield from self.cluster.checkpoint_storage.read(ctx.node_id, nbytes)
+        """Read ``nbytes`` from checkpoint storage for this rank's node."""
+        result = yield from self.cluster.hierarchy.read(ctx.node_id, nbytes)
         return result
+
+    def checkpoint_image_write(
+        self, ctx: RankContext, ckpt_id: int, nbytes: int
+    ) -> Generator[Event, None, Tuple[str, ...]]:
+        """Persist one checkpoint image through the storage hierarchy.
+
+        Under the default single-tier configuration this is exactly the old
+        ``storage_write`` (bit-identical timing); with a
+        :class:`~repro.storage.policy.StoragePolicy` configured it fans the
+        image out across the scheduled levels (synchronous L1/L3, async L2
+        partner replica).  Returns the levels the image landed on, which the
+        protocol records in the snapshot metadata.
+        """
+        levels = yield from self.cluster.hierarchy.write_image(
+            ctx.rank, ctx.node_id, ckpt_id, nbytes)
+        return levels
 
     # --------------------------------------------------------------- checkpoints
     def handle_pending_checkpoints(self, ctx: RankContext) -> Generator[Event, None, None]:
@@ -880,6 +907,35 @@ class MpiRuntime:
         ctx.halted_at = None
         return proc
 
+    def abort_application(self, reason: str) -> None:
+        """Terminate the whole run: an unsurvivable failure was detected.
+
+        Every surviving checkpoint copy of some required image is gone (a
+        correlated outage took the node *and* its partner, with no remote
+        copy), so the job cannot be restored — the dispatcher declares it
+        failed.  All rank scripts and in-flight recoveries are interrupted,
+        every context is marked finished at the current instant (the abort
+        time becomes the makespan), and the reason is recorded on the
+        runtime so results report the run as not survived instead of
+        deadlocking or crashing.
+        """
+        if self.aborted is not None:
+            return
+        self.aborted = reason
+        current = self.sim.active_process
+        for proc in self._rank_processes:
+            if proc.is_alive and proc is not current:
+                proc.interrupt("job-aborted")
+        for proc in list(self._recovery_inflight):
+            if proc.is_alive and proc is not current:
+                proc.interrupt("job-aborted")
+        now = self.sim.now
+        for ctx in self.contexts:
+            if not ctx.finished:
+                ctx.finished = True
+            if ctx.stats.finished_at is None:
+                ctx.stats.finished_at = now
+
     def migrate_rank(self, rank: int, new_node: int) -> int:
         """Re-place a halted rank onto ``new_node`` (restart on a spare).
 
@@ -916,7 +972,7 @@ class MpiRuntime:
         net = self.cluster.network
         total = sum(e.nbytes for e in entries)
         if read_log_from_storage and total > 0:
-            yield from self.cluster.checkpoint_storage.read(src_node, total)
+            yield from self.cluster.hierarchy.read(src_node, total)
         replayed = 0
         for entry in entries:
             if src_node == dst_node:
@@ -1174,4 +1230,6 @@ class MpiRuntime:
             recovery=self.recovery_reports,
             recovery_stats=(self.recovery_manager.stats()
                             if self.recovery_manager is not None else {}),
+            aborted=self.aborted,
+            storage_stats=self.cluster.hierarchy.stats(),
         )

@@ -132,21 +132,26 @@ class RecoveryManager:
         serialised behaviour wait on :meth:`drained` instead.
         """
         runtime = self.runtime
+        if runtime.aborted is not None:
+            return  # the job was already declared unsurvivable
         self.failures_handled += 1
-        self.node_failed(event.node)
+        self.node_failed(event.node, disk_lost=event.destroys_disk)
         for rank in victims:
             runtime.kill_rank(rank, cause=event)
         self._admit(event, set(victims), attempts=0, origin_time=event.time)
 
-    def node_failed(self, node: int) -> None:
+    def node_failed(self, node: int, disk_lost: bool = False) -> None:
         """Record a node death (also for nodes hosting no ranks).
 
         The injector reports *every* failure event here, including ones it
         otherwise ignores because no live rank runs on the node: an idle
         spare that dies must leave the pool instead of being handed out as
-        a healthy replacement later.
+        a healthy replacement later.  ``disk_lost`` (destructive correlated
+        events) additionally invalidates every checkpoint-image copy the
+        storage hierarchy held on that node.
         """
         self.runtime.cluster.nodes[node].mark_failed()
+        self.runtime.cluster.hierarchy.node_failed(node, disk_lost=disk_lost)
         if self.spare_pool is not None:
             self.spare_pool.node_failed(node)
 
@@ -235,6 +240,8 @@ class RecoveryManager:
             reboot_delay_s=self.reboot_delay_s,
             superseded_attempts=attempts,
             origin_time=origin_time,
+            cause=event.cause,
+            spare_pool=self.spare_pool,
         )
         proc = runtime.sim.process(recovery.run(), name="live-recovery")
         runtime._recovery_inflight.append(proc)
@@ -250,6 +257,13 @@ class RecoveryManager:
             self.runtime._recovery_inflight.remove(active.proc)
         if active in self.active:
             self.active.remove(active)
+        report = active.proc._value if active.proc._triggered else None
+        if report is not None and not getattr(report, "unsurvivable", False):
+            # Spare-pool refill: every dead node whose ranks migrated away
+            # now sits empty — it reboots in the background and rejoins the
+            # pool, so long failure horizons don't exhaust spares permanently.
+            for _rank, old_node, _new_node in getattr(report, "placements", ()):
+                self._schedule_refill(old_node)
         self._drain_queue()
         if not self.active and not self.queue and self._drain_waiters:
             waiters, self._drain_waiters = self._drain_waiters, []
@@ -257,8 +271,32 @@ class RecoveryManager:
                 if not ev.triggered:
                     ev.succeed(None)
 
+    def _schedule_refill(self, node: int) -> None:
+        """Reboot an abandoned dead node and return it to the spare pool."""
+        if self.spare_pool is None:
+            return
+        runtime = self.runtime
+        node_obj = runtime.cluster.nodes[node]
+        if not node_obj.failed or node_obj.ranks:
+            return
+        deaths = node_obj.death_count
+
+        def reboot() -> "object":
+            if self.reboot_delay_s > 0:
+                yield runtime.sim.timeout(self.reboot_delay_s)
+            fresh = runtime.cluster.nodes[node]
+            if fresh.death_count != deaths or not fresh.failed or fresh.ranks:
+                return  # it died again mid-reboot, or was reused meanwhile
+            fresh.mark_rebooted()
+            self.spare_pool.refill(node)
+
+        runtime.sim.process(reboot(), name="reboot-refill")
+
     def _drain_queue(self) -> None:
         """Start every queued recovery whose conflicts have cleared (FIFO)."""
+        if self.runtime.aborted is not None:
+            self.queue = []
+            return
         remaining: List[_Pending] = []
         for pending in self.queue:
             blocked = (
@@ -301,6 +339,7 @@ class RecoveryManager:
         out["spare_same_switch"] = (
             sum(1 for p in pool.placements if p.same_switch)
             if pool is not None else 0)
+        out["spare_refills"] = pool.refilled if pool is not None else 0
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

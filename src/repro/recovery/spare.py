@@ -67,6 +67,7 @@ class SparePool:
         self.placements: List[SparePlacement] = []
         self.exhausted_requests = 0
         self.lost_spares = 0
+        self.refilled = 0
 
     @property
     def remaining(self) -> int:
@@ -113,6 +114,21 @@ class SparePool:
         if node in self.available:
             self.available.remove(node)
             self.lost_spares += 1
+
+    def refill(self, node: int) -> None:
+        """A node that finished rebooting rejoins the pool as a spare.
+
+        Called by the recovery manager once a victim node — abandoned because
+        its ranks migrated onto spares — completes its background reboot.
+        Without refill, every migration shrinks the pool permanently and a
+        long Poisson-kill horizon ends up all in-place reboots.
+        """
+        if node in self.available:
+            return
+        if self.cluster.nodes[node].failed or self.cluster.nodes[node].ranks:
+            return
+        bisect.insort(self.available, node)
+        self.refilled += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SparePool {self.remaining}/{self.n_spares} free, "
