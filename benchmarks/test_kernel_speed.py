@@ -19,27 +19,38 @@ events/sec history across kernel changes is queryable next to the experiment
 results.  The stand-alone CLI records into a store only when ``--db PATH`` is
 given (CI's tiny smoke run publishes a JSON artifact instead).
 
-No thresholds are asserted — this is a report, not a gate (kernel speed on CI
-machines is noisy).  The pre-refactor reference numbers below were measured
-on the development machine against the seed kernel (commit ``9fbc996``) with
-interleaved best-of-6 runs; the fast-path kernel reproduces the same
-scenarios bit-identically (see ``tests/test_determinism_parity.py``) at
-≈3× the speed.
+Under pytest no thresholds are asserted — the parametrised tests report
+(kernel speed on CI machines is noisy).  The pre-refactor reference numbers
+below were measured on the development machine against the seed kernel
+(commit ``9fbc996``) with interleaved best-of-6 runs; the fast-path kernel
+reproduces the same scenarios bit-identically (see
+``tests/test_determinism_parity.py``) at ≈3× the speed.
+
+The stand-alone CLI additionally carries the **regression gate**: with
+``--baseline benchmarks/kernel_speed_baseline.json`` each measurement is
+compared against the checked-in per-scenario ``events_per_s`` with the
+baseline's tolerance band.  While the baseline has ``"enforce": false`` the
+comparison is report-only; after one green CI run on a fresh baseline, flip
+``enforce`` to true and regressions beyond the band fail the job.  Refresh
+the baseline on the reference machine with ``--update-baseline``.
 
 Run stand-alone (no pytest plugins needed — this is what the CI smoke job
 uses)::
 
     PYTHONPATH=src python benchmarks/test_kernel_speed.py --scenario tiny \
         --json kernel-speed.json
+    PYTHONPATH=src python benchmarks/test_kernel_speed.py --scenario all \
+        --baseline benchmarks/kernel_speed_baseline.json
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import pytest
 
@@ -130,6 +141,64 @@ def measure_kernel_speed(scenario: str, repeat: int = 3) -> Dict[str, object]:
     return best
 
 
+#: default location of the checked-in regression baseline
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "kernel_speed_baseline.json")
+
+
+def load_baseline(path: str = BASELINE_PATH) -> Dict[str, object]:
+    """Read the checked-in regression baseline."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    payloads: List[Dict[str, object]], baseline: Dict[str, object]
+) -> Tuple[List[str], List[str]]:
+    """Compare measurements to the baseline; return (report lines, violations).
+
+    A scenario *regresses* when its measured metric falls below
+    ``baseline × (1 − tolerance)``.  Scenarios absent from the baseline are
+    reported but never gate.  Violations only fail the run when the baseline
+    sets ``"enforce": true`` (the caller decides — this function just sorts
+    lines into the two buckets).
+    """
+    metric = str(baseline.get("metric", "events_per_s"))
+    tolerance = float(baseline.get("tolerance", 0.3))
+    scenarios = baseline.get("scenarios", {})
+    lines: List[str] = []
+    violations: List[str] = []
+    for payload in payloads:
+        name = payload["scenario"]
+        measured = float(payload[metric])
+        ref = scenarios.get(name)
+        if ref is None:
+            lines.append(f"{name}: {measured:,.0f} {metric} (no baseline entry)")
+            continue
+        ratio = measured / float(ref)
+        line = (f"{name}: {measured:,.0f} vs baseline {float(ref):,.0f} {metric}"
+                f" ({ratio:.2f}x, tolerance -{tolerance:.0%})")
+        if ratio < 1.0 - tolerance:
+            violations.append(line + "  REGRESSED")
+        else:
+            lines.append(line + "  ok")
+    return lines, violations
+
+
+def update_baseline(payloads: List[Dict[str, object]],
+                    path: str = BASELINE_PATH) -> None:
+    """Rewrite the baseline's per-scenario numbers from fresh measurements."""
+    baseline = load_baseline(path) if os.path.exists(path) else {
+        "enforce": False, "tolerance": 0.3, "metric": "events_per_s",
+        "scenarios": {},
+    }
+    metric = str(baseline.get("metric", "events_per_s"))
+    for payload in payloads:
+        baseline["scenarios"][payload["scenario"]] = round(float(payload[metric]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+
+
 def _record(payload: Dict[str, object]) -> None:
     """Append the measurement to the active campaign store's benchmark table."""
     from repro.campaign.executor import get_default_campaign
@@ -168,6 +237,12 @@ def main(argv=None) -> int:
     parser.add_argument("--json", default=None, help="write measurements to this JSON file")
     parser.add_argument("--db", default=None,
                         help="also record into this campaign store's benchmark table")
+    parser.add_argument("--baseline", default=None,
+                        help="compare against this regression-baseline JSON; "
+                             "fails when the baseline enforces and a scenario "
+                             "regresses beyond its tolerance band")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help=f"rewrite {BASELINE_PATH} from this run's numbers")
     args = parser.parse_args(argv)
 
     if args.scenario == "all":
@@ -196,6 +271,20 @@ def main(argv=None) -> int:
             json.dump(payloads, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {len(payloads)} measurement(s) to {args.json}")
+    if args.update_baseline:
+        update_baseline(payloads)
+        print(f"updated {BASELINE_PATH}")
+    if args.baseline:
+        baseline = load_baseline(args.baseline)
+        lines, violations = compare_to_baseline(payloads, baseline)
+        enforce = bool(baseline.get("enforce", False))
+        print(f"\nbaseline comparison ({args.baseline}, "
+              f"{'enforcing' if enforce else 'report-only'}):")
+        for line in lines + violations:
+            print(f"  {line}")
+        if violations and enforce:
+            print(f"{len(violations)} scenario(s) regressed beyond tolerance")
+            return 1
     return 0
 
 

@@ -88,6 +88,27 @@ def format_table(table: Table) -> str:
     return "\n".join(lines)
 
 
+def phase_time_table(phase_times: Dict[str, object],
+                     title: str = "Phase-attributed time") -> Table:
+    """Render a ``phase_times`` mapping (the metrics-registry harvest) as a Table.
+
+    ``phase_times`` is the shape produced by :func:`repro.obs.phase_times`
+    and stored in payload v6: per phase (checkpoint/restart/recovery) a
+    record count and per-stage total seconds.  This is the one source of
+    truth for the overhead tables — totals come from the registry's phase
+    histograms, not re-derived from ``ApplicationResult`` fields.
+    """
+    table = Table(title=title,
+                  columns=["phase", "stage", "total (s)", "records", "mean (s)"])
+    for phase in sorted(phase_times):
+        entry = phase_times[phase] or {}
+        count = entry.get("records", entry.get("reports", 0)) or 0
+        for stage, total in (entry.get("stages") or {}).items():
+            table.add_row(phase, stage, total, count,
+                          total / count if count else 0.0)
+    return table
+
+
 def series_table(title: str, series: Sequence[Series], x_label: str = "x") -> Table:
     """Merge several series (sharing x values) into one table for printing."""
     xs: List[Number] = []

@@ -86,6 +86,7 @@ def drain_store(
     worker: str = "worker",
     keys: Optional[Sequence[str]] = None,
     lease_s: float = DEFAULT_LEASE_S,
+    telemetry=None,
 ) -> int:
     """Claim-and-run experiments from ``store`` until none is pending.
 
@@ -96,26 +97,64 @@ def drain_store(
     whole worker down.  On a file-backed store each claim is kept alive by
     a heartbeat thread renewing its lease every ``lease_s / 3`` seconds, so
     long scenarios are never mistaken for crashed ones.
+
+    ``telemetry`` (a wall-clock ``repro.obs.Telemetry``) records one
+    ``campaign_task`` span per claim→run→store cycle on a per-worker track,
+    plus executed/failed counters — the campaign-level view of where worker
+    time goes.  With ``REPRO_TELEMETRY=1`` and ``REPRO_TELEMETRY_DIR`` set a
+    handle is created automatically and its Chrome trace written to that
+    directory when the drain finishes.
     """
+    auto_export: Optional[str] = None
+    if telemetry is None:
+        from repro.obs import TELEMETRY_DIR_ENV, Telemetry, tracing_enabled_from_env
+
+        out_dir = os.environ.get(TELEMETRY_DIR_ENV)
+        if tracing_enabled_from_env() and out_dir:
+            telemetry = Telemetry(clock=time.time)
+            auto_export = out_dir
     executed = 0
     while True:
         row = store.claim(worker, keys=keys, lease_s=lease_s)
         if row is None:
-            return executed
+            break
         executed += 1
         heartbeat = None
         if not store.is_memory and lease_s > 0:
             heartbeat = _LeaseHeartbeat(store.path, row.key, worker, lease_s)
         started = time.time()
+        span = None
+        if telemetry is not None and telemetry.tracing:
+            span = telemetry.tracer.begin(
+                "campaign_task", track=f"worker:{worker}", category="campaign",
+                key=row.key, workload=row.config.workload,
+                method=row.config.method, n_ranks=row.config.n_ranks)
         try:
             metrics = execute_scenario(row.config)
         except Exception:
             store.mark_failed(row.key, traceback.format_exc())
+            if telemetry is not None:
+                telemetry.metrics.counter("campaign.tasks.failed").inc()
+                if span is not None:
+                    telemetry.tracer.end(span, status="failed")
         else:
             store.mark_done(row.key, metrics, duration_s=time.time() - started)
+            if telemetry is not None:
+                telemetry.metrics.counter("campaign.tasks.executed").inc()
+                telemetry.metrics.histogram("campaign.task.duration_s").observe(
+                    time.time() - started)
+                if span is not None:
+                    telemetry.tracer.end(span, status="done")
         finally:
             if heartbeat is not None:
                 heartbeat.stop()
+    if auto_export is not None and telemetry.tracer.spans:
+        from repro.obs import write_chrome_trace
+
+        path = os.path.join(auto_export, f"campaign-trace-{worker}.json")
+        write_chrome_trace(path, telemetry.tracer, telemetry.metrics,
+                           process_name=f"campaign:{worker}")
+    return executed
 
 
 def campaign_worker(

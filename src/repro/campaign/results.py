@@ -21,8 +21,10 @@ from repro.experiments.config import ScenarioConfig
 #: failure-recovery metrics; v4 the recovery-orchestration metrics:
 #: availability, recovery rank-seconds, spare/concurrency counters; v5 the
 #: storage-hierarchy metrics: per-tier bytes written/read, partner copies,
-#: outages survived, spare refills, survived flag)
-PAYLOAD_VERSION = 5
+#: outages survived, spare refills, survived flag; v6 the telemetry metrics:
+#: phase-attributed time breakdowns from the metrics registry and the flat
+#: registry snapshot)
+PAYLOAD_VERSION = 6
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -93,6 +95,12 @@ def metrics_payload(result) -> Dict[str, object]:
         "outages_survived": result.outages_survived,
         "spare_refills": result.spare_refills,
         "skipped_in_recovery": result.skipped_in_recovery,
+        # telemetry metrics (v6): phase-attributed time breakdowns and the
+        # flat registry snapshot harvested at the end of the run
+        "phase_times": getattr(result, "phase_times", {}) or {},
+        "registry_metrics": (result.telemetry.metrics.as_flat_dict()
+                             if getattr(result, "telemetry", None) is not None
+                             else {}),
     }
 
 
@@ -277,13 +285,38 @@ class StoredResult:
         """Per-group checkpoint ticks skipped because the group was recovering."""
         return self.metrics.get("skipped_in_recovery", 0)
 
+    # -- telemetry metrics (v6) ---------------------------------------------------
+    @property
+    def phase_times(self) -> Dict[str, object]:
+        """Phase-attributed time breakdown harvested from the metrics registry."""
+        return dict(self.metrics.get("phase_times", {}))
+
+    @property
+    def registry_metrics(self) -> Dict[str, object]:
+        """Flat ``{name: value}`` snapshot of the run's metrics registry."""
+        return dict(self.metrics.get("registry_metrics", {}))
+
     @property
     def sim_version(self) -> Optional[str]:
         """Simulator fingerprint the payload was produced with."""
         return self.metrics.get("sim_version")
 
     def breakdown(self) -> CheckpointBreakdown:
-        """Average per-stage checkpoint breakdown (Figure 9)."""
+        """Average per-stage checkpoint breakdown (Figure 9).
+
+        v6 payloads are read from ``phase_times`` (the metrics-registry
+        harvest — one source of truth for phase-attributed time); older
+        payloads fall back to the legacy ``breakdown_stages`` mirror, which
+        carried the same per-stage means.
+        """
+        checkpoint = (self.metrics.get("phase_times") or {}).get("checkpoint") or {}
+        n = checkpoint.get("records", 0)
+        if n:
+            return CheckpointBreakdown(
+                stages={name: total / n
+                        for name, total in (checkpoint.get("stages") or {}).items()},
+                n_records=n,
+            )
         return CheckpointBreakdown(
             stages=dict(self.metrics.get("breakdown_stages", {})),
             n_records=self.metrics.get("breakdown_n_records", 0),

@@ -182,17 +182,21 @@ class CheckpointCoordinator:
         now = self.runtime.now
         issued_groups: List[Tuple[int, ...]] = []
         target_ranks: List[int] = []
+        max_stagger = 0.0
         ordered_groups = sorted(groups.items(), key=lambda item: item[0])
         for group_idx, (participants, members) in enumerate(ordered_groups):
             issued_groups.append(participants)
             spawn_offset = group_idx * self.group_spawn_delay_s
             for idx, rank in enumerate(sorted(members)):
+                stagger = spawn_offset + idx * self.propagation_delay_s
+                if stagger > max_stagger:
+                    max_stagger = stagger
                 request = CheckpointRequest(
                     ckpt_id=ckpt_id,
                     group_id=self.family.group_id_of(rank),
                     participants=participants,
                     issued_at=now,
-                    stagger_s=spawn_offset + idx * self.propagation_delay_s,
+                    stagger_s=stagger,
                 )
                 self.runtime.ctx(rank).deliver_request(request)
                 target_ranks.append(rank)
@@ -204,6 +208,13 @@ class CheckpointCoordinator:
             groups=tuple(issued_groups),
         )
         self.report.issued.append(entry)
+        if self.runtime.telemetry_tracing:
+            # the request fan-out window: issuance → last staggered delivery
+            self.runtime.telemetry.tracer.add(
+                "wave_request", start=now, end=now + max_stagger,
+                track="coordinator", category="ckpt",
+                ckpt_id=ckpt_id, groups=len(issued_groups),
+                ranks=len(target_ranks))
         return entry
 
     def wave_in_flight(self) -> bool:

@@ -488,6 +488,14 @@ class LiveRecovery:
         #: processes spawned by :meth:`run` (restart + replay coroutines);
         #: an abort interrupts them alongside the orchestration itself
         self._children: List["Event"] = []
+        #: telemetry capture (populated only when the runtime traces): the
+        #: in-progress report plus per-rank restart windows and stage marks,
+        #: so the span tree can be emitted from the *report* itself — the
+        #: exported trace matches the RecoveryReport by construction
+        self._report: Optional[RecoveryReport] = None
+        self._rank_windows: Dict[int, Tuple[float, float]] = {}
+        self._stage_marks: Dict[int, List[Tuple[str, float, float]]] = {}
+        self._trace_emitted = False
 
     # -- orchestration --------------------------------------------------------
     def abort(self) -> None:
@@ -515,8 +523,65 @@ class LiveRecovery:
             report = yield from self._run_body()
         except Interrupt:
             self.abort()
+            # a superseding failure cut this attempt short: close its trace
+            # as an aborted recovery span so the timeline shows the attempt
+            self._emit_trace(aborted=True)
             return None
+        self._emit_trace()
         return report
+
+    def _emit_trace(self, aborted: bool = False) -> None:
+        """Retro-emit this recovery's span tree from its report (once).
+
+        The root ``recovery`` span carries the report's measured window
+        (failure → resumption) and rollback ranks as attributes; children are
+        the detection delay, one ``rank_restart`` span per recovered rank
+        (with reboot/image_restore/rebuild/exchange/replay stage sub-spans
+        timed live), and the resume barrier.  Because everything is derived
+        from the :class:`RecoveryReport` and timestamps captured alongside
+        it, the exported tree cannot disagree with the report.
+        """
+        runtime = self.runtime
+        report = self._report
+        if not runtime.telemetry_tracing or report is None or self._trace_emitted:
+            return
+        self._trace_emitted = True
+        tracer = runtime.telemetry.tracer
+        now = runtime.sim.now
+        end = report.completed_at if report.completed_at is not None else now
+        root = tracer.add(
+            "recovery", start=report.failure_time, end=end,
+            track="recovery", category="recovery",
+            aborted=aborted or report.unsurvivable,
+            node=report.node, cause=report.cause,
+            victims=list(report.victims),
+            rollback_ranks=list(report.rollback_ranks),
+            target_ckpt_id=report.target_ckpt_id,
+            unsurvivable=report.unsurvivable,
+        )
+        if report.detected_at is not None:
+            tracer.add("detection", start=report.failure_time,
+                       end=report.detected_at, track="recovery",
+                       category="recovery", parent=root)
+        for rr in report.ranks:
+            window = self._rank_windows.get(rr.rank)
+            if window is None:
+                continue
+            rspan = tracer.add(
+                "rank_restart", start=window[0], end=window[1],
+                track="recovery", category="recovery", parent=root,
+                rank=rr.rank, restart_node=rr.restart_node,
+                migrated_from=rr.migrated_from, image_bytes=rr.image_bytes)
+            for name, t0, t1 in self._stage_marks.get(rr.rank, ()):
+                tracer.add(name, start=t0, end=t1, track="recovery",
+                           category="recovery.stage", parent=rspan)
+        if report.ranks and report.completed_at is not None:
+            windows = [self._rank_windows[rr.rank] for rr in report.ranks
+                       if rr.rank in self._rank_windows]
+            if windows:
+                tracer.add("barrier", start=max(w[1] for w in windows),
+                           end=report.completed_at, track="recovery",
+                           category="recovery", parent=root)
 
     def _run_body(self) -> Generator[Event, None, RecoveryReport]:
         runtime = self.runtime
@@ -533,6 +598,8 @@ class LiveRecovery:
             superseded_attempts=self.superseded_attempts,
             cause=self.cause,
         )
+        self._report = report
+        tracing = runtime.telemetry_tracing
 
         # mpirun notices the dead node only after the detection delay; the
         # victim's processes stopped at t_fail, everyone else keeps running.
@@ -757,10 +824,14 @@ class LiveRecovery:
             channel_done(src, dst, nbytes, count)
 
         def rank_restart(rank: int):
+            # stage marks feed the recovery span tree; None when not tracing
+            marks = self._stage_marks.setdefault(rank, []) if tracing else None
+            entered_at = sim.now
             try:
                 ctx = runtime.ctx(rank)
                 snap = target_by_rank[rank]
                 new_node = self.placements.get(rank)
+                t0 = sim.now
                 if new_node is not None and new_node != ctx.node_id:
                     # 0. relaunch on a spare node: every later step (image
                     # fetch, replay, application traffic) uses the spare's NIC
@@ -771,8 +842,11 @@ class LiveRecovery:
                     if self.reboot_delay_s > 0:
                         yield sim.timeout(self.reboot_delay_s)
                     runtime.cluster.nodes[ctx.node_id].mark_rebooted()
+                    if marks is not None:
+                        marks.append(("reboot", t0, sim.now))
                 # 1. re-create the process and restore its image
                 image_bytes = snap.image_bytes if snap is not None else 0
+                t0 = sim.now
                 if image_bytes > 0:
                     if hierarchy.legacy:
                         old = migrated_from.get(rank)
@@ -806,18 +880,30 @@ class LiveRecovery:
                         yield from hierarchy.perform_restore(
                             plan, ctx.node_id, image_bytes)
                     yield sim.timeout(self.blcr.restore_exec_s)
+                if marks is not None:
+                    marks.append(("image_restore", t0, sim.now))
                 # 2. rebuild MPI internal structures
+                t0 = sim.now
                 yield sim.timeout(self.config.restart_rebuild_s)
+                if marks is not None:
+                    marks.append(("rebuild", t0, sim.now))
                 # 3. R/S exchange with peers outside the rollback set
+                t0 = sim.now
                 out_peers = {p for p in ctx.account.peers() if p not in rollback_set}
                 if out_peers:
                     yield sim.timeout(len(out_peers) * rtt)
+                if marks is not None:
+                    marks.append(("exchange", t0, sim.now))
                 # 4. replay this rank's own logged messages (flushed log read back)
+                t0 = sim.now
                 for dst, entries in out_by_src.get(rank, []):
                     nbytes, count = yield from runtime.replay_channel(rank, dst, entries, True)
                     channel_done(rank, dst, nbytes, count)
                 # ... and wait for everything owed to this rank
                 yield incoming_done[rank]
+                if marks is not None:
+                    marks.append(("replay", t0, sim.now))
+                    self._rank_windows[rank] = (entered_at, sim.now)
             except Interrupt:
                 return  # recovery superseded; the new attempt re-rolls us
 

@@ -370,6 +370,9 @@ def figure9(profile: ExperimentProfile = FULL) -> Dict[str, object]:
     )
     for n in scales:
         for method in HPL_METHODS:
+            # stage means come from the metrics registry (payload v6
+            # "phase_times" harvested by the telemetry layer) — see
+            # StoredResult.breakdown / ScenarioResult.breakdown
             breakdown = sweep[(method, n)].breakdown()
             row = [n, method] + breakdown.as_row() + [breakdown.total]
             table.add_row(*row)

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import (
+    CheckpointBreakdown,
     mean_checkpoint_duration,
     progress_gap_fraction,
     stage_breakdown,
@@ -49,6 +50,8 @@ from repro.experiments.config import ScenarioConfig
 from repro.mpi.runtime import ApplicationResult, MpiRuntime
 from repro.mpi.trace import TraceLog
 from repro.mpi.tracer import Tracer
+from repro.obs import Telemetry, harvest_scenario, tracing_enabled_from_env
+from repro.obs import phase_times as registry_phase_times
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workloads.base import Workload
@@ -178,6 +181,10 @@ class ScenarioResult:
     restart: Optional[RestartResult] = None
     groupset: Optional[GroupSet] = None
     coordinator_report: Optional[object] = None
+    #: telemetry handle harvested for this run (``run_scenario`` always
+    #: provides one — registry-only unless tracing was requested); results
+    #: constructed by hand may leave it None, falling back to re-derivation
+    telemetry: Optional[Telemetry] = None
 
     # -- derived metrics -----------------------------------------------------------
     @property
@@ -187,12 +194,23 @@ class ScenarioResult:
 
     @property
     def aggregate_checkpoint_time(self) -> float:
-        """Sum of per-process checkpoint durations."""
+        """Sum of per-process checkpoint durations.
+
+        Read from the metrics registry (``phase.checkpoint.duration``) when
+        telemetry was harvested; the histogram observed the same records in
+        the same order, so the value is bit-identical to the re-derivation.
+        """
+        if self.telemetry is not None:
+            hist = self.telemetry.metrics.get("phase.checkpoint.duration")
+            return hist.total if hist is not None else 0.0
         return self.app.aggregate_checkpoint_time()
 
     @property
     def aggregate_coordination_time(self) -> float:
         """Sum of per-process coordination time (checkpoint minus image dump)."""
+        if self.telemetry is not None:
+            hist = self.telemetry.metrics.get("phase.checkpoint.coordination_time")
+            return hist.total if hist is not None else 0.0
         return self.app.aggregate_coordination_time()
 
     @property
@@ -377,16 +395,57 @@ class ScenarioResult:
             return 0
         return getattr(self.coordinator_report, "skipped_in_recovery", 0)
 
+    @property
+    def phase_times(self):
+        """Phase-attributed time breakdown from the metrics registry.
+
+        ``{"checkpoint"|"restart"|"recovery": {"records"/"reports": n,
+        "stages": {stage: total_seconds}}}`` — the payload v6 field and the
+        single source the overhead tables read.  Empty when no telemetry was
+        harvested (hand-built results).
+        """
+        if self.telemetry is None:
+            return {}
+        return registry_phase_times(self.telemetry)
+
     def breakdown(self):
-        """Average per-stage checkpoint breakdown (Figure 9)."""
+        """Average per-stage checkpoint breakdown (Figure 9).
+
+        Sourced from the registry's ``phase.checkpoint.stage.*`` histograms
+        when telemetry was harvested (stage totals accumulated over the same
+        records in the same order as ``stage_breakdown``, so the means are
+        bit-identical); falls back to re-deriving from the records otherwise.
+        """
+        if self.telemetry is not None:
+            m = self.telemetry.metrics
+            counter = m.get("ckpt.records")
+            n = int(counter.value) if counter is not None else 0
+            out = CheckpointBreakdown(n_records=n)
+            if n:
+                prefix = "phase.checkpoint.stage."
+                out.stages = {
+                    inst.name[len(prefix):]: inst.total / n
+                    for inst in m
+                    if inst.name.startswith(prefix) and not inst.tags
+                }
+            return out
         return stage_breakdown(self.app.checkpoint_records)
 
 
 def run_scenario(
     config: ScenarioConfig,
     protocol_config: Optional[ProtocolConfig] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ScenarioResult:
-    """Execute one scenario (trace → formation → run → restart) and return its result."""
+    """Execute one scenario (trace → formation → run → restart) and return its result.
+
+    A metrics registry is always harvested at the end of the run (it feeds
+    the payload's ``phase_times`` and the overhead tables) — that costs
+    nothing during simulation.  Span *tracing* is off unless a ``telemetry``
+    handle is passed in or ``REPRO_TELEMETRY=1`` is exported; either way the
+    tracer only observes ``sim.now`` passively, so simulated metrics are
+    bit-identical with tracing on or off.
+    """
     workload = build_workload(config.workload, config.n_ranks, config.workload_options)
     cluster_spec = config.cluster.with_nodes(max(config.cluster.n_nodes, config.n_ranks))
     family = build_family(
@@ -404,6 +463,9 @@ def run_scenario(
     runtime = MpiRuntime(
         sim, cluster, config.n_ranks, protocol_family=family, rng=RandomStreams(config.seed)
     )
+    if telemetry is None:
+        telemetry = Telemetry(trace=tracing_enabled_from_env())
+    runtime.attach_telemetry(telemetry)
     runtime.set_memory(workload.memory_map())
     coordinator: Optional[CheckpointCoordinator] = None
     if config.schedule is not None:
@@ -444,10 +506,13 @@ def run_scenario(
         restart = simulate_restart(app, cluster_spec, config=protocol_config)
 
     groupset = getattr(family, "groups", None)
-    return ScenarioResult(config=config, app=app, restart=restart,
-                          groupset=groupset,
-                          coordinator_report=(coordinator.report
-                                              if coordinator is not None else None))
+    result = ScenarioResult(config=config, app=app, restart=restart,
+                            groupset=groupset,
+                            coordinator_report=(coordinator.report
+                                                if coordinator is not None else None),
+                            telemetry=telemetry)
+    harvest_scenario(result, telemetry)
+    return result
 
 
 def average_over_seeds(

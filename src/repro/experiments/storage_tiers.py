@@ -247,9 +247,18 @@ def storage_tier_experiment(
         title=(f"Steady-state storage-tier overhead ({workload}, {n_ranks} ranks, "
                f"{len(tuple(checkpoint_times))} equal-count checkpoints, failure-free)"),
         columns=["method", "policy", "makespan (s)", "overhead vs L1",
-                 "L1 MB", "L2 MB", "L3 MB", "partner copies", "stalls"],
+                 "ckpt phase (s)", "L1 MB", "L2 MB", "L3 MB",
+                 "partner copies", "stalls"],
     )
     mb = 1024.0 * 1024.0
+
+    def _ckpt_phase_seconds(result) -> float:
+        # phase-attributed checkpoint time from the metrics registry
+        # (payload v6 "phase_times") — the telemetry layer's one source of
+        # truth, not re-derived from ApplicationResult fields
+        checkpoint = (result.phase_times or {}).get("checkpoint") or {}
+        return sum((checkpoint.get("stages") or {}).values())
+
     for method in methods:
         baseline = None
         for policy in policies:
@@ -265,6 +274,7 @@ def storage_tier_experiment(
             overhead.add_row(
                 method, policy, round(makespan, 3),
                 f"{makespan / baseline - 1.0:+.2%}",
+                round(sum(_ckpt_phase_seconds(r) for r in cell) / len(cell), 3),
                 round(written["L1"] / mb, 1), round(written["L2"] / mb, 1),
                 round(written["L3"] / mb, 1),
                 sum(r.partner_copies for r in cell),

@@ -399,6 +399,11 @@ class MpiRuntime:
         self.dropped_messages = 0
         #: reason string once the run has been declared unsurvivable
         self.aborted: Optional[str] = None
+        #: telemetry handle (``repro.obs.Telemetry``) once attached; the
+        #: ``telemetry_tracing`` boolean gates span emission the same way
+        #: ``failures_enabled`` gates rollback bookkeeping
+        self.telemetry: Optional[Any] = None
+        self.telemetry_tracing = False
 
     def attach_checkpoint_source(self) -> None:
         """Declare that checkpoint requests may be delivered to the ranks.
@@ -423,6 +428,23 @@ class MpiRuntime:
         golden parity metrics.
         """
         self.failures_enabled = True
+
+    def attach_telemetry(self, telemetry: Any) -> None:
+        """Attach a :class:`repro.obs.Telemetry` handle to this run.
+
+        Follows the ``attach_failure_source`` pattern: telemetry is off by
+        default, the simulator hot loops never consult it, and only the
+        non-hot sites (per-checkpoint spans, kill/rollback abort sweeps)
+        check ``telemetry_tracing`` — a disabled run pays nothing.  The
+        handle is mirrored onto ``sim.telemetry`` so subsystems holding only
+        the simulator (the storage hierarchy) share the same tracer, and all
+        span timestamps come from ``sim.now`` without scheduling anything, so
+        traced runs stay bit-identical to untraced ones.
+        """
+        self.telemetry = telemetry
+        self.telemetry_tracing = telemetry is not None and telemetry.tracing
+        if telemetry is not None:
+            telemetry.bind_simulator(self.sim)
 
     # ------------------------------------------------------------------ basics
     @property
@@ -792,6 +814,15 @@ class MpiRuntime:
                 continue
             ctx.in_checkpoint = True
             start = self.sim.now
+            span = None
+            if self.telemetry_tracing:
+                # Live span: opened here, closed on completion below.  If the
+                # rank is killed or rolled back mid-checkpoint the interrupt
+                # propagates out of this generator and kill_rank/rollback_rank
+                # sweep the open span closed with ``aborted=True``.
+                span = self.telemetry.tracer.begin(
+                    "checkpoint", track=f"rank{ctx.rank}", category="ckpt",
+                    ckpt_id=request.ckpt_id, group_id=request.group_id)
             try:
                 record = yield from ctx.protocol.checkpoint(request)
             finally:
@@ -799,6 +830,18 @@ class MpiRuntime:
             ctx.stats.checkpoint_time += self.sim.now - start
             if record is not None:
                 ctx.stats.checkpoints.append(record)
+            if span is not None:
+                tracer = self.telemetry.tracer
+                tracer.end(span)
+                if record is not None:
+                    # retro stage children: the measured stages are contiguous
+                    # from the record's start, in protocol order
+                    cursor = record.start
+                    for name, value in record.stages.items():
+                        tracer.add(name, start=cursor, end=cursor + value,
+                                   track=span.track, category="ckpt.stage",
+                                   parent=span)
+                        cursor += value
 
     # ----------------------------------------------------- live failure injection
     def capture_resume(self, ctx: RankContext) -> Optional[ResumePoint]:
@@ -856,6 +899,8 @@ class MpiRuntime:
         proc = self._rank_processes[rank]
         if proc.is_alive:
             proc.interrupt(cause)
+        if self.telemetry_tracing:
+            self.telemetry.tracer.abort_open(f"rank{rank}", abort_cause=str(cause))
 
     def rollback_rank(self, rank: int, snapshot: Optional[Any]) -> int:
         """Roll ``rank`` back to ``snapshot`` (None = process start).
@@ -870,6 +915,8 @@ class MpiRuntime:
         proc = self._rank_processes[rank]
         if proc.is_alive:
             proc.interrupt("group-rollback")
+        if self.telemetry_tracing:
+            self.telemetry.tracer.abort_open(f"rank{rank}", abort_cause="group-rollback")
         if ctx.halted_at is None:
             ctx.halted_at = self.sim.now
         ctx.reset_for_rollback()
@@ -922,6 +969,10 @@ class MpiRuntime:
         if self.aborted is not None:
             return
         self.aborted = reason
+        if self.telemetry_tracing:
+            tracer = self.telemetry.tracer
+            for rank in range(self.n_ranks):
+                tracer.abort_open(f"rank{rank}", abort_cause="job-aborted")
         current = self.sim.active_process
         for proc in self._rank_processes:
             if proc.is_alive and proc is not current:

@@ -55,9 +55,20 @@ class TraceLog:
 
     HEADER = "# repro-mpi-trace v1: src dst nbytes timestamp tag"
 
-    def __init__(self, records: Optional[Iterable[TraceRecord]] = None, n_ranks: int = 0) -> None:
+    def __init__(
+        self,
+        records: Optional[Iterable[TraceRecord]] = None,
+        n_ranks: int = 0,
+        truncated: bool = False,
+        dropped_records: int = 0,
+    ) -> None:
         self.records: List[TraceRecord] = list(records) if records is not None else []
         self._n_ranks = n_ranks
+        #: True when the producing tracer hit its ``max_records`` cap — the
+        #: trace is a prefix of the communication, not the whole run.
+        self.truncated = truncated
+        #: Number of send records that were observed but not stored.
+        self.dropped_records = dropped_records
 
     # -- container protocol -------------------------------------------------
     def append(self, record: TraceRecord) -> None:
@@ -148,6 +159,8 @@ class TraceLog:
         buf = io.StringIO()
         buf.write(self.HEADER + "\n")
         buf.write(f"# n_ranks {self.n_ranks}\n")
+        if self.truncated:
+            buf.write(f"# truncated {self.dropped_records}\n")
         for r in self.records:
             buf.write(f"{r.src} {r.dst} {r.nbytes} {r.timestamp!r} {r.tag}\n")
         return buf.getvalue()
@@ -161,6 +174,8 @@ class TraceLog:
         """Parse a trace produced by :meth:`dumps`."""
         records: List[TraceRecord] = []
         n_ranks = 0
+        truncated = False
+        dropped = 0
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
@@ -169,6 +184,9 @@ class TraceLog:
                 parts = line[1:].split()
                 if len(parts) >= 2 and parts[0] == "n_ranks":
                     n_ranks = int(parts[1])
+                elif parts and parts[0] == "truncated":
+                    truncated = True
+                    dropped = int(parts[1]) if len(parts) >= 2 else 0
                 continue
             fields = line.split()
             if len(fields) != 5:
@@ -176,7 +194,7 @@ class TraceLog:
             src, dst, nbytes = int(fields[0]), int(fields[1]), int(fields[2])
             ts, tag = float(fields[3]), int(fields[4])
             records.append(TraceRecord(src=src, dst=dst, nbytes=nbytes, timestamp=ts, tag=tag))
-        return cls(records, n_ranks=n_ranks)
+        return cls(records, n_ranks=n_ranks, truncated=truncated, dropped_records=dropped)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceLog":
@@ -184,4 +202,5 @@ class TraceLog:
         return cls.loads(Path(path).read_text(encoding="utf-8"))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<TraceLog {len(self.records)} records, {self.total_bytes} bytes>"
+        extra = f", truncated ({self.dropped_records} dropped)" if self.truncated else ""
+        return f"<TraceLog {len(self.records)} records, {self.total_bytes} bytes{extra}>"

@@ -25,9 +25,12 @@ class Tracer:
         Simulated time charged to the sender for writing one trace record
         (an in-memory append in the real tracer — effectively negligible).
     max_records:
-        Optional safety cap; tracing stops (silently) after this many records
-        so that very long runs can still be traced cheaply.  The group
-        formation only needs a representative window of the execution.
+        Optional safety cap; tracing stops after this many records so that
+        very long runs can still be traced cheaply.  The group formation
+        only needs a representative window of the execution.  When the cap
+        is hit the resulting :class:`TraceLog` is marked ``truncated`` and
+        carries the number of ``dropped_records``, so downstream consumers
+        can tell a complete trace from a prefix.
     """
 
     def __init__(
@@ -51,6 +54,8 @@ class Tracer:
             return 0.0
         if self.max_records is not None and len(self.log) >= self.max_records:
             self.dropped_records += 1
+            self.log.truncated = True
+            self.log.dropped_records = self.dropped_records
             return 0.0
         self.log.append(
             TraceRecord(

@@ -1,0 +1,71 @@
+"""Unified telemetry: simulated-time spans, metrics registry, exporters.
+
+Public API
+----------
+* :class:`Telemetry` — the handle to attach to a run; bundles a
+  :class:`SpanTracer` and a :class:`MetricsRegistry` behind one clock.
+* :class:`SpanTracer` / :class:`Span` — nested, attributed time intervals
+  (simulated or wall clock); ``abort_open`` closes interrupted spans with
+  ``aborted=True``.
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — named, tagged instruments superseding the ad-hoc
+  per-subsystem counters.
+* Exporters — :func:`chrome_trace` / :func:`write_chrome_trace` (open in
+  chrome://tracing or Perfetto), :func:`spans_to_jsonl`,
+  :func:`flat_metrics`.
+* Harvest — :func:`harvest_scenario` / :func:`phase_times` turn a finished
+  run's legacy accounting into registry series and payload phase times.
+
+Telemetry is off by default and costs nothing on the simulator hot loops;
+set ``REPRO_TELEMETRY=1`` (or pass ``telemetry=`` to ``run_scenario``) to
+record spans.  See the README "Observability" section.
+"""
+
+from .export import chrome_trace, flat_metrics, spans_to_jsonl, write_chrome_trace
+from .harvest import (
+    harvest_app,
+    harvest_coordinator,
+    harvest_restart,
+    harvest_scenario,
+    phase_times,
+)
+from .metrics import (
+    NULL_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .spans import NullTracer, Span, SpanTracer
+from .telemetry import (
+    TELEMETRY_DIR_ENV,
+    TELEMETRY_ENV,
+    Telemetry,
+    tracing_enabled_from_env,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_INSTRUMENT",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "Telemetry",
+    "TELEMETRY_ENV",
+    "TELEMETRY_DIR_ENV",
+    "tracing_enabled_from_env",
+    "chrome_trace",
+    "write_chrome_trace",
+    "spans_to_jsonl",
+    "flat_metrics",
+    "harvest_app",
+    "harvest_coordinator",
+    "harvest_restart",
+    "harvest_scenario",
+    "phase_times",
+]

@@ -1,0 +1,121 @@
+"""Exporters: Chrome ``trace_event`` JSON, JSONL streams, flat metrics.
+
+``chrome_trace`` produces the Trace Event Format understood by
+``chrome://tracing`` and https://ui.perfetto.dev — load the written file
+directly.  Each span track becomes a thread (tid) under one process, spans
+become complete (``"X"``) events with microsecond timestamps, and span
+attributes (plus the ``aborted`` flag) land in ``args`` so they show up in
+the event-details pane.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .spans import Span, SpanTracer
+
+
+def _sorted_spans(tracer: SpanTracer) -> List[Span]:
+    return sorted(tracer.spans, key=lambda s: (s.start, s.span_id))
+
+
+def _track_order(spans: List[Span]) -> List[str]:
+    seen: Dict[str, None] = {}
+    for span in spans:
+        if span.track not in seen:
+            seen[span.track] = None
+    return sorted(seen)
+
+
+def chrome_trace(
+    tracer: SpanTracer,
+    metrics: Optional[MetricsRegistry] = None,
+    process_name: str = "repro",
+) -> Dict[str, Any]:
+    """Render a tracer (and optionally a registry) to a trace-event dict.
+
+    Timestamps are simulated seconds scaled to microseconds, which is what
+    the Trace Event Format expects; Perfetto then renders simulated seconds
+    as wall microseconds, preserving relative phase widths.  Flat metrics,
+    when given, ride along under ``otherData`` (Perfetto shows them in the
+    trace-info view and scripts can read them back).
+    """
+    spans = _sorted_spans(tracer)
+    tids = {track: tid for tid, track in enumerate(_track_order(spans))}
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, tid in sorted(tids.items(), key=lambda item: item[1]):
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid, "args": {"name": track}}
+        )
+    for span in spans:
+        args: Dict[str, Any] = dict(span.attrs)
+        if span.aborted:
+            args["aborted"] = True
+        if span.parent_id is not None:
+            args["parent"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category or "span",
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": tids[span.track],
+                "id": span.span_id,
+                "args": args,
+            }
+        )
+    trace: Dict[str, Any] = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if metrics is not None:
+        trace["otherData"] = {"metrics": metrics.as_flat_dict()}
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    tracer: SpanTracer,
+    metrics: Optional[MetricsRegistry] = None,
+    process_name: str = "repro",
+) -> None:
+    """Write ``chrome_trace`` JSON to ``path`` (open it in Perfetto)."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(tracer, metrics, process_name=process_name), fh, indent=1)
+
+
+def spans_to_jsonl(tracer: SpanTracer) -> str:
+    """One JSON object per line per span, in (start, id) order."""
+    lines = []
+    for span in _sorted_spans(tracer):
+        lines.append(
+            json.dumps(
+                {
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "cat": span.category,
+                    "track": span.track,
+                    "start": span.start,
+                    "end": span.end,
+                    "aborted": span.aborted,
+                    "attrs": span.attrs,
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def flat_metrics(metrics: MetricsRegistry) -> Dict[str, Any]:
+    """Alias for ``registry.as_flat_dict()`` kept at the export surface."""
+    return metrics.as_flat_dict()

@@ -1,0 +1,225 @@
+"""Named, tagged instruments: counters, gauges, histograms.
+
+The registry supersedes the ad-hoc per-subsystem counters (``SimStats``,
+runtime ``stats.skipped_*``, storage ``replication_stalls``, recovery-manager
+tallies) behind one naming scheme::
+
+    <subsystem>.<noun>[.<verb>]        e.g.  sim.events.processed
+                                             ckpt.waves.skipped
+                                             storage.replication.stalls
+                                             recovery.failures.handled
+    phase.<phase>.<stage>              e.g.  phase.checkpoint.coordination
+
+Instruments are keyed by ``(name, tags)`` where tags are sorted key/value
+pairs, so ``registry.counter("storage.bytes.written", tier="L2")`` and the
+``tier="L1"`` variant are distinct series.  ``as_flat_dict()`` renders
+everything to a plain ``{name[{tags}]: value}`` mapping for the campaign
+payload and exporters.
+
+All instruments are pure in-memory accumulators — observing a value never
+allocates simulation events, so a telemetry-on run stays bit-identical to a
+telemetry-off run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple, Union
+
+Tags = Tuple[Tuple[str, Any], ...]
+Number = Union[int, float]
+
+
+def _tag_key(tags: Dict[str, Any]) -> Tags:
+    return tuple(sorted(tags.items()))
+
+
+def _render_name(name: str, tags: Tags) -> str:
+    if not tags:
+        return name
+    inner = ",".join("%s=%s" % (k, v) for k, v in tags)
+    return "%s{%s}" % (name, inner)
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: Tags = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depth, concurrency high-water mark)."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: Tags = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def max(self, value: Number) -> None:
+        if value > self.value:
+            self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed values (durations, sizes).
+
+    Accumulates ``count``/``total``/``min``/``max``; ``observe`` adds values
+    one at a time in call order, so ``total`` reproduces the same
+    left-to-right float summation as the legacy aggregation code it replaces
+    (bit-identical phase totals).
+    """
+
+    __slots__ = ("name", "tags", "count", "total", "min", "max")
+
+    def __init__(self, name: str, tags: Tags = ()) -> None:
+        self.name = name
+        self.tags = tags
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for all instruments in a run."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, Tags], Any] = {}
+
+    def _get(self, cls, name: str, tags: Dict[str, Any]):
+        key = (name, _tag_key(tags))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, key[1])
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                "instrument %r already registered as %s" % (name, type(inst).__name__)
+            )
+        return inst
+
+    def counter(self, name: str, **tags: Any) -> Counter:
+        return self._get(Counter, name, tags)
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        return self._get(Gauge, name, tags)
+
+    def histogram(self, name: str, **tags: Any) -> Histogram:
+        return self._get(Histogram, name, tags)
+
+    def merge_counts(self, mapping: Dict[str, Number], prefix: str = "", **tags: Any) -> None:
+        """Absorb a legacy ``{name: count}`` stats dict as counters."""
+        for key, value in mapping.items():
+            self.counter(prefix + key, **tags).inc(value)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._instruments.values())
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def get(self, name: str, **tags: Any) -> Optional[Any]:
+        """Look up an instrument without creating it."""
+        return self._instruments.get((name, _tag_key(tags)))
+
+    def as_flat_dict(self) -> Dict[str, Number]:
+        """Render every instrument to ``{rendered-name: value}``.
+
+        Histograms expand to ``.total``/``.count``/``.min``/``.max``
+        sub-keys.  Keys are sorted for stable output.
+        """
+        flat: Dict[str, Number] = {}
+        for inst in self._instruments.values():
+            base = _render_name(inst.name, inst.tags)
+            if isinstance(inst, Histogram):
+                flat[base + ".total"] = inst.total
+                flat[base + ".count"] = inst.count
+                if inst.count:
+                    flat[base + ".min"] = inst.min
+                    flat[base + ".max"] = inst.max
+            else:
+                flat[base] = inst.value
+        return dict(sorted(flat.items()))
+
+
+class _NullInstrument:
+    """Inert counter/gauge/histogram accepted by every observe path."""
+
+    __slots__ = ()
+    name = ""
+    tags: Tags = ()
+    value = 0
+    count = 0
+    total = 0.0
+    min = None
+    max = None
+    mean = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+    def set(self, value: Number) -> None:
+        pass
+
+    def max_(self, value: Number) -> None:  # pragma: no cover - alias safety
+        pass
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """No-op drop-in for :class:`MetricsRegistry` when telemetry is off."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, **tags: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, **tags: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, **tags: Any) -> _NullInstrument:
+        return NULL_INSTRUMENT
+
+    def merge_counts(self, mapping: Dict[str, Number], prefix: str = "", **tags: Any) -> None:
+        pass
+
+    def get(self, name: str, **tags: Any) -> None:
+        return None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def as_flat_dict(self) -> Dict[str, Number]:
+        return {}

@@ -1,0 +1,244 @@
+"""Simulated-time span tracing.
+
+A :class:`Span` is a named, attributed time interval on a *track* (one
+timeline lane — typically a rank, ``"recovery"``, or ``"storage"``).  Spans
+nest: beginning a span while another is open on the same track makes the new
+span a child of the open one, and attributes set on ``begin``/``end`` ride
+along to the exporters.
+
+The tracer is **passive**: it only reads the clock callable it was given
+(``sim.now`` in simulation, ``time.time`` in the campaign executor) and never
+schedules events, yields, or otherwise touches the simulation calendar.  That
+is what makes telemetry-on runs bit-identical to telemetry-off runs — spans
+observe timestamps the simulation was going to produce anyway.
+
+Two recording styles are supported:
+
+* **live** — ``begin()`` / ``end()`` (or the ``span()`` context manager)
+  around code as it executes; interrupted work is swept up by
+  ``abort_open()``, which closes every open span on a track with
+  ``aborted=True`` (the rank-kill / rollback path), and
+* **retroactive** — ``add(name, start, end)`` for intervals whose boundaries
+  are only known after the fact (checkpoint stage breakdowns, recovery
+  reports, completed L2 partner copies).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One named time interval on a track.
+
+    ``end`` is ``None`` while the span is open.  ``aborted`` marks spans that
+    were closed by ``abort_open()`` (the enclosed work was interrupted — a
+    rank kill, a group rollback, a lost L2 copy) rather than completing.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "category",
+        "track",
+        "start",
+        "end",
+        "attrs",
+        "aborted",
+    )
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        track: str,
+        start: float,
+        category: str = "",
+        parent_id: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.track = track
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = attrs or {}
+        self.aborted = False
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else ("aborted" if self.aborted else "closed")
+        return "Span(%r, track=%r, start=%.6f, %s)" % (self.name, self.track, self.start, state)
+
+
+class SpanTracer:
+    """Records nested spans against a caller-supplied clock.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current time.  In simulation
+        this is ``lambda: sim.now``; the campaign executor passes
+        ``time.time`` for wall-clock task spans.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self.spans: List[Span] = []
+        self._open: Dict[str, List[Span]] = {}
+        self._next_id = 1
+
+    # -- live recording ---------------------------------------------------
+
+    def begin(
+        self,
+        name: str,
+        track: str = "main",
+        category: str = "",
+        start: Optional[float] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span on ``track``; nests under the track's open span."""
+        stack = self._open.setdefault(track, [])
+        parent = stack[-1].span_id if stack else None
+        span = Span(
+            self._next_id,
+            name,
+            track,
+            self.clock() if start is None else start,
+            category=category,
+            parent_id=parent,
+            attrs=attrs or None,
+        )
+        self._next_id += 1
+        stack.append(span)
+        return span
+
+    def end(self, span: Span, end: Optional[float] = None, **attrs: Any) -> Span:
+        """Close ``span`` (idempotent) and pop it from its track's stack."""
+        if span.end is None:
+            span.end = self.clock() if end is None else end
+            if attrs:
+                span.attrs.update(attrs)
+            stack = self._open.get(span.track)
+            if stack and span in stack:
+                stack.remove(span)
+            self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        track: str = "main",
+        category: str = "",
+        **attrs: Any,
+    ) -> Iterator[Span]:
+        """Context manager: ``with tracer.span("claim", track="worker"):``."""
+        record = self.begin(name, track=track, category=category, **attrs)
+        try:
+            yield record
+        finally:
+            self.end(record)
+
+    def abort_open(self, track: str, at: Optional[float] = None, **attrs: Any) -> List[Span]:
+        """Close every open span on ``track`` with ``aborted=True``.
+
+        Called when the work a track was executing is interrupted from the
+        outside — a rank kill or a group rollback — so the trace shows the
+        cut-short interval instead of a dangling open span.  Spans close
+        innermost-first at ``at`` (default: now).
+        """
+        stack = self._open.get(track)
+        closed: List[Span] = []
+        when = self.clock() if at is None else at
+        while stack:
+            span = stack[-1]
+            span.aborted = True
+            self.end(span, end=when, **attrs)
+            closed.append(span)
+        return closed
+
+    def open_count(self, track: Optional[str] = None) -> int:
+        """Number of still-open spans (on one track, or overall)."""
+        if track is not None:
+            return len(self._open.get(track, ()))
+        return sum(len(stack) for stack in self._open.values())
+
+    # -- retroactive recording --------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        track: str = "main",
+        category: str = "",
+        parent: Optional[Span] = None,
+        aborted: bool = False,
+        **attrs: Any,
+    ) -> Span:
+        """Record an interval whose boundaries are already known.
+
+        Retroactive spans never touch the open-span stacks, so overlapping
+        intervals (concurrent L2 partner copies, per-rank recovery legs) can
+        share a track without corrupting live nesting.
+        """
+        span = Span(
+            self._next_id,
+            name,
+            track,
+            start,
+            category=category,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs or None,
+        )
+        self._next_id += 1
+        span.end = end
+        span.aborted = aborted
+        self.spans.append(span)
+        return span
+
+
+class NullTracer:
+    """No-op drop-in for :class:`SpanTracer` when tracing is disabled.
+
+    Mirrors the ``attach_failure_source`` gating idiom: call sites that hold
+    a telemetry handle can call instruments unconditionally; a null tracer
+    turns every call into an attribute lookup and an immediate return.
+    """
+
+    __slots__ = ()
+
+    spans: List[Span] = []
+
+    def begin(self, name, track="main", category="", start=None, **attrs):
+        return _NULL_SPAN
+
+    def end(self, span, end=None, **attrs):
+        return _NULL_SPAN
+
+    @contextmanager
+    def span(self, name, track="main", category="", **attrs):
+        yield _NULL_SPAN
+
+    def abort_open(self, track, at=None, **attrs):
+        return []
+
+    def open_count(self, track=None):
+        return 0
+
+    def add(self, name, start, end, track="main", category="", parent=None, aborted=False, **attrs):
+        return _NULL_SPAN
+
+
+#: shared inert span handed out by :class:`NullTracer`
+_NULL_SPAN = Span(0, "", "", 0.0)
+_NULL_SPAN.end = 0.0

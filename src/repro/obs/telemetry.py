@@ -1,0 +1,81 @@
+"""The telemetry facade: one handle bundling a tracer and a registry.
+
+Enablement follows the ``attach_failure_source`` pattern used throughout the
+runtime: telemetry is **off by default**, hot loops never consult it, and the
+only way to turn it on is to construct a :class:`Telemetry` and attach it
+(``MpiRuntime.attach_telemetry`` / ``Telemetry.for_simulator``), or to export
+``REPRO_TELEMETRY=1`` so ``run_scenario`` builds one for you.
+
+Two flavours:
+
+* ``Telemetry.for_simulator(sim)`` — spans timestamped with ``sim.now``
+  (simulated seconds).  Attached to ``sim.telemetry`` so subsystems that
+  only hold a simulator handle (the storage hierarchy) can find it.
+* ``Telemetry(clock=time.time)`` — wall-clock spans, used by the campaign
+  executor for task claim→run intervals.
+
+A metrics registry is always present (it is a passive accumulator and is
+also the campaign payload's phase-time source of truth); the span tracer can
+be disabled independently with ``trace=False`` for registry-only runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+from .metrics import MetricsRegistry
+from .spans import NullTracer, SpanTracer
+
+#: set to ``1``/``true``/``on`` to make ``run_scenario`` trace every run
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+#: optional directory where campaign workers drop their task traces
+TELEMETRY_DIR_ENV = "REPRO_TELEMETRY_DIR"
+
+_NULL_TRACER = NullTracer()
+
+
+def tracing_enabled_from_env() -> bool:
+    """True when ``REPRO_TELEMETRY`` requests tracing (off by default)."""
+    return os.environ.get(TELEMETRY_ENV, "").strip().lower() in ("1", "true", "on", "yes")
+
+
+class Telemetry:
+    """Bundle of one :class:`SpanTracer` and one :class:`MetricsRegistry`.
+
+    Attributes
+    ----------
+    tracer:
+        A :class:`SpanTracer` when ``tracing`` is True, else a shared
+        :class:`NullTracer` so call sites never need a None check.
+    metrics:
+        The :class:`MetricsRegistry` for this run (always live).
+    tracing:
+        Whether span recording is enabled.  Integration sites gate span
+        emission on this (or on holding a telemetry handle at all).
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None, trace: bool = True) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.metrics = MetricsRegistry()
+        self.tracing = bool(trace)
+        self.tracer: Any = SpanTracer(self.clock) if self.tracing else _NULL_TRACER
+
+    @classmethod
+    def for_simulator(cls, sim, trace: bool = True) -> "Telemetry":
+        """Build a simulated-time telemetry handle and attach it to ``sim``."""
+        telemetry = cls(trace=trace)
+        telemetry.bind_simulator(sim)
+        return telemetry
+
+    def bind_simulator(self, sim) -> "Telemetry":
+        """(Re)point the clock at ``sim.now`` and set ``sim.telemetry``.
+
+        Lets a caller construct the handle before the simulator exists
+        (``run_scenario(config, telemetry=...)``) and bind late.
+        """
+        self.clock = lambda: sim.now
+        if self.tracing:
+            self.tracer.clock = self.clock
+        sim.telemetry = self
+        return self

@@ -135,6 +135,10 @@ class RecoveryManager:
         if runtime.aborted is not None:
             return  # the job was already declared unsurvivable
         self.failures_handled += 1
+        if runtime.telemetry is not None:
+            # live series (harvest adds the end-of-run stats() snapshot under
+            # a different prefix, so this never double-counts)
+            runtime.telemetry.metrics.counter("recovery.failures.submitted").inc()
         self.node_failed(event.node, disk_lost=event.destroys_disk)
         for rank in victims:
             runtime.kill_rank(rank, cause=event)
@@ -250,6 +254,9 @@ class RecoveryManager:
         self.active.append(active)
         self.max_concurrent_recoveries = max(
             self.max_concurrent_recoveries, len(self.active))
+        if runtime.telemetry is not None:
+            runtime.telemetry.metrics.gauge("recovery.inflight.peak").max(
+                len(self.active))
         proc.callbacks.append(_OnDone(self, active))
 
     def _on_done(self, active: _Active) -> None:

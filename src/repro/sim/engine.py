@@ -242,6 +242,12 @@ class Simulator:
     stats:
         :class:`SimStats` counter bundle (events by kind, heap pushes,
         immediate resumes, fast-path elisions).
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` attached by
+        ``Telemetry.for_simulator``/``bind_simulator``.  ``None`` by default;
+        the kernel itself never reads it (spans observe ``now`` passively, so
+        the hot loops stay telemetry-free), but subsystems that only hold a
+        simulator handle (the storage hierarchy) find their tracer here.
     """
 
     def __init__(self) -> None:
@@ -255,6 +261,8 @@ class Simulator:
         self.stats = SimStats()
         #: user-attachable bag of named objects (cluster, runtime, ...)
         self.context: Dict[str, Any] = {}
+        #: optional telemetry handle (spans + metrics); off by default
+        self.telemetry: Optional[Any] = None
 
     # -- event factory helpers -----------------------------------------
     def event(self, name: EventName = None) -> Event:

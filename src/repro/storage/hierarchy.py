@@ -312,6 +312,20 @@ class StorageHierarchy:
         slots, hold = slot_hold
         src_epoch = self._disk_epoch.get(src, 0)
         dst_epoch = self._disk_epoch.get(partner, 0)
+        # Telemetry (when attached to the simulator) records each copy as a
+        # retroactive span at its outcome — overlapping copies share the
+        # ``storage`` track, and lost/interrupted copies close aborted.
+        telemetry = self.sim.telemetry
+        tracing = telemetry is not None and telemetry.tracing
+        started_at = self.sim.now
+
+        def _copy_span(aborted: bool) -> None:
+            telemetry.tracer.add(
+                "l2_partner_copy", start=started_at, end=self.sim.now,
+                track="storage", category="storage", aborted=aborted,
+                rank=record.rank, ckpt_id=record.ckpt_id, src=src,
+                partner=partner, bytes=nbytes)
+
         try:
             yield from self.local.read(src, nbytes)
             yield from self.network.transfer(src, partner, nbytes)
@@ -322,17 +336,23 @@ class StorageHierarchy:
                 # An endpoint died (or lost its disk) mid-copy: the stream
                 # died with it, the replica never materialised.
                 self.partner_copies_lost += 1
+                if tracing:
+                    _copy_span(aborted=True)
                 return
             self.tier_bytes_written["L2"] += nbytes
             self.partner_copies_completed += 1
             record.copies.append(ImageCopy("L2", partner, self.sim.now))
             record.pending_async -= 1
+            if tracing:
+                _copy_span(aborted=False)
             if record.safe and record.safe_callbacks:
                 callbacks, record.safe_callbacks = record.safe_callbacks, []
                 for callback in callbacks:
                     callback()
         except Interrupt:
             self.partner_copies_lost += 1
+            if tracing:
+                _copy_span(aborted=True)
         finally:
             slots.release(hold)
 

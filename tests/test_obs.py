@@ -1,0 +1,390 @@
+"""Telemetry layer: span semantics, metrics registry, exporters, integration.
+
+Covers:
+
+* :class:`~repro.obs.SpanTracer` semantics — nesting, attribute propagation,
+  idempotent close, retroactive spans, and ``abort_open`` sweeping
+  interrupted spans closed with ``aborted=True``;
+* the :class:`~repro.obs.MetricsRegistry` instrument family and its flat
+  rendering (the campaign payload's ``registry_metrics``);
+* the MPI :class:`~repro.mpi.tracer.Tracer` cap marking its log
+  ``truncated`` (with the dropped count surviving a dumps/loads round trip);
+* Chrome ``trace_event`` export validity;
+* scenario integration — a traced failure + recovery run leaves no open
+  spans, closes killed ranks' checkpoint spans as aborted, and exports a
+  recovery span tree that *matches the* :class:`RecoveryReport` (same
+  rollback ranks, same measured failure→resumption window);
+* bit-identity — span tracing enabled reproduces the committed golden
+  parity metrics under both ``REPRO_SIM_FASTPATH`` modes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.ckpt.scheduler import periodic
+from repro.cluster.network import FAST_PATH_ENV
+from repro.experiments import runner
+from repro.experiments.config import FailureSpec, ScenarioConfig
+from repro.experiments.parity import parity_metrics, quick_parity_configs, scenario_label
+from repro.experiments.runner import run_scenario
+from repro.mpi.tracer import Tracer
+from repro.mpi.messages import Message
+from repro.mpi.trace import TraceLog
+from repro.obs import (
+    MetricsRegistry,
+    NullRegistry,
+    NullTracer,
+    SpanTracer,
+    Telemetry,
+    chrome_trace,
+    flat_metrics,
+    phase_times,
+    spans_to_jsonl,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "quick_parity_golden.json")
+
+
+class ManualClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# ------------------------------------------------------------- span semantics
+class TestSpanTracer:
+    def test_nesting_and_attribute_propagation(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        outer = tracer.begin("wave", track="rank0", category="ckpt", ckpt_id=1)
+        clock.now = 1.0
+        inner = tracer.begin("dump", track="rank0", group_id=2)
+        assert inner.parent_id == outer.span_id
+        clock.now = 1.5
+        tracer.end(inner, nbytes=4096)
+        clock.now = 2.0
+        tracer.end(outer)
+        assert inner.attrs == {"group_id": 2, "nbytes": 4096}
+        assert outer.attrs == {"ckpt_id": 1}
+        assert (outer.start, outer.end) == (0.0, 2.0)
+        assert (inner.start, inner.end) == (1.0, 1.5)
+        assert inner.duration == 0.5
+        assert tracer.open_count() == 0
+
+    def test_separate_tracks_do_not_nest(self):
+        tracer = SpanTracer(ManualClock())
+        a = tracer.begin("a", track="rank0")
+        b = tracer.begin("b", track="rank1")
+        assert b.parent_id is None
+        tracer.end(a)
+        tracer.end(b)
+
+    def test_end_is_idempotent(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        span = tracer.begin("x")
+        clock.now = 1.0
+        tracer.end(span)
+        clock.now = 5.0
+        tracer.end(span)  # no-op: already closed
+        assert span.end == 1.0
+        assert len(tracer.spans) == 1
+
+    def test_context_manager(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        with tracer.span("claim", track="worker", key="k1") as span:
+            clock.now = 3.0
+        assert span.end == 3.0
+        assert span.attrs == {"key": "k1"}
+
+    def test_abort_open_closes_innermost_first_with_cause(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        outer = tracer.begin("checkpoint", track="rank3")
+        inner = tracer.begin("stage", track="rank3")
+        clock.now = 2.5
+        closed = tracer.abort_open("rank3", abort_cause="node-crash")
+        assert closed == [inner, outer]
+        for span in (inner, outer):
+            assert span.aborted
+            assert span.end == 2.5
+            assert span.attrs["abort_cause"] == "node-crash"
+        assert tracer.open_count("rank3") == 0
+
+    def test_abort_open_on_clean_track_is_a_noop(self):
+        tracer = SpanTracer(ManualClock())
+        assert tracer.abort_open("rank9") == []
+
+    def test_retroactive_add_bypasses_open_stacks(self):
+        tracer = SpanTracer(ManualClock())
+        live = tracer.begin("checkpoint", track="rank0")
+        retro = tracer.add("l2_partner_copy", start=0.5, end=0.9,
+                           track="rank0", parent=live, bytes=1024)
+        # the retro span did not become the nesting parent of future begins
+        sibling = tracer.begin("stage", track="rank0")
+        assert sibling.parent_id == live.span_id
+        assert retro.parent_id == live.span_id
+        assert retro.end == 0.9
+        assert retro.attrs == {"bytes": 1024}
+        tracer.end(sibling)
+        tracer.end(live)
+
+    def test_null_tracer_is_inert(self):
+        tracer = NullTracer()
+        span = tracer.begin("x", track="t")
+        tracer.end(span)
+        with tracer.span("y"):
+            pass
+        assert tracer.abort_open("t") == []
+        assert tracer.open_count() == 0
+        assert tracer.spans == []
+
+
+# ----------------------------------------------------------- metrics registry
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.events.processed").inc()
+        reg.counter("sim.events.processed").inc(4)
+        reg.gauge("recovery.inflight.peak").max(2)
+        reg.gauge("recovery.inflight.peak").max(1)  # lower: no change
+        hist = reg.histogram("phase.checkpoint.duration")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        assert reg.get("sim.events.processed").value == 5
+        assert reg.get("recovery.inflight.peak").value == 2
+        assert (hist.count, hist.total, hist.min, hist.max) == (3, 6.0, 1.0, 3.0)
+        assert hist.mean == 2.0
+
+    def test_tags_create_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("storage.bytes.written", tier="L1").inc(10)
+        reg.counter("storage.bytes.written", tier="L2").inc(20)
+        assert reg.get("storage.bytes.written", tier="L1").value == 10
+        assert reg.get("storage.bytes.written", tier="L2").value == 20
+        assert reg.get("storage.bytes.written") is None
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_merge_counts_prefixes_legacy_stats(self):
+        reg = MetricsRegistry()
+        reg.merge_counts({"spare_migrations": 2, "inplace_reboots": 1},
+                         prefix="recovery.")
+        assert reg.get("recovery.spare_migrations").value == 2
+
+    def test_flat_dict_expands_histograms_sorted(self):
+        reg = MetricsRegistry()
+        reg.histogram("b.hist").observe(2.0)
+        reg.counter("a.count", tier="L2").inc(3)
+        flat = reg.as_flat_dict()
+        assert flat == {
+            "a.count{tier=L2}": 3,
+            "b.hist.count": 1,
+            "b.hist.max": 2.0,
+            "b.hist.min": 2.0,
+            "b.hist.total": 2.0,
+        }
+        assert list(flat) == sorted(flat)
+        assert flat_metrics(reg) == flat
+
+    def test_null_registry_is_inert(self):
+        reg = NullRegistry()
+        reg.counter("x").inc()
+        reg.histogram("y").observe(1.0)
+        reg.merge_counts({"a": 1})
+        assert reg.get("x") is None
+        assert len(reg) == 0
+        assert reg.as_flat_dict() == {}
+
+
+# ------------------------------------------------- MPI trace-log truncation
+class TestTraceLogTruncation:
+    def _send(self, tracer, n):
+        for i in range(n):
+            tracer.on_send(Message(src=0, dst=1, nbytes=100, tag=i), timestamp=float(i))
+
+    def test_cap_marks_log_truncated(self):
+        tracer = Tracer(max_records=3)
+        self._send(tracer, 5)
+        assert len(tracer.log) == 3
+        assert tracer.log.truncated
+        assert tracer.log.dropped_records == 2
+        assert tracer.dropped_records == 2
+
+    def test_uncapped_log_is_not_truncated(self):
+        tracer = Tracer()
+        self._send(tracer, 5)
+        assert not tracer.log.truncated
+        assert tracer.log.dropped_records == 0
+
+    def test_truncation_survives_round_trip(self):
+        tracer = Tracer(max_records=2)
+        self._send(tracer, 6)
+        text = tracer.log.dumps()
+        assert "# truncated 4" in text
+        again = TraceLog.loads(text)
+        assert again.truncated
+        assert again.dropped_records == 4
+        assert len(again) == 2
+        # a complete trace round-trips as not-truncated
+        clean = TraceLog.loads(TraceLog(tracer.log.records).dumps())
+        assert not clean.truncated
+
+    def test_reset_clears_truncation(self):
+        tracer = Tracer(max_records=1)
+        self._send(tracer, 3)
+        tracer.reset()
+        assert not tracer.log.truncated
+        assert tracer.dropped_records == 0
+
+
+# ------------------------------------------------------------- chrome export
+class TestExport:
+    def _tracer(self):
+        clock = ManualClock()
+        tracer = SpanTracer(clock)
+        outer = tracer.begin("checkpoint", track="rank0", category="ckpt", ckpt_id=1)
+        clock.now = 2.0
+        tracer.end(outer)
+        tracer.add("copy", start=0.5, end=1.0, track="storage",
+                   category="storage", aborted=True)
+        return tracer
+
+    def test_chrome_trace_structure(self):
+        tracer = self._tracer()
+        reg = MetricsRegistry()
+        reg.counter("ckpt.records").inc(1)
+        doc = chrome_trace(tracer, metrics=reg)
+        json.dumps(doc)  # must be serialisable
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["name"] for e in meta} >= {"repro", "rank0", "storage"}
+        assert len(complete) == 2
+        ckpt = next(e for e in complete if e["name"] == "checkpoint")
+        assert ckpt["ts"] == 0.0 and ckpt["dur"] == 2e6  # seconds -> µs
+        copy = next(e for e in complete if e["name"] == "copy")
+        assert copy["args"]["aborted"] is True
+        assert copy["tid"] != ckpt["tid"]
+        assert doc["otherData"]["metrics"] == {"ckpt.records": 1}
+
+    def test_jsonl_is_one_object_per_line(self):
+        lines = spans_to_jsonl(self._tracer()).strip().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "checkpoint"
+        assert parsed[1]["aborted"] is True
+
+
+# ------------------------------------------------------- scenario integration
+FAILURE_CONFIG = ScenarioConfig(
+    "halo2d", 16, "GP4", periodic(0.3), do_restart=False, seed=3,
+    failure=FailureSpec(at_s=1.9, victim_rank=0),
+)
+
+
+@pytest.fixture(scope="module")
+def traced_failure_run():
+    telemetry = Telemetry()
+    result = run_scenario(FAILURE_CONFIG, telemetry=telemetry)
+    return result, telemetry
+
+
+class TestScenarioTelemetry:
+    def test_no_spans_left_open(self, traced_failure_run):
+        _, telemetry = traced_failure_run
+        assert telemetry.tracer.open_count() == 0
+        assert telemetry.tracer.spans
+
+    def test_killed_ranks_checkpoints_close_aborted(self, traced_failure_run):
+        _, telemetry = traced_failure_run
+        aborted = [s for s in telemetry.tracer.spans
+                   if s.name == "checkpoint" and s.aborted]
+        assert aborted
+        for span in aborted:
+            assert "abort_cause" in span.attrs
+
+    def test_recovery_span_tree_matches_report(self, traced_failure_run):
+        result, telemetry = traced_failure_run
+        report = result.recovery_reports[0]
+        spans = [s for s in telemetry.tracer.spans if s.track == "recovery"]
+        roots = [s for s in spans if s.name == "recovery"]
+        assert len(roots) == 1
+        root = roots[0]
+        # same rollback ranks, same measured failure -> resumption window
+        assert root.attrs["rollback_ranks"] == list(report.rollback_ranks)
+        assert root.start == report.failure_time
+        assert root.end == report.completed_at
+        assert not root.aborted
+
+        detection = next(s for s in spans if s.name == "detection")
+        assert detection.parent_id == root.span_id
+        assert (detection.start, detection.end) == (report.failure_time,
+                                                    report.detected_at)
+
+        rank_spans = [s for s in spans if s.name == "rank_restart"]
+        assert {s.attrs["rank"] for s in rank_spans} == {rr.rank for rr in report.ranks}
+        for span in rank_spans:
+            assert span.parent_id == root.span_id
+            assert root.start <= span.start <= span.end <= root.end
+            stages = [s for s in spans if s.parent_id == span.span_id]
+            assert {s.name for s in stages} <= {
+                "reboot", "image_restore", "rebuild", "exchange", "replay"}
+
+        barrier = next(s for s in spans if s.name == "barrier")
+        assert barrier.end == report.completed_at
+
+    def test_phase_times_cover_checkpoint_and_recovery(self, traced_failure_run):
+        result, _ = traced_failure_run
+        times = result.phase_times
+        assert times["checkpoint"]["records"] == len(result.app.checkpoint_records)
+        assert times["checkpoint"]["stages"]["checkpoint"] == pytest.approx(
+            sum(r.stages.get("checkpoint", 0.0) for r in result.app.checkpoint_records))
+        assert times["recovery"]["reports"] == 1
+        assert times["recovery"]["stages"]["total"] > 0
+
+    def test_tracing_does_not_change_simulated_metrics(self, traced_failure_run):
+        traced_result, _ = traced_failure_run
+        runner.clear_caches()
+        untraced = run_scenario(FAILURE_CONFIG)
+        assert untraced.telemetry.tracing is False
+        assert parity_metrics(untraced) == parity_metrics(traced_result)
+
+    def test_phase_times_helper_matches_result_property(self, traced_failure_run):
+        result, telemetry = traced_failure_run
+        assert phase_times(telemetry) == result.phase_times
+
+
+# ------------------------------------------------ golden parity with tracing
+PARITY_SUBSET = [quick_parity_configs()[i] for i in (0, 6)]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fastpath", "slowpath"])
+@pytest.mark.parametrize("config", PARITY_SUBSET, ids=scenario_label)
+def test_traced_runs_match_parity_golden(config, fast, golden, monkeypatch):
+    """Span tracing on, both kernel paths: golden metrics stay bit-identical."""
+    monkeypatch.setenv(FAST_PATH_ENV, "1" if fast else "0")
+    runner.clear_caches()
+    try:
+        result = run_scenario(config, telemetry=Telemetry())
+    finally:
+        runner.clear_caches()
+    assert result.telemetry.tracing is True
+    assert result.telemetry.tracer.spans  # tracing actually engaged
+    assert result.telemetry.tracer.open_count() == 0
+    assert parity_metrics(result) == golden[scenario_label(config)]["metrics"]
