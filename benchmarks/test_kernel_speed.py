@@ -63,7 +63,8 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 
 #: benchmark scenarios: halo2d + HPL at two scales, the contention-free
-#: halo2d headline scenario, and a tiny variant for CI smoke runs
+#: halo2d headline scenario, thousand-rank scaling points, and a tiny
+#: variant for CI smoke runs
 SCENARIOS: Dict[str, Dict[str, object]] = {
     "halo2d-16": {"workload": "halo2d", "n_ranks": 16, "options": None},
     "halo2d-64": {"workload": "halo2d", "n_ranks": 64, "options": None},
@@ -71,11 +72,19 @@ SCENARIOS: Dict[str, Dict[str, object]] = {
     # the closed-form path (stats.fastpath_* cover ~all messages)
     "halo2d-cf-64": {"workload": "halo2d", "n_ranks": 64,
                      "options": {"message_bytes": 1024, "iterations": 20}},
+    # scaling track: same QUICK-sized halo exchange at 256 and 1024 ranks
+    # (one rank per node; the cluster is grown to match)
+    "halo2d-256": {"workload": "halo2d", "n_ranks": 256, "options": None},
+    "halo2d-1024": {"workload": "halo2d", "n_ranks": 1024, "options": None},
     "hpl-16": {"workload": "hpl", "n_ranks": 16, "options": dict(QUICK.hpl_options)},
     "hpl-32": {"workload": "hpl", "n_ranks": 32, "options": dict(QUICK.hpl_options)},
     "tiny": {"workload": "halo2d", "n_ranks": 8,
              "options": {"iterations": 3, "message_bytes": 4096}},
 }
+
+#: scenarios excluded from default pytest/CI runs (nightly/manual only:
+#: opt in with RUN_SCALE_BENCHMARKS=1); the CLI always accepts them
+SCALE_ONLY = ("halo2d-1024",)
 
 #: seed-kernel reference (dev machine, commit 9fbc996, interleaved best-of-6):
 #: wall seconds and calendar events for the same scenarios.  Informational —
@@ -141,6 +150,46 @@ def measure_kernel_speed(scenario: str, repeat: int = 3) -> Dict[str, object]:
     return best
 
 
+def measure_kernel_footprint(scenario: str) -> Dict[str, object]:
+    """Peak-memory track: run one scenario once under ``tracemalloc``.
+
+    Reports the tracemalloc peak of the simulation run (Python-heap bytes
+    attributable to the scenario itself: messages, events, contexts) next to
+    the process-wide ``ru_maxrss`` high-water mark.  Tracing slows the run
+    several-fold, so footprint is measured in a separate pass and never mixed
+    into the events/sec numbers.
+    """
+    import resource
+    import tracemalloc
+
+    spec = SCENARIOS[scenario]
+    workload = build_workload(spec["workload"], spec["n_ranks"], spec["options"])
+    cluster_spec = GIDEON_300.with_nodes(max(GIDEON_300.n_nodes, spec["n_ranks"]))
+    family = build_family("NORM", spec["n_ranks"], spec["workload"], cluster_spec)
+    sim = Simulator()
+    cluster = Cluster(sim, cluster_spec)
+    runtime = MpiRuntime(sim, cluster, spec["n_ranks"], protocol_family=family,
+                         rng=RandomStreams(7))
+    runtime.set_memory(workload.memory_map())
+    runtime.launch(workload.program_factory())
+    tracemalloc.start()
+    try:
+        baseline_bytes, _ = tracemalloc.get_traced_memory()
+        runtime.run_to_completion(limit_s=1e8)
+        _, peak_bytes = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    ru_maxrss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "scenario": scenario,
+        "n_ranks": spec["n_ranks"],
+        "events": sim.processed_events,
+        "peak_traced_bytes": peak_bytes - baseline_bytes,
+        "peak_traced_mb": round((peak_bytes - baseline_bytes) / 1e6, 2),
+        "ru_maxrss_mb": round(ru_maxrss_kb / 1024, 1),
+    }
+
+
 #: default location of the checked-in regression baseline
 BASELINE_PATH = os.path.join(os.path.dirname(__file__), "kernel_speed_baseline.json")
 
@@ -194,6 +243,11 @@ def update_baseline(payloads: List[Dict[str, object]],
     metric = str(baseline.get("metric", "events_per_s"))
     for payload in payloads:
         baseline["scenarios"][payload["scenario"]] = round(float(payload[metric]))
+        if "peak_traced_mb" in payload:
+            baseline.setdefault("footprint_mb", {})[payload["scenario"]] = {
+                "peak_traced_mb": payload["peak_traced_mb"],
+                "ru_maxrss_mb": payload["ru_maxrss_mb"],
+            }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(baseline, fh, indent=2)
         fh.write("\n")
@@ -215,10 +269,23 @@ def _print_report(payload: Dict[str, object]) -> None:
     if "speedup_vs_baseline" in payload:
         line += (f"  [seed kernel: {payload['baseline_events_per_s']:,.0f} ev/s,"
                  f" speedup {payload['speedup_vs_baseline']:.2f}x]")
+    if "peak_traced_mb" in payload:
+        line += (f"  [peak {payload['peak_traced_mb']} MB traced,"
+                 f" rss high-water {payload['ru_maxrss_mb']} MB]")
     print(line)
 
 
-@pytest.mark.parametrize("scenario", [s for s in SCENARIOS if s != "tiny"])
+_scale_skip = pytest.mark.skipif(
+    not os.environ.get("RUN_SCALE_BENCHMARKS"),
+    reason="thousand-rank scenario: nightly/manual only (set RUN_SCALE_BENCHMARKS=1)",
+)
+
+
+@pytest.mark.parametrize(
+    "scenario",
+    [pytest.param(s, marks=_scale_skip) if s in SCALE_ONLY else s
+     for s in SCENARIOS if s != "tiny"],
+)
 def test_kernel_speed(scenario):
     """Measure and record events/sec for one scenario (report-only)."""
     payload = measure_kernel_speed(scenario)
@@ -232,7 +299,9 @@ def test_kernel_speed(scenario):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scenario", default="all",
-                        help="scenario name, 'all' (every non-tiny scenario), or 'tiny'")
+                        help="scenario name, 'all' (every non-tiny scenario except "
+                             "the nightly-only thousand-rank ones — name those "
+                             "explicitly), or 'tiny'")
     parser.add_argument("--repeat", type=int, default=3, help="runs per scenario (best kept)")
     parser.add_argument("--json", default=None, help="write measurements to this JSON file")
     parser.add_argument("--db", default=None,
@@ -243,10 +312,13 @@ def main(argv=None) -> int:
                              "regresses beyond its tolerance band")
     parser.add_argument("--update-baseline", action="store_true",
                         help=f"rewrite {BASELINE_PATH} from this run's numbers")
+    parser.add_argument("--footprint", action="store_true",
+                        help="also measure peak memory (tracemalloc + ru_maxrss) "
+                             "in a separate instrumented pass per scenario")
     args = parser.parse_args(argv)
 
     if args.scenario == "all":
-        names = [s for s in SCENARIOS if s != "tiny"]
+        names = [s for s in SCENARIOS if s != "tiny" and s not in SCALE_ONLY]
     elif args.scenario in SCENARIOS:
         names = [args.scenario]
     else:
@@ -255,6 +327,10 @@ def main(argv=None) -> int:
     payloads = []
     for name in names:
         payload = measure_kernel_speed(name, repeat=args.repeat)
+        if args.footprint:
+            fp = measure_kernel_footprint(name)
+            payload["peak_traced_mb"] = fp["peak_traced_mb"]
+            payload["ru_maxrss_mb"] = fp["ru_maxrss_mb"]
         _print_report(payload)
         payloads.append(payload)
     if args.db:

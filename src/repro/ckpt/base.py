@@ -315,12 +315,14 @@ class RankProtocol:
         self._snapshots: List[CheckpointSnapshot] = []
 
     # -- send/receive hooks ------------------------------------------------
-    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Dict[str, Any]]:
+    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Optional[Dict[str, Any]]]:
         """Called before an application send.
 
-        Returns ``(extra_sender_delay_seconds, piggyback_dict)``.
+        Returns ``(extra_sender_delay_seconds, piggyback_dict_or_None)``.
+        ``None`` means "no metadata": the runtime then leaves the message's
+        lazy ``piggyback`` unallocated, so steady-state sends pay no dict.
         """
-        return 0.0, {}
+        return 0.0, None
 
     def on_arrival(self, message: Any) -> None:
         """Called when an application message arrives at this rank."""

@@ -102,9 +102,9 @@ class VclRankProtocol(RankProtocol):
         self._in_checkpoint_window = False
 
     # -- hooks -----------------------------------------------------------------
-    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Dict[str, Any]]:
+    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Optional[Dict[str, Any]]]:
         """VCL adds no steady-state sender overhead (no sender-based logging)."""
-        return 0.0, {}
+        return 0.0, None
 
     def on_arrival(self, message: "Message") -> None:
         """Count application data arriving during the checkpoint window (channel logging)."""

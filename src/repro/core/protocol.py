@@ -108,25 +108,26 @@ class GroupRankProtocol(RankProtocol):
         return {p for p in self.ctx.account.peers() if not self.in_group(p)}
 
     # -- send / receive hooks ---------------------------------------------------
-    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Dict[str, Any]]:
+    def on_send(self, dst: int, nbytes: int, tag: int) -> Tuple[float, Optional[Dict[str, Any]]]:
         """Log inter-group messages and piggyback RR on the first post-checkpoint send."""
         if self.in_group(dst):
-            return 0.0, {}
+            return 0.0, None
         end_offset = self.ctx.account.sent_to(dst) + nbytes
         self.log.append(dst, nbytes, end_offset, self.runtime.now, tag=tag)
         self.logged_messages += 1
         extra = nbytes / self.config.log_copy_bandwidth + self.config.log_entry_overhead_s
-        piggyback: Dict[str, Any] = {}
+        piggyback: Optional[Dict[str, Any]] = None
         if self._piggyback_epoch.get(dst, -1) < self._ckpt_epoch and self._ckpt_epoch > 0:
-            piggyback["rr"] = self.rr_recorded.get(dst, 0)
+            piggyback = {"rr": self.rr_recorded.get(dst, 0)}
             self._piggyback_epoch[dst] = self._ckpt_epoch
             self.piggybacks_sent += 1
         return extra, piggyback
 
     def on_arrival(self, message: "Message") -> None:
         """Garbage-collect the log for the sender using a piggybacked RR value."""
-        if "rr" in message.piggyback:
-            self.log.garbage_collect(message.src, int(message.piggyback["rr"]))
+        piggyback = message.piggyback
+        if piggyback is not None and "rr" in piggyback:
+            self.log.garbage_collect(message.src, int(piggyback["rr"]))
             self.gc_invocations += 1
 
     # -- checkpoint procedure ----------------------------------------------------

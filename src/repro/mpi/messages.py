@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 
@@ -37,9 +36,14 @@ class MessageKind(enum.Enum):
 _message_counter = itertools.count()
 
 
-@dataclass
 class Message:
     """One message in flight (or delivered).
+
+    Hand-written ``__slots__`` class (millions are allocated per simulated
+    run): no instance ``__dict__``, no dataclass machinery, and the
+    ``piggyback`` dictionary is **lazy** — ``None`` until a protocol actually
+    stamps metadata onto the message, so control/marker traffic and
+    steady-state in-group sends never allocate it.
 
     Attributes
     ----------
@@ -53,7 +57,8 @@ class Message:
         Traffic class (:class:`MessageKind`).
     piggyback:
         Small dictionary of protocol metadata carried with the message
-        (e.g. the ``RR`` value used for log garbage collection).
+        (e.g. the ``RR`` value used for log garbage collection), or ``None``
+        when the message carries no metadata (the common case).
     payload:
         Optional opaque payload used by control messages.
     sent_at / arrived_at:
@@ -62,7 +67,7 @@ class Message:
         Rollback epochs of the two endpoints at send time.  Only stamped when
         live failure injection is active; a message whose stamp no longer
         matches an endpoint's current epoch was carried by a connection that a
-        process kill has since reset, and is dropped at delivery.  The class
+        process kill has since reset, and is dropped at delivery.  The
         defaults mean failure-free runs never pay for the stamps.
     end_offset / msg_index:
         Cumulative channel position (bytes, message count) of this message on
@@ -74,26 +79,48 @@ class Message:
         debugging aid).
     """
 
-    src: int
-    dst: int
-    nbytes: int
-    tag: int = 0
-    kind: MessageKind = MessageKind.APP
-    piggyback: Dict[str, Any] = field(default_factory=dict)
-    payload: Any = None
-    sent_at: float = -1.0
-    arrived_at: float = -1.0
-    src_epoch: int = 0
-    dst_epoch: int = 0
-    end_offset: int = -1
-    msg_index: int = -1
-    seq: int = field(default_factory=lambda: next(_message_counter))
+    __slots__ = (
+        "src", "dst", "nbytes", "tag", "kind", "piggyback", "payload",
+        "sent_at", "arrived_at", "src_epoch", "dst_epoch",
+        "end_offset", "msg_index", "seq", "_arrival",
+    )
 
-    def __post_init__(self) -> None:
-        if self.src < 0 or self.dst < 0:
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        tag: int = 0,
+        kind: MessageKind = MessageKind.APP,
+        piggyback: Optional[Dict[str, Any]] = None,
+        payload: Any = None,
+        sent_at: float = -1.0,
+        arrived_at: float = -1.0,
+        src_epoch: int = 0,
+        dst_epoch: int = 0,
+        end_offset: int = -1,
+        msg_index: int = -1,
+    ) -> None:
+        if src < 0 or dst < 0:
             raise ValueError("ranks must be non-negative")
-        if self.nbytes < 0:
+        if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        self.src = src
+        self.dst = dst
+        self.nbytes = nbytes
+        self.tag = tag
+        self.kind = kind
+        self.piggyback = piggyback
+        self.payload = payload
+        self.sent_at = sent_at
+        self.arrived_at = arrived_at
+        self.src_epoch = src_epoch
+        self.dst_epoch = dst_epoch
+        self.end_offset = end_offset
+        self.msg_index = msg_index
+        self.seq = next(_message_counter)
+        #: inbox delivery-order stamp (set by the receiving Inbox on put)
+        self._arrival = -1
 
     @property
     def is_app(self) -> bool:
@@ -108,13 +135,13 @@ class Message:
 
 
 def fast_message(src: int, dst: int, nbytes: int, tag: int, kind: MessageKind,
-                 piggyback: Dict[str, Any], payload: Any, sent_at: float) -> Message:
-    """Allocate a :class:`Message` without the dataclass constructor.
+                 piggyback: Optional[Dict[str, Any]], payload: Any,
+                 sent_at: float) -> Message:
+    """Allocate a :class:`Message` without constructor validation.
 
     The runtime creates one message per simulated send — this skips the
-    generated ``__init__`` plus ``__post_init__`` re-validation for arguments
-    the runtime has already checked.  Behaviourally identical to calling
-    ``Message(...)`` with the same fields.
+    ``__init__`` re-validation for arguments the runtime has already checked.
+    Behaviourally identical to calling ``Message(...)`` with the same fields.
     """
     msg = object.__new__(Message)
     msg.src = src
@@ -126,7 +153,12 @@ def fast_message(src: int, dst: int, nbytes: int, tag: int, kind: MessageKind,
     msg.payload = payload
     msg.sent_at = sent_at
     msg.arrived_at = -1.0
+    msg.src_epoch = 0
+    msg.dst_epoch = 0
+    msg.end_offset = -1
+    msg.msg_index = -1
     msg.seq = next(_message_counter)
+    msg._arrival = -1
     return msg
 
 

@@ -16,6 +16,7 @@ process.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -40,12 +41,165 @@ from repro.mpi.ops import (
 )
 from repro.mpi.tracer import Tracer
 from repro.sim.engine import Interrupt, SimProcess, Simulator
-from repro.sim.primitives import Event, Store, Timeout
+from repro.sim.primitives import Event, Timeout, _fire_event_now
 from repro.sim.rng import RandomStreams
 
 # Tags reserved for internal traffic; applications should use tags below this.
 COLLECTIVE_TAG_BASE = 1_000_000
 CONTROL_TAG_BASE = 2_000_000
+
+#: hot-path alias — one global load instead of an enum attribute chain
+_APP = MessageKind.APP
+
+
+class Inbox:
+    """Indexed per-rank message buffer with blocking, tag-matched ``get``.
+
+    Replaces the predicate-scan :class:`~repro.sim.primitives.Store` on the
+    runtime's hottest path: messages are bucketed by their exact
+    ``(kind, src, tag)`` channel, so a fully specified receive is an O(1)
+    dictionary lookup + deque pop instead of an O(inbox) closure scan, and no
+    matcher closure is allocated per receive.
+
+    Semantics are bit-identical to the seed list-scan store:
+
+    * **FIFO per channel** — each bucket is a deque in delivery order.
+    * **Global delivery order for wildcards** — every buffered message
+      carries a per-inbox arrival stamp; a wildcard receive (``src`` and/or
+      ``tag`` ``None``) takes the *earliest-delivered* match across its
+      candidate buckets, exactly what the first-match list scan returned.
+      Wildcards are rare (protocol barrier collection, Chandy–Lamport
+      markers), so the bucket sweep they pay is off the hot path.
+    * **Waiter order** — blocked getters are woken in registration order
+      through the simulator's immediate queue, exactly like
+      ``Store._dispatch`` (``stats.store_wakeups`` counts the same events).
+    * **Capture in delivery order** — :meth:`items_in_order` enumerates the
+      buckets merged by arrival stamp, so ``capture_resume``'s inbox capture
+      lists messages exactly as the seed's insertion-ordered ``items`` did.
+    """
+
+    __slots__ = ("sim", "rank", "_buckets", "_waiters", "_arrival", "_n_items")
+
+    def __init__(self, sim: Simulator, rank: int) -> None:
+        self.sim = sim
+        self.rank = rank
+        #: (kind, src, tag) -> deque of messages in delivery order
+        self._buckets: Dict[Tuple[Any, int, int], deque] = {}
+        #: blocked getters in registration order: (event, kind, src, tag)
+        self._waiters: List[Tuple[Event, Any, Optional[int], Optional[int]]] = []
+        self._arrival = 0
+        self._n_items = 0
+
+    def __len__(self) -> int:
+        return self._n_items
+
+    # -- put ---------------------------------------------------------------
+    def put(self, msg: Message) -> None:
+        """Deposit ``msg``; wake the first matching blocked getter, if any."""
+        self._arrival += 1
+        msg._arrival = self._arrival
+        if self._waiters:
+            kind, src, tag = msg.kind, msg.src, msg.tag
+            remaining: List[Tuple[Event, Any, Optional[int], Optional[int]]] = []
+            waiters = self._waiters
+            taken = False
+            for entry in waiters:
+                ev = entry[0]
+                if ev._triggered:
+                    continue
+                if (not taken
+                        and (entry[1] is None or kind is entry[1])
+                        and (entry[2] is None or src == entry[2])
+                        and (entry[3] is None or tag == entry[3])):
+                    taken = True
+                    self._fire(ev, msg)
+                else:
+                    remaining.append(entry)
+            self._waiters = remaining
+            if taken:
+                return
+        key = (msg.kind, msg.src, msg.tag)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = deque()
+        bucket.append(msg)
+        self._n_items += 1
+
+    # -- get ---------------------------------------------------------------
+    def get(
+        self,
+        kind: Optional[MessageKind],
+        src: Optional[int],
+        tag: Optional[int],
+    ) -> Event:
+        """Event firing with the next message matching ``(kind, src, tag)``.
+
+        ``None`` acts as a wildcard for any of the three fields (MPI's
+        ``ANY_SOURCE``/``ANY_TAG``).
+        """
+        ev = Event(self.sim)
+        if self._n_items:
+            if kind is not None and src is not None and tag is not None:
+                bucket = self._buckets.get((kind, src, tag))
+                if bucket:
+                    self._n_items -= 1
+                    self._fire(ev, bucket.popleft())
+                    return ev
+            else:
+                msg = self._pop_wildcard(kind, src, tag)
+                if msg is not None:
+                    self._fire(ev, msg)
+                    return ev
+        self._waiters.append((ev, kind, src, tag))
+        return ev
+
+    def _pop_wildcard(
+        self,
+        kind: Optional[MessageKind],
+        src: Optional[int],
+        tag: Optional[int],
+    ) -> Optional[Message]:
+        """Earliest-delivered buffered message matching a wildcard pattern."""
+        best_key = None
+        best_arrival = -1
+        for key, bucket in self._buckets.items():
+            if not bucket:
+                continue
+            if ((kind is None or key[0] is kind)
+                    and (src is None or key[1] == src)
+                    and (tag is None or key[2] == tag)):
+                arrival = bucket[0]._arrival
+                if best_key is None or arrival < best_arrival:
+                    best_key = key
+                    best_arrival = arrival
+        if best_key is None:
+            return None
+        self._n_items -= 1
+        return self._buckets[best_key].popleft()
+
+    def _fire(self, ev: Event, msg: Message) -> None:
+        # Exactly Store._dispatch's wake path: trigger in place and deliver
+        # through the immediate queue (same time, after the current callback).
+        ev._triggered = True
+        ev._ok = True
+        ev._value = msg
+        sim = self.sim
+        sim.stats.store_wakeups += 1
+        sim._immediate.append((_fire_event_now, ev))
+
+    # -- capture / restore (live failure injection) ------------------------
+    def items_in_order(self) -> List[Message]:
+        """All buffered messages in delivery order (rollback inbox capture)."""
+        out: List[Message] = []
+        for bucket in self._buckets.values():
+            out.extend(bucket)
+        out.sort(key=lambda m: m._arrival)
+        return out
+
+    def restore(self, messages: Iterable[Message]) -> None:
+        """Re-deposit a captured inbox (checkpoint image) in its saved order."""
+        for msg in messages:
+            self.put(msg)
 
 
 @dataclass
@@ -104,7 +258,21 @@ class RankStats:
 
 
 class RankContext:
-    """Everything the runtime and the protocols know about one rank."""
+    """Everything the runtime and the protocols know about one rank.
+
+    ``__slots__``-packed: thousand-rank simulations allocate one of these per
+    rank and the hot paths read its attributes constantly, so the instance
+    dict is dropped (attribute loads become fixed-offset slot reads and the
+    per-rank footprint shrinks).
+    """
+
+    __slots__ = (
+        "sim", "rank", "node_id", "memory_bytes", "inbox", "account", "stats",
+        "finished", "protocol", "pending_requests", "jitter_key",
+        "_signal_event", "_arrival_watchers", "in_checkpoint",
+        "rollback_epoch", "in_recovery", "failed", "halted_at", "op_cursor",
+        "_op_sent", "_op_sent_msgs", "_op_consumed", "pending_get",
+    )
 
     def __init__(self, sim: Simulator, rank: int, node_id: int, memory_bytes: int) -> None:
         if rank < 0:
@@ -116,7 +284,7 @@ class RankContext:
         self.node_id = node_id
         #: resident set of the application on this rank (drives image size)
         self.memory_bytes = memory_bytes
-        self.inbox = Store(sim, name=f"inbox:{rank}")
+        self.inbox = Inbox(sim, rank)
         self.account = ChannelAccount(rank)
         self.stats = RankStats()
         self.finished = False
@@ -165,7 +333,7 @@ class RankContext:
         script must never consume messages destined for the restarted one.
         """
         self.rollback_epoch += 1
-        self.inbox = Store(self.sim, name=f"inbox:{self.rank}")
+        self.inbox = Inbox(self.sim, self.rank)
         self._arrival_watchers = []
         self._signal_event = Event(self.sim, name="signal")
         self.pending_requests = []
@@ -490,9 +658,11 @@ class MpiRuntime:
     ) -> Message:
         if not 0 <= dst < self.n_ranks:
             raise ValueError(f"destination rank {dst} out of range")
+        # Lazy piggyback: messages without protocol metadata carry None and
+        # never allocate the dict (the overwhelmingly common case).
         msg = fast_message(
             src, dst, nbytes, tag, kind,
-            dict(piggyback) if piggyback else {},
+            dict(piggyback) if piggyback else None,
             payload, self.sim.now,
         )
         if self.failures_enabled:
@@ -515,7 +685,7 @@ class MpiRuntime:
             self.dropped_messages += 1
             return
         msg.arrived_at = now
-        if msg.kind is MessageKind.APP:
+        if msg.kind is _APP:
             dst_ctx.account.add_received(msg.src, msg.nbytes)
             stats = dst_ctx.stats
             stats.messages_received += 1
@@ -600,16 +770,25 @@ class MpiRuntime:
         sim = self.sim
         start = sim.now
         extra_delay = 0.0
-        piggyback: Dict[str, Any] = {}
+        piggyback: Optional[Dict[str, Any]] = None
         if ctx.protocol is not None:
             extra_delay, piggyback = ctx.protocol.on_send(dst, nbytes, tag)
         if self.tracer is not None:
             extra_delay += self.tracer.on_send(
                 Message(src=ctx.rank, dst=dst, nbytes=nbytes, tag=tag), sim.now
             )
-        msg = self._make_message(ctx.rank, dst, nbytes, tag, MessageKind.APP, piggyback)
+        # _make_message inlined: one send per simulated message makes the
+        # call overhead (and the enum attribute chain) measurable.
+        if not 0 <= dst < self.n_ranks:
+            raise ValueError(f"destination rank {dst} out of range")
+        msg = fast_message(
+            ctx.rank, dst, nbytes, tag, _APP,
+            dict(piggyback) if piggyback else None, None, sim.now,
+        )
         skip = False
         if self.failures_enabled:
+            msg.src_epoch = ctx.rollback_epoch
+            msg.dst_epoch = self.contexts[dst].rollback_epoch
             end_offset = ctx.account.sent_to(dst) + nbytes
             msg_index = ctx.account.messages_sent_to(dst) + 1
             msg.end_offset = end_offset
@@ -641,7 +820,7 @@ class MpiRuntime:
         if skip:
             stats.skipped_sends += 1
             stats.skipped_bytes += nbytes
-            yield Timeout(sim, net.spec.per_message_overhead_s)
+            yield Timeout(sim, net._overhead_s)
             stats.send_time += sim.now - start
             return msg
         src_node = ctx.node_id
@@ -661,7 +840,7 @@ class MpiRuntime:
             else:
                 yield from net.tx(src_node, wire_bytes)
         else:
-            yield Timeout(sim, net.spec.per_message_overhead_s)
+            yield Timeout(sim, net._overhead_s)
             if src_node != dst_node:
                 self._spawn_tx(src_node, wire_bytes)
         self._start_delivery(msg, wire_bytes, src_node, dst_node)
@@ -684,28 +863,11 @@ class MpiRuntime:
         msg = self._make_message(ctx.rank, dst, size, tag, kind, payload=payload)
         src_node = ctx.node_id
         dst_node = self.ctx(dst).node_id
-        yield self.sim.timeout(self.cluster.network.spec.per_message_overhead_s)
+        yield Timeout(self.sim, self.cluster.network._overhead_s)
         if src_node != dst_node:
             self._spawn_tx(src_node, size)
         self._start_delivery(msg, size, src_node, dst_node)
         return msg
-
-    def _match(
-        self,
-        kind: Optional[MessageKind],
-        src: Optional[int],
-        tag: Optional[int],
-    ) -> Callable[[Message], bool]:
-        def matcher(m: Message) -> bool:
-            if kind is not None and m.kind is not kind:
-                return False
-            if src is not None and m.src != src:
-                return False
-            if tag is not None and m.tag != tag:
-                return False
-            return True
-
-        return matcher
 
     def app_recv(
         self,
@@ -726,7 +888,7 @@ class MpiRuntime:
             # interruptible machinery (and its per-wait AnyOf condition) is
             # vacuous and the receive waits on the bare inbox event.
             interruptible = False
-        get_ev = ctx.inbox.get(self._match(MessageKind.APP, src, tag))
+        get_ev = ctx.inbox.get(_APP, src, tag)
         if self.failures_enabled:
             ctx.pending_get = get_ev
         while True:
@@ -770,7 +932,7 @@ class MpiRuntime:
         kind: MessageKind = MessageKind.CONTROL,
     ) -> Generator[Event, None, Message]:
         """Blocking receive of a control/marker message (never interrupted)."""
-        get_ev = ctx.inbox.get(self._match(kind, src, tag))
+        get_ev = ctx.inbox.get(kind, src, tag)
         yield get_ev
         return get_ev.value
 
@@ -874,7 +1036,8 @@ class MpiRuntime:
             limbo = pending._value
             if limbo is not None and limbo.kind is MessageKind.APP:
                 inbox.append(limbo)
-        inbox.extend(m for m in ctx.inbox.items if m.kind is MessageKind.APP)
+        inbox.extend(m for m in ctx.inbox.items_in_order()
+                     if m.kind is MessageKind.APP)
         return ResumePoint(op_index=ctx.op_cursor, ss=ss,
                            rr=account.snapshot_received(),
                            ss_msgs=ss_msgs,
@@ -925,7 +1088,7 @@ class MpiRuntime:
         # Messages that had been drained into the MPI library by checkpoint
         # time are part of the restored image; the re-executed script will
         # consume them again.
-        ctx.inbox.items.extend(resume.inbox)
+        ctx.inbox.restore(resume.inbox)
         if ctx.protocol is not None:
             ctx.protocol.rollback_to(snapshot)
         ctx.stats.rollbacks += 1
@@ -1157,6 +1320,10 @@ class MpiRuntime:
         dispatch = self._OP_DISPATCH
         stats = ctx.stats
         failures = self.failures_enabled
+        app_send = self.app_send
+        app_recv = self.app_recv
+        nodes = self.cluster.nodes
+        rng = self.rng
         op_index = start_index
         try:
             for op in program:
@@ -1181,23 +1348,23 @@ class MpiRuntime:
                 cls = op.__class__
                 stats.ops_executed += 1
                 if cls is SendRecv:
-                    yield from self.app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
+                    yield from app_send(ctx, op.dst, op.send_nbytes, tag=op.tag, blocking=False)
                     if op.src is not None:
-                        yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+                        yield from app_recv(ctx, src=op.src, tag=op.tag)
                 elif cls is Compute:
-                    node = self.cluster.nodes[ctx.node_id]
+                    node = nodes[ctx.node_id]
                     duration = node.compute_time(op.seconds)
                     if op.jitter and node.spec.os_jitter_sigma > 0:
-                        duration = self.rng.lognormal_jitter(
+                        duration = rng.lognormal_jitter(
                             ctx.jitter_key, duration, node.spec.os_jitter_sigma
                         )
                     stats.compute_time += duration
                     if duration > 0:
                         yield Timeout(sim, duration)
                 elif cls is Send:
-                    yield from self.app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
+                    yield from app_send(ctx, op.dst, op.nbytes, tag=op.tag, blocking=True)
                 elif cls is Recv:
-                    yield from self.app_recv(ctx, src=op.src, tag=op.tag)
+                    yield from app_recv(ctx, src=op.src, tag=op.tag)
                 elif cls is Marker:
                     stats.progress_marks.append((sim.now, op.label))
                 else:

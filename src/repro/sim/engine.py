@@ -21,6 +21,7 @@ created by kind — speedups are measured, not assumed.
 from __future__ import annotations
 
 import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from collections import deque
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple
 
@@ -288,8 +289,9 @@ class Simulator:
         ev = Event(self, name=name)
         ev._triggered = True
         ev._value = value
-        self._counter += 1
-        heapq.heappush(self._heap, (time, self._counter, ev))
+        counter = self._counter + 1
+        self._counter = counter
+        _heappush(self._heap, (time, counter, ev))
         self.stats.heap_pushes += 1
         return ev
 
@@ -310,8 +312,9 @@ class Simulator:
         """Place ``event`` on the calendar ``delay`` after the current time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._counter += 1
-        heapq.heappush(self._heap, (self.now + delay, self._counter, event))
+        counter = self._counter + 1
+        self._counter = counter
+        _heappush(self._heap, (self.now + delay, counter, event))
         self.stats.heap_pushes += 1
 
     def call_soon(self, fn: Callable[[Any], None], arg: Any = None) -> None:
@@ -394,33 +397,41 @@ class Simulator:
         """
         heap = self._heap
         imm = self._immediate
-        pop = heapq.heappop
-        while not event._processed:
-            while imm:
-                fn, arg = imm.popleft()
-                fn(arg)
-            if not heap:
-                if event._processed:
-                    break
-                raise SimulationError(
-                    f"deadlock: event {event!r} never fired and no events remain"
-                )
-            if limit is not None and heap[0][0] > limit:
-                return False
-            time, _, ev = pop(heap)
-            self.now = time
-            self._event_count += 1
-            callbacks = ev.callbacks
-            ev._processed = True
-            ev.callbacks = None
-            if callbacks:
-                for cb in callbacks:
-                    cb(ev)
-            if not ev._ok and not ev.defused:
-                exc = ev._value
-                if isinstance(exc, BaseException):
-                    raise exc
-                raise SimulationError(f"unhandled failed event: {ev!r}")
+        pop = _heappop
+        popleft = imm.popleft
+        # The per-event counter is accumulated locally and written back in
+        # the finally block: one attribute store per run instead of one per
+        # event (exceptions included, so `processed_events` stays exact).
+        count = 0
+        try:
+            while not event._processed:
+                while imm:
+                    fn, arg = popleft()
+                    fn(arg)
+                if not heap:
+                    if event._processed:
+                        break
+                    raise SimulationError(
+                        f"deadlock: event {event!r} never fired and no events remain"
+                    )
+                if limit is not None and heap[0][0] > limit:
+                    return False
+                time, _, ev = pop(heap)
+                self.now = time
+                count += 1
+                callbacks = ev.callbacks
+                ev._processed = True
+                ev.callbacks = None
+                if callbacks:
+                    for cb in callbacks:
+                        cb(ev)
+                if not ev._ok and not ev.defused:
+                    exc = ev._value
+                    if isinstance(exc, BaseException):
+                        raise exc
+                    raise SimulationError(f"unhandled failed event: {ev!r}")
+        finally:
+            self._event_count += count
         return True
 
     def run_until_complete(self, process: SimProcess, limit: Optional[float] = None) -> Any:

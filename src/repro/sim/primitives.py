@@ -27,6 +27,7 @@ any per-event work that is only needed for debugging:
 from __future__ import annotations
 
 import heapq
+from heapq import heappush as _heappush
 from typing import Any, Callable, Iterable, List, Optional, TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -164,8 +165,9 @@ class Timeout(Event):
         self._processed = False
         self.defused = False
         self.delay = delay
-        sim._counter += 1
-        heapq.heappush(sim._heap, (sim.now + delay, sim._counter, self))
+        counter = sim._counter + 1
+        sim._counter = counter
+        _heappush(sim._heap, (sim.now + delay, counter, self))
         stats = sim.stats
         stats.heap_pushes += 1
         stats.timeouts += 1

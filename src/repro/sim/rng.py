@@ -30,9 +30,10 @@ class RandomStreams:
 
     def stream(self, name: str) -> np.random.Generator:
         """Return (creating on first use) the stream called ``name``."""
-        if name not in self._streams:
-            self._streams[name] = np.random.default_rng(self._derive_seed(name))
-        return self._streams[name]
+        s = self._streams.get(name)
+        if s is None:
+            s = self._streams[name] = np.random.default_rng(self._derive_seed(name))
+        return s
 
     # Convenience draws -------------------------------------------------
     def uniform(self, name: str, low: float = 0.0, high: float = 1.0) -> float:

@@ -160,6 +160,15 @@ class HplWorkload(Workload):
         col_next = col_members[(my_col_pos + 1) % len(col_members)]
         col_prev = col_members[(my_col_pos - 1) % len(col_members)]
 
+        # The broadcast ring depends only on the owning column, which cycles
+        # mod Q: precompute the Q distinct (ring, my position) pairs once
+        # instead of rebuilding the list (two .index scans) every panel step.
+        rings = []
+        for oc in range(self.Q):
+            start = row_members.index(self.rank_of(row, oc))
+            ring = [row_members[(start + i) % self.Q] for i in range(self.Q)]
+            rings.append((ring, ring.index(rank)))
+
         real_step = 0
         for sim_step, real_count in enumerate(self._chunks):
             mid_step = real_step + real_count // 2
@@ -180,9 +189,7 @@ class HplWorkload(Workload):
 
             # 2. panel broadcast along the row (increasing ring, starting at owner_col)
             if self.Q > 1 and panel > 0:
-                ring = [row_members[(row_members.index(self.rank_of(row, owner_col)) + i) % self.Q]
-                        for i in range(self.Q)]
-                pos = ring.index(rank)
+                ring, pos = rings[owner_col]
                 if p.row_bcast == "ring":
                     if pos == 0:
                         yield Send(dst=ring[1], nbytes=panel, tag=2)

@@ -67,11 +67,16 @@ class RingWorkload(_SyntheticBase):
         p = self.params
         right = (rank + 1) % self.n_ranks
         left = (rank - 1) % self.n_ranks
+        compute = Compute(seconds=p.compute_seconds)
+        exchange = (
+            SendRecv(dst=right, send_nbytes=p.message_bytes, src=left, tag=1)
+            if self.n_ranks > 1 else None
+        )
         for it in range(p.iterations):
             yield Marker(label=f"iter:{it}")
-            yield Compute(seconds=p.compute_seconds)
-            if self.n_ranks > 1:
-                yield SendRecv(dst=right, send_nbytes=p.message_bytes, src=left, tag=1)
+            yield compute
+            if exchange is not None:
+                yield exchange
 
 
 class Halo2DWorkload(_SyntheticBase):
@@ -100,15 +105,20 @@ class Halo2DWorkload(_SyntheticBase):
         west = row * self.cols + (col - 1) % self.cols
         south = ((row + 1) % self.rows) * self.cols + col
         north = ((row - 1) % self.rows) * self.cols + col
+        # Ops are frozen (immutable), so the per-iteration exchange pattern is
+        # built once and the same instances re-yielded every iteration.
+        compute = Compute(seconds=p.compute_seconds)
+        exchanges = []
+        if self.cols > 1:
+            exchanges.append(SendRecv(dst=east, send_nbytes=p.message_bytes, src=west, tag=1))
+            exchanges.append(SendRecv(dst=west, send_nbytes=p.message_bytes, src=east, tag=2))
+        if self.rows > 1:
+            exchanges.append(SendRecv(dst=south, send_nbytes=p.message_bytes, src=north, tag=3))
+            exchanges.append(SendRecv(dst=north, send_nbytes=p.message_bytes, src=south, tag=4))
         for it in range(p.iterations):
             yield Marker(label=f"iter:{it}")
-            yield Compute(seconds=p.compute_seconds)
-            if self.cols > 1:
-                yield SendRecv(dst=east, send_nbytes=p.message_bytes, src=west, tag=1)
-                yield SendRecv(dst=west, send_nbytes=p.message_bytes, src=east, tag=2)
-            if self.rows > 1:
-                yield SendRecv(dst=south, send_nbytes=p.message_bytes, src=north, tag=3)
-                yield SendRecv(dst=north, send_nbytes=p.message_bytes, src=south, tag=4)
+            yield compute
+            yield from exchanges
 
 
 class MasterWorkerWorkload(_SyntheticBase):

@@ -13,6 +13,7 @@ Usage::
         --options '{"problem_size": 6000, "block_size": 200, "max_steps": 12}'
     PYTHONPATH=src python tools/profile_kernel.py --sort cumulative --limit 40
     PYTHONPATH=src python tools/profile_kernel.py --out kernel.pstats   # snakeviz etc.
+    PYTHONPATH=src python tools/profile_kernel.py --top-alloc 15        # tracemalloc
 """
 
 from __future__ import annotations
@@ -52,6 +53,9 @@ def main(argv=None) -> int:
                         help="number of rows to print (default: %(default)s)")
     parser.add_argument("--out", default=None,
                         help="also dump raw pstats data to this file")
+    parser.add_argument("--top-alloc", type=int, default=0, metavar="N",
+                        help="run a second pass under tracemalloc and print the "
+                             "top-N allocation sites by total bytes (0 = off)")
     args = parser.parse_args(argv)
 
     options = json.loads(args.options) if args.options else None
@@ -85,6 +89,35 @@ def main(argv=None) -> int:
     if args.out:
         stats.dump_stats(args.out)
         print(f"raw profile written to {args.out}")
+
+    if args.top_alloc > 0:
+        # Fresh, identically-seeded run: tracemalloc several-fold slows the
+        # simulation, so allocation sites are sampled in their own pass and
+        # never pollute the cProfile numbers above.
+        import tracemalloc
+
+        workload = build_workload(args.workload, args.ranks, options)
+        family = build_family(args.method, args.ranks, args.workload,
+                              cluster_spec, options)
+        sim = Simulator()
+        cluster = Cluster(sim, cluster_spec)
+        runtime = MpiRuntime(sim, cluster, args.ranks, protocol_family=family,
+                             rng=RandomStreams(args.seed))
+        runtime.set_memory(workload.memory_map())
+        runtime.launch(workload.program_factory())
+        tracemalloc.start(25)
+        try:
+            runtime.run_to_completion(limit_s=1e8)
+            snapshot = tracemalloc.take_snapshot()
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        print(f"\ntop {args.top_alloc} allocation sites "
+              f"(peak {peak / 1e6:.2f} MB, live at end {current / 1e6:.2f} MB):")
+        for stat in snapshot.statistics("lineno")[: args.top_alloc]:
+            frame = stat.traceback[0]
+            print(f"  {stat.size / 1e3:10.1f} KB  {stat.count:8d} blocks  "
+                  f"{frame.filename}:{frame.lineno}")
     return 0
 
 
