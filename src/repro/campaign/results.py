@@ -23,8 +23,9 @@ from repro.experiments.config import ScenarioConfig
 #: storage-hierarchy metrics: per-tier bytes written/read, partner copies,
 #: outages survived, spare refills, survived flag; v6 the telemetry metrics:
 #: phase-attributed time breakdowns from the metrics registry and the flat
-#: registry snapshot)
-PAYLOAD_VERSION = 6
+#: registry snapshot; v7 the elastic-restart metrics: ranks after restart,
+#: units migrated, repartition bytes shipped, shrink restarts)
+PAYLOAD_VERSION = 7
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -101,6 +102,11 @@ def metrics_payload(result) -> Dict[str, object]:
         "registry_metrics": (result.telemetry.metrics.as_flat_dict()
                              if getattr(result, "telemetry", None) is not None
                              else {}),
+        # elastic-restart metrics (v7; zero/None without shrink restarts)
+        "ranks_after_restart": result.ranks_after_restart,
+        "units_migrated": result.units_migrated,
+        "repartition_bytes_shipped": result.repartition_bytes_shipped,
+        "shrink_restarts": result.shrink_restarts,
     }
 
 
@@ -284,6 +290,27 @@ class StoredResult:
     def skipped_in_recovery(self) -> int:
         """Per-group checkpoint ticks skipped because the group was recovering."""
         return self.metrics.get("skipped_in_recovery", 0)
+
+    # -- elastic-restart metrics (v7) ---------------------------------------------
+    @property
+    def shrink_restarts(self) -> int:
+        """Recoveries that shrank the job onto the survivors."""
+        return self.metrics.get("shrink_restarts", 0)
+
+    @property
+    def ranks_after_restart(self) -> Optional[int]:
+        """Ranks actively computing at the end (None = never shrank)."""
+        return self.metrics.get("ranks_after_restart")
+
+    @property
+    def units_migrated(self) -> int:
+        """Work units that changed owner across all shrink restarts."""
+        return self.metrics.get("units_migrated", 0)
+
+    @property
+    def repartition_bytes_shipped(self) -> int:
+        """Image bytes shipped dead rank → adopter during shrink restarts."""
+        return self.metrics.get("repartition_bytes_shipped", 0)
 
     # -- telemetry metrics (v6) ---------------------------------------------------
     @property

@@ -95,6 +95,8 @@ _FAILURE_DEFAULT_FIELDS = (
     ("switch_outage_at_s", None),
     ("outage_switch", 0),
     ("outage_spares_disks", False),
+    ("switch_outage_rate_per_switch_s", None),
+    ("elastic", False),
 )
 
 

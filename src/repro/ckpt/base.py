@@ -149,6 +149,12 @@ class ResumePoint:
 
     ``protocol_state`` is an opaque bag the owning protocol uses to restore
     its own internals (piggyback epochs, recorded RR values, ...).
+
+    ``domain_state`` maps each workload domain unit owned by the rank to the
+    number of simulated steps it had completed at capture time.  Elastic
+    restart reads it to pick the consistent step boundary a repartitioned
+    job resumes from; empty when the run's workload predates the
+    domain/partition API (or no workload is attached to the runtime).
     """
 
     op_index: int
@@ -158,6 +164,7 @@ class ResumePoint:
     rr_msgs: Dict[int, int] = field(default_factory=dict)
     inbox: List[Any] = field(default_factory=list)
     protocol_state: Dict[str, Any] = field(default_factory=dict)
+    domain_state: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass

@@ -345,6 +345,10 @@ class FailureInjector:
         restart of a crashed node must wait out.
     concurrent:
         False serialises failure handling (the pre-manager behaviour).
+    elastic:
+        Forwarded to the auto-built manager: spare-pool exhaustion shrinks
+        the job onto the survivors (needs ``runtime.workload`` set) instead
+        of waiting out an in-place reboot.
     """
 
     def __init__(
@@ -358,6 +362,7 @@ class FailureInjector:
         spare_pool: Optional[Any] = None,
         reboot_delay_s: float = 0.0,
         concurrent: bool = True,
+        elastic: bool = False,
     ) -> None:
         if horizon_s < 0:
             raise ValueError("horizon_s must be non-negative")
@@ -378,6 +383,7 @@ class FailureInjector:
                 detection_delay_s=detection_delay_s,
                 barrier_cost_s=barrier_cost_s,
                 reboot_delay_s=reboot_delay_s,
+                elastic=elastic,
             )
         self.manager = manager
         #: events that found no live rank on the victim node (already

@@ -43,9 +43,11 @@ from repro.cluster.topology import Cluster, ClusterSpec
 from repro.mpi.runtime import ApplicationResult
 from repro.sim.engine import Interrupt, Simulator
 from repro.sim.primitives import Event
+from repro.workloads.domain import RepartitionPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpi.runtime import MpiRuntime
+    from repro.workloads.base import Workload
 
 
 @dataclass(frozen=True)
@@ -348,6 +350,15 @@ class RecoveryReport:
     #: storage level each rank's image was actually restored from
     #: (rank → "L1"/"L2"/"L3"; empty for from-scratch restarts)
     restore_tiers: Dict[int, str] = field(default_factory=dict)
+    #: True when this recovery shrank the job onto the survivors (elastic
+    #: restart) instead of restoring the original rank count
+    shrink: bool = False
+    #: ranks actively computing after this recovery (None = unchanged)
+    ranks_after: Optional[int] = None
+    #: work units that changed owner under the shrink's repartition
+    units_migrated: int = 0
+    #: checkpoint-image bytes shipped dead rank → adopter over the network
+    repartition_bytes_shipped: int = 0
 
     @property
     def replayed_bytes(self) -> int:
@@ -943,6 +954,333 @@ class LiveRecovery:
             1 for _rank, old, new in report.placements
             if network.same_switch(old, new))
         report.inplace_reboots = len(rebooted)
+        runtime.recovery_reports.append(report)
+        del self._children[:]
+        return report
+
+
+# --------------------------------------------------------------------- elastic restart
+def plan_repartition(
+    runtime: "MpiRuntime",
+    workload: "Workload",
+    failed_ranks: Sequence[int],
+) -> RepartitionPlan:
+    """Decide how the survivors absorb the failed ranks' work units.
+
+    Permanently dead ranks are ``failed_ranks`` plus every rank currently
+    placed on a failed node (a previously retired rank must never adopt new
+    units).  The orphaned units go to the least compute-loaded survivors;
+    the recovery line is the newest checkpoint id held by every unit-owning
+    rank whose images are *all* still reachable — the survivors' own copies
+    from their own nodes, the dead ranks' copies from their adopters' nodes
+    (the image has to ship over the live network; a copy stranded on a dead
+    node's local disk does not qualify).  ``resume_step`` is the minimum
+    per-unit domain progress recorded with those images; when no retrievable
+    line exists the plan restarts from scratch (``target_ckpt_id=None``,
+    ``resume_step=0``) — always survivable because the scripts simply
+    re-execute everything.
+
+    Raises ``ValueError`` when every rank is dead (nothing can adopt).
+    """
+    part = workload.partition
+    nodes = runtime.cluster.nodes
+    dead = set(failed_ranks)
+    dead.update(r for r in range(runtime.n_ranks)
+                if nodes[runtime.ctx(r).node_id].failed)
+    new_part = part.reassign(sorted(dead), workload.domain().weights())
+    adoptions = tuple(
+        (u, part.owner[u], new_part.owner[u])
+        for u in range(part.n_units)
+        if part.owner[u] != new_part.owner[u]
+    )
+
+    hierarchy = runtime.cluster.hierarchy
+    owners = sorted(part.active_ranks())
+    candidates = common_checkpoint_ids(runtime, owners) if owners else []
+
+    def snapshot_at(rank: int, cid: int) -> Optional[CheckpointSnapshot]:
+        proto = runtime.ctx(rank).protocol
+        if proto is None:
+            return None
+        return next((s for s in proto.snapshot_history() if s.ckpt_id == cid),
+                    None)
+
+    def feasible(cid: int) -> bool:
+        for rank in owners:
+            if rank in dead:
+                record = hierarchy.catalog.get((rank, cid))
+                if record is None:
+                    return False
+                adopters = {dst for u, src, dst in adoptions if src == rank}
+                for adopter in adopters:
+                    reader = runtime.ctx(adopter).node_id
+                    if hierarchy.restore_plan(rank, cid, reader) is None:
+                        return False
+            else:
+                reader = runtime.ctx(rank).node_id
+                if hierarchy.restore_plan(rank, cid, reader) is None:
+                    return False
+        return True
+
+    for cid in candidates:
+        if not feasible(cid):
+            continue
+        progress: List[int] = []
+        for u in range(part.n_units):
+            old_owner = part.owner[u]
+            if old_owner in dead:
+                record = hierarchy.catalog.get((old_owner, cid))
+                state = record.domain_state if record is not None else None
+            else:
+                snap = snapshot_at(old_owner, cid)
+                state = (snap.resume.domain_state
+                         if snap is not None and snap.resume is not None
+                         else None)
+            progress.append(state.get(u, 0) if state else 0)
+        return RepartitionPlan(
+            failed_ranks=tuple(sorted(dead)),
+            new_partition=new_part,
+            resume_step=min(progress) if progress else 0,
+            target_ckpt_id=cid,
+            adoptions=adoptions,
+        )
+    return RepartitionPlan(
+        failed_ranks=tuple(sorted(dead)),
+        new_partition=new_part,
+        resume_step=0,
+        target_ckpt_id=None,
+        adoptions=adoptions,
+    )
+
+
+class ElasticRestart:
+    """Shrink the job onto the surviving ranks when spares are exhausted.
+
+    The alternative to :class:`LiveRecovery`'s wait-for-reboot path: the
+    :class:`~repro.recovery.manager.RecoveryManager` diverts here (elastic
+    mode) when a victim cannot be replaced.  The whole application resets to
+    a *globally consistent* line: every rank rolls back to process start
+    (channel accounting zeroed on both sides — exactly-once delivery is
+    preserved by construction), the dead ranks' work units are redistributed
+    over the survivors (:func:`plan_repartition`), the dead ranks' newest
+    retrievable checkpoint images are shipped to their adopters over the
+    live network, and the survivors relaunch with *repartitioned* scripts
+    that resume at the recovery line's common domain step.  Dead ranks keep
+    their rank ids but own nothing and are marked finished — no rank
+    renumbering, no further traffic touches them.
+    """
+
+    def __init__(
+        self,
+        runtime: "MpiRuntime",
+        victims: Sequence[int],
+        workload: "Workload",
+        detection_delay_s: float = 0.25,
+        barrier_cost_s: float = 0.02,
+        blcr: Optional[BlcrModel] = None,
+        config: Optional[ProtocolConfig] = None,
+        node: int = -1,
+        superseded_attempts: int = 0,
+        origin_time: Optional[float] = None,
+        cause: str = "crash",
+    ) -> None:
+        if detection_delay_s < 0:
+            raise ValueError("detection_delay_s must be non-negative")
+        if barrier_cost_s < 0:
+            raise ValueError("barrier_cost_s must be non-negative")
+        self.runtime = runtime
+        self.victims = tuple(sorted(victims))
+        if not self.victims:
+            raise ValueError("victims must not be empty")
+        self.workload = workload
+        self.detection_delay_s = detection_delay_s
+        self.barrier_cost_s = barrier_cost_s
+        family = runtime.protocol_family
+        self.blcr = blcr if blcr is not None else getattr(family, "blcr", None) or BlcrModel()
+        self.config = config if config is not None else getattr(family, "config", None) or ProtocolConfig()
+        self.node = node
+        self.superseded_attempts = superseded_attempts
+        self.origin_time = origin_time
+        self.cause = cause
+        #: manager-API compatibility: an elastic restart never reserves spares
+        self.placements: Dict[int, int] = {}
+        self._children: List[Event] = []
+
+    def abort(self) -> None:
+        """Cancel this in-flight shrink (a newer failure superseded it)."""
+        for child in self._children:
+            if child.is_alive:
+                child.interrupt("recovery-superseded")
+        del self._children[:]
+
+    def run(self) -> Generator[Event, None, Optional[RecoveryReport]]:
+        """The shrink-restart coroutine (registered as a process by the manager)."""
+        try:
+            report = yield from self._run_body()
+        except Interrupt:
+            self.abort()
+            return None
+        return report
+
+    def _run_body(self) -> Generator[Event, None, RecoveryReport]:
+        runtime = self.runtime
+        sim = runtime.sim
+        wl = self.workload
+        t_attempt = sim.now
+        t_fail = self.origin_time if self.origin_time is not None else t_attempt
+        report = RecoveryReport(
+            failure_time=t_fail, node=self.node, victims=self.victims,
+            rollback_ranks=(), target_ckpt_id=None,
+            superseded_attempts=self.superseded_attempts,
+            cause=self.cause, shrink=True,
+        )
+
+        if self.detection_delay_s > 0:
+            yield sim.timeout(self.detection_delay_s)
+        report.detected_at = sim.now
+
+        try:
+            plan = plan_repartition(runtime, wl, self.victims)
+        except ValueError:
+            report.unsurvivable = True
+            report.completed_at = sim.now
+            runtime.recovery_reports.append(report)
+            runtime.abort_application(
+                f"elastic restart impossible: every rank is dead "
+                f"({self.cause} at t={t_fail:.3f})")
+            return report
+
+        hierarchy = runtime.cluster.hierarchy
+        all_ranks = range(runtime.n_ranks)
+        cid = plan.target_ckpt_id
+        report.rollback_ranks = tuple(all_ranks)
+        report.target_ckpt_id = cid
+        report.ranks_after = plan.ranks_after
+        report.units_migrated = plan.units_migrated
+
+        # Lost work is measured against the recovery line each rank's state
+        # actually comes from (its snapshot at the target checkpoint), read
+        # *before* the global rollback clears the histories.
+        line_time: Dict[int, float] = {}
+        if cid is not None:
+            for rank in all_ranks:
+                proto = runtime.ctx(rank).protocol
+                snap = (next((s for s in proto.snapshot_history()
+                              if s.ckpt_id == cid), None)
+                        if proto is not None else None)
+                if snap is not None:
+                    line_time[rank] = snap.time
+
+        # Global reset: every rank (survivor, victim, already-retired) rolls
+        # back to process start.  Channel accounting zeroes on both sides and
+        # every in-flight message dies by rollback-epoch mismatch, so the
+        # relaunched repartitioned scripts see exactly-once delivery on a
+        # clean communicator.
+        lost_work: Dict[int, float] = {}
+        for rank in all_ranks:
+            ctx = runtime.ctx(rank)
+            since = line_time.get(rank, ctx.stats.started_at)
+            horizon = t_attempt
+            if ctx.halted_at is not None and ctx.halted_at < horizon:
+                horizon = ctx.halted_at
+            if ctx.stats.finished_at is not None and ctx.stats.finished_at < horizon:
+                horizon = ctx.stats.finished_at
+            lost_work[rank] = max(horizon - since, 0.0)
+            runtime.rollback_rank(rank, None)
+
+        # Retire the dead ranks: they keep their ids, own nothing under the
+        # new partition, and count as finished from here on (the coordinator
+        # skips finished ranks, so no further checkpoint requests reach them).
+        for rank in plan.failed_ranks:
+            ctx = runtime.ctx(rank)
+            ctx.in_recovery = False
+            ctx.finished = True
+            ctx.stats.finished_at = sim.now
+
+        # Install the new layout: derived programs and memory re-derive from
+        # the repartitioned domain, resuming at the recovery line's step.
+        wl.set_partition(plan.new_partition, start_step=plan.resume_step)
+        for rank in all_ranks:
+            runtime.ctx(rank).memory_bytes = wl.memory_bytes(rank)
+
+        survivors = plan.new_partition.active_ranks()
+        shipped = [0]
+        restored_bytes: Dict[int, int] = {}
+        ships_to: Dict[int, List[int]] = {}
+        for src, dst in plan.image_ships():
+            ships_to.setdefault(dst, []).append(src)
+
+        def rank_restart(rank: int):
+            try:
+                ctx = runtime.ctx(rank)
+                if cid is not None:
+                    # 1. restore this survivor's own image from its cheapest
+                    # surviving tier
+                    own = hierarchy.catalog.get((rank, cid))
+                    if own is not None:
+                        rplan = hierarchy.restore_plan(rank, cid, ctx.node_id)
+                        if rplan is not None:
+                            report.restore_tiers[rank] = rplan.level
+                            yield from hierarchy.perform_restore(
+                                rplan, ctx.node_id, own.nbytes)
+                            restored_bytes[rank] = own.nbytes
+                    # 2. adopt: ship each dead donor's newest image here over
+                    # the live network (the adopted units' progress)
+                    for src in ships_to.get(rank, ()):
+                        record = hierarchy.catalog.get((src, cid))
+                        if record is None:
+                            continue
+                        splan = hierarchy.restore_plan(src, cid, ctx.node_id)
+                        if splan is None:
+                            report.unsurvivable = True
+                            report.completed_at = sim.now
+                            runtime.recovery_reports.append(report)
+                            runtime.abort_application(
+                                f"image of dead rank {src} ckpt {cid} lost "
+                                f"mid-shrink ({self.cause})")
+                            return
+                        yield from hierarchy.perform_restore(
+                            splan, ctx.node_id, record.nbytes)
+                        shipped[0] += record.nbytes
+                    yield sim.timeout(self.blcr.restore_exec_s)
+                # 3. rebuild MPI structures for the shrunk communicator
+                yield sim.timeout(self.config.restart_rebuild_s)
+            except Interrupt:
+                return  # superseded; the new attempt re-rolls everything
+
+        procs = [sim.process(rank_restart(rank), name=f"shrink:{rank}")
+                 for rank in survivors]
+        self._children.extend(procs)
+        yield sim.all_of(procs)
+        if runtime.aborted is not None:
+            return report
+        if self.barrier_cost_s > 0:
+            yield sim.timeout(self.barrier_cost_s)
+
+        resumed_at = sim.now
+        report.repartition_bytes_shipped = shipped[0]
+        for rank in survivors:
+            runtime.relaunch_rank(rank, 0, program=wl.program(rank))
+        for rank in all_ranks:
+            report.ranks.append(RankRecovery(
+                rank=rank,
+                lost_work_s=lost_work[rank],
+                resumed_at=resumed_at,
+                recovery_time_s=resumed_at - t_fail,
+                resume_op_index=0,
+                image_bytes=restored_bytes.get(rank, 0),
+                restart_node=runtime.ctx(rank).node_id,
+            ))
+        report.completed_at = resumed_at
+        if runtime.telemetry_tracing:
+            runtime.telemetry.tracer.add(
+                "recovery", start=t_fail, end=resumed_at,
+                track="recovery", category="recovery",
+                node=report.node, cause=report.cause, shrink=True,
+                victims=list(report.victims),
+                ranks_after=report.ranks_after,
+                units_migrated=report.units_migrated,
+                target_ckpt_id=cid)
         runtime.recovery_reports.append(report)
         del self._children[:]
         return report

@@ -14,7 +14,11 @@
 * :mod:`repro.experiments.storage_tiers` — checkpoint-storage-hierarchy
   sweeps (method × tier policy × failure model): steady-state overhead per
   level, measured restart cost per surviving tier, and the correlated-failure
-  survivability matrix.
+  survivability matrix,
+* :mod:`repro.experiments.elastic` — elastic-restart sweeps: the equal-total-
+  work conservation table across rank counts (shrink and expand partitions of
+  one domain) and the zero-spare shrink-restart grid with its repartition
+  table.
 """
 
 from repro.experiments.config import ScenarioConfig, QUICK, FULL, ExperimentProfile

@@ -39,8 +39,13 @@ class FailureSpec:
       is the storage-tier survivability scenario: node-local checkpoint
       images die with their rack, so only cross-switch partner replicas or
       the remote file system can restore the job.
+    * ``switch_outage_rate_per_switch_s`` set — seeded *random* correlated
+      outages: each edge switch fails as an independent Poisson process at
+      this rate, capped at ``max_failures`` events (the stochastic companion
+      of the deterministic outage above; ``outage_spares_disks`` applies to
+      every drawn event).
 
-    Exactly one of the three must be set.  ``detection_delay_s`` models the
+    Exactly one of the four must be set.  ``detection_delay_s`` models the
     dispatcher noticing the dead node before starting the group rollback.
 
     Recovery placement (the recovery-orchestration subsystem):
@@ -53,7 +58,11 @@ class FailureSpec:
       keeps the pre-spare model of instantly restartable nodes),
     * ``serialize_recoveries`` disables concurrent recovery scheduling
       (every failure waits the previous recovery out) — the baseline the
-      concurrency experiments compare against.
+      concurrency experiments compare against,
+    * ``elastic`` enables shrink restart: when a victim cannot be replaced
+      from the spare pool, the job repartitions its work units onto the
+      surviving ranks (:class:`~repro.core.restart.ElasticRestart`) instead
+      of waiting out an in-place node reboot.
     """
 
     at_s: Optional[float] = None
@@ -70,14 +79,22 @@ class FailureSpec:
     #: True models a connectivity-only outage: nodes reboot with their local
     #: checkpoint images intact (the default outage destroys the disks)
     outage_spares_disks: bool = False
+    switch_outage_rate_per_switch_s: Optional[float] = None
+    elastic: bool = False
 
     def __post_init__(self) -> None:
         modes = sum(x is not None for x in
-                    (self.at_s, self.mtbf_per_node_s, self.switch_outage_at_s))
+                    (self.at_s, self.mtbf_per_node_s, self.switch_outage_at_s,
+                     self.switch_outage_rate_per_switch_s))
         if modes != 1:
             raise ValueError("set exactly one of at_s (deterministic kill), "
-                             "mtbf_per_node_s (Poisson kills) or "
-                             "switch_outage_at_s (correlated switch outage)")
+                             "mtbf_per_node_s (Poisson kills), "
+                             "switch_outage_at_s (correlated switch outage) "
+                             "or switch_outage_rate_per_switch_s (Poisson "
+                             "switch outages)")
+        if (self.switch_outage_rate_per_switch_s is not None
+                and self.switch_outage_rate_per_switch_s <= 0):
+            raise ValueError("switch_outage_rate_per_switch_s must be positive")
         if self.at_s is not None and self.at_s < 0:
             raise ValueError("at_s must be non-negative")
         if self.switch_outage_at_s is not None and self.switch_outage_at_s < 0:

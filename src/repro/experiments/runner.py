@@ -69,8 +69,23 @@ from repro.workloads.synthetic import (
 
 # --------------------------------------------------------------------------- workloads
 def build_workload(name: str, n_ranks: int, options: Optional[Dict[str, object]] = None) -> Workload:
-    """Instantiate a workload by name with optional parameter overrides."""
+    """Instantiate a workload by name with optional parameter overrides.
+
+    The reserved option ``n_units`` decouples the domain size from the
+    communicator size: the workload is built with that many work units and a
+    block partition maps them onto the ``n_ranks`` actually running (shrink
+    when ``n_units > n_ranks``, expand with idle ranks when smaller).
+    Without it the domain has one unit per rank (the identity partition —
+    bit-identical legacy scripts).
+    """
     options = dict(options or {})
+    n_units = options.pop("n_units", None)
+    if n_units is not None:
+        from repro.workloads.domain import Partition
+
+        wl = build_workload(name, int(n_units), options)
+        wl.set_partition(Partition.block(int(n_units), n_ranks))
+        return wl
     if name == "hpl":
         return HplWorkload(n_ranks, HplParameters(**options))
     if name == "cg":
@@ -344,6 +359,33 @@ class ScenarioResult:
         """Rebooted victim nodes that rejoined the spare pool."""
         return self.app.recovery_stats.get("spare_refills", 0)
 
+    # -- elastic-restart metrics ---------------------------------------------------
+    @property
+    def shrink_restarts(self) -> int:
+        """Spare-exhausted failures resolved by repartitioning onto survivors."""
+        return self.app.recovery_stats.get("shrink_restarts", 0)
+
+    @property
+    def ranks_after_restart(self) -> Optional[int]:
+        """Active rank count after the last shrink (None when never shrunk)."""
+        ranks = None
+        for rep in self.app.recovery:
+            if getattr(rep, "shrink", False):
+                ranks = rep.ranks_after
+        return ranks
+
+    @property
+    def units_migrated(self) -> int:
+        """Work units reassigned away from dead ranks across all shrinks."""
+        return sum(rep.units_migrated for rep in self.app.recovery
+                   if getattr(rep, "shrink", False))
+
+    @property
+    def repartition_bytes_shipped(self) -> int:
+        """Checkpoint-image bytes shipped to adopters across all shrinks."""
+        return sum(rep.repartition_bytes_shipped for rep in self.app.recovery
+                   if getattr(rep, "shrink", False))
+
     # -- storage-hierarchy metrics ------------------------------------------------
     @property
     def survived(self) -> bool:
@@ -485,6 +527,14 @@ def run_scenario(
                 nodes_per_switch=cluster_spec.nodes_per_switch,
                 destroy_disks=not fs.outage_spares_disks,
             )
+        elif fs.switch_outage_rate_per_switch_s is not None:
+            model = SwitchOutageFailureModel(
+                rate_per_switch_s=fs.switch_outage_rate_per_switch_s,
+                nodes_per_switch=cluster_spec.nodes_per_switch,
+                rng=RandomStreams(fs.seed),
+                max_outages=fs.max_failures,
+                destroy_disks=not fs.outage_spares_disks,
+            )
         else:
             model = PoissonFailureModel(
                 rate_per_node_s=1.0 / fs.mtbf_per_node_s,
@@ -492,11 +542,14 @@ def run_scenario(
                 max_failures=fs.max_failures,
             )
         spare_pool = SparePool(cluster, fs.n_spares) if fs.n_spares > 0 else None
+        if fs.elastic:
+            runtime.workload = workload
         FailureInjector(runtime, model,
                         detection_delay_s=fs.detection_delay_s,
                         spare_pool=spare_pool,
                         reboot_delay_s=fs.reboot_delay_s,
-                        concurrent=not fs.serialize_recoveries).start()
+                        concurrent=not fs.serialize_recoveries,
+                        elastic=fs.elastic).start()
     runtime.launch(workload.program_factory())
     app = runtime.run_to_completion(limit_s=1e8)
 

@@ -555,6 +555,10 @@ class MpiRuntime:
         #: failure-free runs execute the exact pre-existing fast path.
         self.failures_enabled = False
         self._program_factory: Optional[ProgramFactory] = None
+        #: the live :class:`~repro.workloads.base.Workload` when the driver
+        #: attaches one; enables per-unit domain progress capture in resume
+        #: points / checkpoint images and elastic (repartitioning) restart
+        self.workload: Optional[Any] = None
         #: recovery orchestrations currently in flight (driven alongside the
         #: rank processes by :meth:`run_to_completion`)
         self._recovery_inflight: List[SimProcess] = []
@@ -963,8 +967,10 @@ class MpiRuntime:
         partner replica).  Returns the levels the image landed on, which the
         protocol records in the snapshot metadata.
         """
+        domain_state = self.domain_progress(ctx) if self.workload is not None else None
         levels = yield from self.cluster.hierarchy.write_image(
-            ctx.rank, ctx.node_id, ckpt_id, nbytes)
+            ctx.rank, ctx.node_id, ckpt_id, nbytes,
+            domain_state=domain_state or None)
         return levels
 
     # --------------------------------------------------------------- checkpoints
@@ -1042,7 +1048,19 @@ class MpiRuntime:
                            rr=account.snapshot_received(),
                            ss_msgs=ss_msgs,
                            rr_msgs=account.messages_received_by_source(),
-                           inbox=inbox)
+                           inbox=inbox,
+                           domain_state=self.domain_progress(ctx))
+
+    def domain_progress(self, ctx: RankContext) -> Dict[int, int]:
+        """Per-unit completed-step counts of ``ctx`` at its current cursor.
+
+        Empty when no workload is attached (legacy drivers) — checkpoints
+        then carry no domain payload and elastic restart is unavailable.
+        """
+        wl = self.workload
+        if wl is None or not hasattr(wl, "domain_progress"):
+            return {}
+        return wl.domain_progress(ctx.rank, ctx.op_cursor)
 
     def kill_rank(self, rank: int, cause: Any = "node-failure") -> None:
         """Kill ``rank``'s process at the current instant (node death).
@@ -1094,17 +1112,24 @@ class MpiRuntime:
         ctx.stats.rollbacks += 1
         return resume.op_index
 
-    def relaunch_rank(self, rank: int, op_index: int) -> SimProcess:
+    def relaunch_rank(self, rank: int, op_index: int,
+                      program: Optional[Iterable[Any]] = None) -> SimProcess:
         """Re-create ``rank``'s process, resuming its script at ``op_index``.
 
         The operations before ``op_index`` are *not* re-executed — their
         effects live in the restored checkpoint image — so the fresh program
-        iterator is simply advanced past them.
+        iterator is simply advanced past them.  An explicit ``program``
+        replaces the launch-time script entirely (elastic restart relaunches
+        survivors with a *repartitioned* script); ``op_index`` then indexes
+        into the new script.
         """
-        if self._program_factory is None:
+        if program is None and self._program_factory is None:
             raise RuntimeError("launch() must run before a rank can be relaunched")
         ctx = self.contexts[rank]
-        program = iter(self._program_factory(rank))
+        if program is None:
+            program = iter(self._program_factory(rank))
+        else:
+            program = iter(program)
         if op_index > 0:
             program = itertools.islice(program, op_index, None)
         proc = self.sim.process(

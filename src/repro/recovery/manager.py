@@ -93,6 +93,13 @@ class RecoveryManager:
         Reboot time a crashed node needs before an *in-place* restart can
         read its image (spare placements skip it; 0 keeps the pre-spare
         behaviour of instantly restartable nodes).
+    elastic / workload:
+        With ``elastic=True`` and a partitionable workload attached, a
+        failure whose victims cannot all be replaced from the spare pool is
+        handled by :class:`~repro.core.restart.ElasticRestart`: the job
+        *shrinks* onto the survivors (dead ranks' work units redistributed,
+        their images shipped to the adopters) instead of waiting out an
+        in-place node reboot.
     """
 
     def __init__(
@@ -102,16 +109,25 @@ class RecoveryManager:
         detection_delay_s: float = 0.25,
         barrier_cost_s: float = 0.02,
         reboot_delay_s: float = 0.0,
+        elastic: bool = False,
+        workload: Optional[object] = None,
     ) -> None:
         if detection_delay_s < 0:
             raise ValueError("detection_delay_s must be non-negative")
         if reboot_delay_s < 0:
             raise ValueError("reboot_delay_s must be non-negative")
+        if elastic and workload is None:
+            workload = runtime.workload
+        if elastic and workload is None:
+            raise ValueError("elastic mode needs a workload (pass one or set "
+                             "runtime.workload)")
         self.runtime = runtime
         self.spare_pool = spare_pool
         self.detection_delay_s = detection_delay_s
         self.barrier_cost_s = barrier_cost_s
         self.reboot_delay_s = reboot_delay_s
+        self.elastic = elastic
+        self.workload = workload
         self.active: List[_Active] = []
         self.queue: List[_Pending] = []
         self._drain_waiters: List[Event] = []
@@ -120,6 +136,7 @@ class RecoveryManager:
         self.aborted_recoveries = 0
         self.serialized_conflicts = 0
         self.max_concurrent_recoveries = 0
+        self.shrink_restarts = 0
         runtime.attach_failure_source()
         runtime.recovery_manager = self
 
@@ -219,7 +236,7 @@ class RecoveryManager:
     # -- recovery lifecycle ----------------------------------------------------
     def _start(self, event: "FailureEvent", victims: Set[int],
                scope: Set[int], attempts: int, origin_time: float) -> None:
-        from repro.core.restart import LiveRecovery
+        from repro.core.restart import ElasticRestart, LiveRecovery
 
         runtime = self.runtime
         placements: Dict[int, int] = {}
@@ -234,19 +251,41 @@ class RecoveryManager:
                 placements[rank] = spare
             else:
                 dead_nodes.add(ctx.node_id)
-        recovery = LiveRecovery(
-            runtime, sorted(victims),
-            detection_delay_s=self.detection_delay_s,
-            barrier_cost_s=self.barrier_cost_s,
-            node=event.node,
-            placements=placements,
-            dead_nodes=dead_nodes,
-            reboot_delay_s=self.reboot_delay_s,
-            superseded_attempts=attempts,
-            origin_time=origin_time,
-            cause=event.cause,
-            spare_pool=self.spare_pool,
-        )
+        if self.elastic and self.workload is not None and dead_nodes:
+            # Spares exhausted for at least one victim: shrink the job onto
+            # the survivors instead of waiting out a node reboot.  Spares the
+            # loop above did reserve go straight back to the pool (the shrink
+            # retires every victim on a dead node) and the recovery's scope
+            # widens to the whole communicator — a global reset means any
+            # later failure supersedes this attempt.
+            if self.spare_pool is not None:
+                for rank, node in placements.items():
+                    self.spare_pool.release(node, rank)
+            self.shrink_restarts += 1
+            scope = set(range(runtime.n_ranks))
+            recovery = ElasticRestart(
+                runtime, sorted(victims), self.workload,
+                detection_delay_s=self.detection_delay_s,
+                barrier_cost_s=self.barrier_cost_s,
+                node=event.node,
+                superseded_attempts=attempts,
+                origin_time=origin_time,
+                cause=event.cause,
+            )
+        else:
+            recovery = LiveRecovery(
+                runtime, sorted(victims),
+                detection_delay_s=self.detection_delay_s,
+                barrier_cost_s=self.barrier_cost_s,
+                node=event.node,
+                placements=placements,
+                dead_nodes=dead_nodes,
+                reboot_delay_s=self.reboot_delay_s,
+                superseded_attempts=attempts,
+                origin_time=origin_time,
+                cause=event.cause,
+                spare_pool=self.spare_pool,
+            )
         proc = runtime.sim.process(recovery.run(), name="live-recovery")
         runtime._recovery_inflight.append(proc)
         active = _Active(event, victims, scope, recovery, proc, attempts,
@@ -338,6 +377,7 @@ class RecoveryManager:
             "aborted_recoveries": self.aborted_recoveries,
             "serialized_conflicts": self.serialized_conflicts,
             "max_concurrent_recoveries": self.max_concurrent_recoveries,
+            "shrink_restarts": self.shrink_restarts,
         }
         pool = self.spare_pool
         out["spare_migrations"] = len(pool.placements) if pool is not None else 0

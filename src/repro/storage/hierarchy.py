@@ -67,6 +67,10 @@ class ImageRecord:
     nbytes: int
     origin_node: int
     copies: List[ImageCopy] = field(default_factory=list)
+    #: per-work-unit domain progress captured with the image (unit → completed
+    #: steps); elastic shrink restarts read this from a dead rank's newest
+    #: surviving image to know where its adopted units resume
+    domain_state: Optional[Dict[int, int]] = None
     #: scheduled async (L2) copies still in flight; the image is *safe* —
     #: eligible as a garbage-collection point for the sender logs protecting
     #: it — only once this reaches zero (a copy that dies with its endpoint
@@ -217,7 +221,8 @@ class StorageHierarchy:
         return elapsed
 
     def write_image(
-        self, rank: int, node: int, ckpt_id: int, nbytes: int
+        self, rank: int, node: int, ckpt_id: int, nbytes: int,
+        domain_state: Optional[Dict[int, int]] = None,
     ) -> Generator[Event, None, Tuple[str, ...]]:
         """Persist one checkpoint image according to the policy.
 
@@ -232,11 +237,13 @@ class StorageHierarchy:
             yield from self.write(node, nbytes)
             self._record_copy(rank, ckpt_id, nbytes, node,
                               self.base_level,
-                              node if self.base_level == "L1" else None)
+                              node if self.base_level == "L1" else None,
+                              domain_state=domain_state)
             return (self.base_level,)
         assert self.policy is not None
         levels = tier_levels(self.policy, ckpt_id)
-        record = self._record(rank, ckpt_id, nbytes, node)
+        record = self._record(rank, ckpt_id, nbytes, node,
+                              domain_state=domain_state)
         if "L1" in levels:
             yield from self.local.write(node, nbytes)
             self.tier_bytes_written["L1"] += nbytes
@@ -357,15 +364,18 @@ class StorageHierarchy:
             slots.release(hold)
 
     # -- catalog ---------------------------------------------------------------
-    def _record(self, rank: int, ckpt_id: int, nbytes: int, node: int) -> ImageRecord:
+    def _record(self, rank: int, ckpt_id: int, nbytes: int, node: int,
+                domain_state: Optional[Dict[int, int]] = None) -> ImageRecord:
         record = ImageRecord(rank=rank, ckpt_id=ckpt_id, nbytes=nbytes,
-                             origin_node=node)
+                             origin_node=node, domain_state=domain_state)
         self.catalog[(rank, ckpt_id)] = record
         return record
 
     def _record_copy(self, rank: int, ckpt_id: int, nbytes: int,
-                     origin: int, level: str, node: Optional[int]) -> None:
-        record = self._record(rank, ckpt_id, nbytes, origin)
+                     origin: int, level: str, node: Optional[int],
+                     domain_state: Optional[Dict[int, int]] = None) -> None:
+        record = self._record(rank, ckpt_id, nbytes, origin,
+                              domain_state=domain_state)
         record.copies.append(ImageCopy(level, node, self.sim.now))
 
     def image_levels(self, rank: int, ckpt_id: int) -> Tuple[str, ...]:

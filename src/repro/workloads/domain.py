@@ -1,0 +1,243 @@
+"""Decomposable work: domains, work units, and partitions onto ranks.
+
+The original workload API produced "a script per fixed rank": the work a rank
+executes was baked into ``program(rank)`` at construction time, so a job could
+only ever restart on the rank count it started with.  This module splits that
+into two independent pieces:
+
+* a **domain** — the rank-count-independent description of the work: one
+  :class:`WorkUnit` per natural decomposition element (a halo tile, an HPL
+  panel column, a CG/SP row chunk) with its compute cost, resident memory and
+  total point-to-point message volume, and
+* a **partition** — an explicit assignment of units to ranks.
+
+Under the *identity* partition (unit ``u`` on rank ``u``) every workload's
+derived ``program(rank)`` is byte-for-byte the legacy script — that is what
+keeps the determinism goldens bit-identical.  Under any other partition the
+owning workload merges the units' native scripts step-by-step (see
+``Workload._merge_units``), which is what elastic shrink/expand restart uses
+to resume a checkpointed job on a different communicator size.
+
+Domain totals (compute seconds, message bytes, memory bytes) are computed
+from the native unit scripts and are therefore *partition-independent by
+construction*: repartitioning moves work, it never creates or destroys it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One indivisible element of a workload's domain decomposition.
+
+    ``compute_seconds`` and ``message_bytes`` are the unit's *whole-script*
+    totals (summed over every step of its native program); ``steps`` is the
+    number of Marker-delimited simulated steps the unit executes.
+    """
+
+    uid: int
+    compute_seconds: float
+    memory_bytes: int
+    message_bytes: int
+    steps: int
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            raise ValueError("uid must be non-negative")
+        if self.compute_seconds < 0:
+            raise ValueError("compute_seconds must be non-negative")
+        if self.memory_bytes < 0 or self.message_bytes < 0:
+            raise ValueError("byte volumes must be non-negative")
+        if self.steps < 0:
+            raise ValueError("steps must be non-negative")
+
+
+@dataclass(frozen=True)
+class Domain:
+    """The rank-count-independent work of one workload: a tuple of units."""
+
+    units: Tuple[WorkUnit, ...]
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Total compute over all units (conserved by any partition)."""
+        return sum(u.compute_seconds for u in self.units)
+
+    @property
+    def total_message_bytes(self) -> int:
+        """Total point-to-point bytes sent over all units (conserved)."""
+        return sum(u.message_bytes for u in self.units)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Total resident memory over all units (conserved)."""
+        return sum(u.memory_bytes for u in self.units)
+
+    @property
+    def steps(self) -> int:
+        """The step count of the longest unit (units are usually uniform)."""
+        return max((u.steps for u in self.units), default=0)
+
+    def weights(self) -> Dict[int, float]:
+        """uid → compute weight, the default load measure for repartitioning."""
+        return {u.uid: u.compute_seconds for u in self.units}
+
+
+class Partition:
+    """An assignment of domain units to ranks of a communicator.
+
+    ``owner[u]`` is the rank executing unit ``u``; ``n_ranks`` is the
+    communicator size, which may be smaller (shrink), equal, or larger
+    (expand — some ranks own nothing) than the unit count.  Partitions are
+    immutable; repartitioning produces a new instance.
+    """
+
+    __slots__ = ("owner", "n_ranks", "_units_of")
+
+    def __init__(self, owner: Sequence[int], n_ranks: int) -> None:
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if not owner:
+            raise ValueError("a partition must cover at least one unit")
+        owner = tuple(int(r) for r in owner)
+        for u, rank in enumerate(owner):
+            if not 0 <= rank < n_ranks:
+                raise ValueError(
+                    f"unit {u} assigned to rank {rank} outside [0, {n_ranks})")
+        self.owner: Tuple[int, ...] = owner
+        self.n_ranks = n_ranks
+        buckets: List[List[int]] = [[] for _ in range(n_ranks)]
+        for u, rank in enumerate(owner):
+            buckets[rank].append(u)
+        self._units_of: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(b) for b in buckets)
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def identity(cls, n_units: int) -> "Partition":
+        """Unit ``u`` on rank ``u`` — the legacy fixed-rank layout."""
+        return cls(tuple(range(n_units)), n_units)
+
+    @classmethod
+    def block(cls, n_units: int, n_ranks: int) -> "Partition":
+        """Contiguous blocks of units, balanced to within one unit.
+
+        With ``n_ranks > n_units`` the trailing ranks own nothing (the
+        expand case); with ``n_ranks < n_units`` ranks own multiple
+        neighbouring units (locality-preserving shrink).
+        """
+        if n_units < 1:
+            raise ValueError("n_units must be >= 1")
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        active = min(n_units, n_ranks)
+        base, extra = divmod(n_units, active)
+        owner: List[int] = []
+        for rank in range(active):
+            owner.extend([rank] * (base + (1 if rank < extra else 0)))
+        return cls(owner, n_ranks)
+
+    # -- views ----------------------------------------------------------------
+    @property
+    def n_units(self) -> int:
+        return len(self.owner)
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the one-unit-per-same-rank layout (legacy scripts)."""
+        return (self.n_ranks == len(self.owner)
+                and all(r == u for u, r in enumerate(self.owner)))
+
+    def units_of(self, rank: int) -> Tuple[int, ...]:
+        """Units owned by ``rank``, ascending (empty for idle ranks)."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} outside [0, {self.n_ranks})")
+        return self._units_of[rank]
+
+    def active_ranks(self) -> Tuple[int, ...]:
+        """Ranks owning at least one unit, ascending."""
+        return tuple(r for r in range(self.n_ranks) if self._units_of[r])
+
+    # -- repartitioning -------------------------------------------------------
+    def reassign(
+        self,
+        dead_ranks: Iterable[int],
+        weights: Optional[Mapping[int, float]] = None,
+    ) -> "Partition":
+        """Redistribute dead ranks' units onto the surviving ranks.
+
+        The communicator keeps its size (dead ranks simply own nothing
+        afterwards); orphaned units go, in ascending uid order, to the
+        least-loaded survivor by ``weights`` (unit compute cost; uniform when
+        None), ties broken by lowest rank id — fully deterministic.
+        """
+        dead = set(dead_ranks)
+        survivors = [r for r in range(self.n_ranks) if r not in dead]
+        if not survivors:
+            raise ValueError("cannot reassign: every rank is dead")
+        load: Dict[int, float] = {r: 0.0 for r in survivors}
+        owner = list(self.owner)
+        for u, rank in enumerate(owner):
+            if rank not in dead:
+                load[rank] += weights.get(u, 1.0) if weights else 1.0
+        for u, rank in enumerate(owner):
+            if rank in dead:
+                target = min(survivors, key=lambda r: (load[r], r))
+                owner[u] = target
+                load[target] += weights.get(u, 1.0) if weights else 1.0
+        return Partition(owner, self.n_ranks)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Partition)
+                and self.owner == other.owner
+                and self.n_ranks == other.n_ranks)
+
+    def __hash__(self) -> int:
+        return hash((self.owner, self.n_ranks))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Partition {self.n_units} units → {self.n_ranks} ranks"
+                f"{' (identity)' if self.is_identity else ''}>")
+
+
+@dataclass(frozen=True)
+class RepartitionPlan:
+    """One elastic shrink decided by recovery: who adopts what, from where.
+
+    ``adoptions`` lists every migrated unit as ``(unit, from_rank, to_rank)``;
+    ``resume_step`` is the consistent step boundary every unit restarts from
+    (the minimum per-unit progress recorded in the recovery line's images —
+    conservative: units ahead of the line re-execute the difference).
+    """
+
+    failed_ranks: Tuple[int, ...]
+    new_partition: Partition
+    resume_step: int
+    target_ckpt_id: Optional[int]
+    adoptions: Tuple[Tuple[int, int, int], ...]
+
+    @property
+    def units_migrated(self) -> int:
+        """Units that changed owner under the new partition."""
+        return len(self.adoptions)
+
+    @property
+    def ranks_after(self) -> int:
+        """Communicator size actually doing work after the shrink."""
+        return len(self.new_partition.active_ranks())
+
+    def image_ships(self) -> Tuple[Tuple[int, int], ...]:
+        """Distinct ``(from_rank, to_rank)`` image transfers the shrink needs.
+
+        Every adopter restores the domain progress of the units it takes from
+        a dead rank's newest surviving checkpoint image, so each (dead rank,
+        adopter) pair ships that image once over the live network.
+        """
+        return tuple(sorted({(src, dst) for _u, src, dst in self.adoptions}))

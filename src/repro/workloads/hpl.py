@@ -97,10 +97,10 @@ class HplWorkload(Workload):
         self._chunks = coarsen_steps(natural_steps, params.max_steps)
 
     # -- grid geometry (row-major mapping, as in the paper) -----------------------
-    def coords(self, rank: int) -> Tuple[int, int]:
-        """(row, col) of ``rank`` on the P×Q grid under row-major mapping."""
-        self._check_rank(rank)
-        return rank // self.Q, rank % self.Q
+    def coords(self, unit: int) -> Tuple[int, int]:
+        """(row, col) of ``unit`` on the P×Q grid under row-major mapping."""
+        self._check_unit(unit)
+        return unit // self.Q, unit % self.Q
 
     def rank_of(self, row: int, col: int) -> int:
         """Rank at grid position (row, col)."""
@@ -117,9 +117,9 @@ class HplWorkload(Workload):
         return tuple(self.rank_of(row, c) for c in range(self.Q))
 
     # -- sizing ------------------------------------------------------------------
-    def memory_bytes(self, rank: int) -> int:
+    def native_memory_bytes(self, unit: int) -> int:
         """Local share of the N×N matrix plus ~10% workspace."""
-        self._check_rank(rank)
+        self._check_unit(unit)
         n = self.params.problem_size
         local = _BYTES_PER_WORD * n * n / (self.P * self.Q)
         return int(local * 1.10)
@@ -131,7 +131,7 @@ class HplWorkload(Workload):
 
     def estimated_compute_seconds(self) -> float:
         """Compute-only lower bound on execution time."""
-        rate = self.params.gflops_per_rank * 1e9 * self.n_ranks
+        rate = self.params.gflops_per_rank * 1e9 * self.n_units
         return self.total_flops() / rate
 
     # -- per-step byte counts --------------------------------------------------------
@@ -148,9 +148,10 @@ class HplWorkload(Workload):
         return real_steps * flops / (self.params.gflops_per_rank * 1e9)
 
     # -- script ----------------------------------------------------------------------
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of grid cell ``unit``."""
+        self._check_unit(unit)
+        rank = unit
         p = self.params
         row, col = self.coords(rank)
         col_members = self.column_members(col)
@@ -239,5 +240,5 @@ class HplWorkload(Workload):
         bcast = "" if p.row_bcast == "ring" else f", {p.row_bcast} row bcast"
         return (
             f"HPL N={p.problem_size} NB={p.block_size} on {self.P}x{self.Q} grid "
-            f"({self.n_ranks} ranks, {len(self._chunks)} simulated steps{bcast})"
+            f"({self.n_units} ranks, {len(self._chunks)} simulated steps{bcast})"
         )

@@ -93,10 +93,10 @@ class CgWorkload(Workload):
         self._chunks = coarsen_steps(params.total_matvecs, params.max_steps)
 
     # -- geometry ----------------------------------------------------------------
-    def coords(self, rank: int) -> Tuple[int, int]:
-        """(proc_row, proc_col) of ``rank``; CG numbers ranks row-major."""
-        self._check_rank(rank)
-        return rank // self.npcols, rank % self.npcols
+    def coords(self, unit: int) -> Tuple[int, int]:
+        """(proc_row, proc_col) of ``unit``; CG numbers ranks row-major."""
+        self._check_unit(unit)
+        return unit // self.npcols, unit % self.npcols
 
     def rank_of(self, proc_row: int, proc_col: int) -> int:
         """Rank at grid position (proc_row, proc_col)."""
@@ -123,11 +123,11 @@ class CgWorkload(Workload):
         return self.rank_of(folded_col, proc_row + self.nprows * half)
 
     # -- sizing ---------------------------------------------------------------------
-    def memory_bytes(self, rank: int) -> int:
+    def native_memory_bytes(self, unit: int) -> int:
         """Local share of the sparse matrix (values + indices) plus vectors."""
-        self._check_rank(rank)
+        self._check_unit(unit)
         p = self.params
-        matrix = p.nnz * (_BYTES_PER_WORD + 4) / self.n_ranks
+        matrix = p.nnz * (_BYTES_PER_WORD + 4) / self.n_units
         vectors = 8.0 * p.na / self.npcols * 6
         return int(matrix + vectors)
 
@@ -136,7 +136,7 @@ class CgWorkload(Workload):
         return int(_BYTES_PER_WORD * self.params.na / self.npcols)
 
     def _matvec_seconds(self) -> float:
-        flops = 2.0 * self.params.nnz / self.n_ranks
+        flops = 2.0 * self.params.nnz / self.n_units
         return flops / (self.params.gflops_per_rank * 1e9)
 
     # -- script ------------------------------------------------------------------------
@@ -151,9 +151,10 @@ class CgWorkload(Workload):
             stage *= 2
         return partners
 
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of grid cell ``unit``."""
+        self._check_unit(unit)
+        rank = unit
         seg = self.segment_bytes()
         partners = self._reduce_partners(rank)
         transpose = self.transpose_partner(rank)
@@ -177,5 +178,5 @@ class CgWorkload(Workload):
         p = self.params
         return (
             f"NPB CG class-C-like (na={p.na}) on {self.nprows}x{self.npcols} grid "
-            f"({self.n_ranks} ranks, {len(self._chunks)} simulated iterations)"
+            f"({self.n_units} ranks, {len(self._chunks)} simulated iterations)"
         )

@@ -65,10 +65,10 @@ class SpWorkload(Workload):
         self._chunks = coarsen_steps(params.time_steps, params.max_steps)
 
     # -- geometry -----------------------------------------------------------------
-    def coords(self, rank: int) -> Tuple[int, int]:
+    def coords(self, unit: int) -> Tuple[int, int]:
         """(row, col) on the √p × √p grid."""
-        self._check_rank(rank)
-        return rank // self.side, rank % self.side
+        self._check_unit(unit)
+        return unit // self.side, unit % self.side
 
     def rank_of(self, row: int, col: int) -> int:
         """Rank at (row, col), with wrap-around (the sweeps are cyclic pipelines)."""
@@ -85,11 +85,11 @@ class SpWorkload(Workload):
         )
 
     # -- sizing -----------------------------------------------------------------------
-    def memory_bytes(self, rank: int) -> int:
+    def native_memory_bytes(self, unit: int) -> int:
         """Local share of the 162³×5-variable state (about 15 arrays of that size)."""
-        self._check_rank(rank)
+        self._check_unit(unit)
         g = self.params.grid_points
-        per_rank_points = g * g * g / self.n_ranks
+        per_rank_points = g * g * g / self.n_units
         return int(per_rank_points * _N_VARIABLES * _BYTES_PER_WORD * 3.0)
 
     def face_bytes(self) -> int:
@@ -100,14 +100,14 @@ class SpWorkload(Workload):
 
     def _step_compute_seconds(self) -> float:
         g = self.params.grid_points
-        flops = g * g * g * self.params.flops_per_point / self.n_ranks
+        flops = g * g * g * self.params.flops_per_point / self.n_units
         return flops / (self.params.gflops_per_rank * 1e9)
 
     # -- script ---------------------------------------------------------------------------
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
-        east, west, north, south = self.neighbours(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of grid cell ``unit``."""
+        self._check_unit(unit)
+        east, west, north, south = self.neighbours(unit)
         face = self.face_bytes()
         compute_s = self._step_compute_seconds()
 
@@ -140,5 +140,5 @@ class SpWorkload(Workload):
         p = self.params
         return (
             f"NPB SP class-C-like ({p.grid_points}^3) on {self.side}x{self.side} grid "
-            f"({self.n_ranks} ranks, {len(self._chunks)} simulated iterations)"
+            f"({self.n_units} ranks, {len(self._chunks)} simulated iterations)"
         )

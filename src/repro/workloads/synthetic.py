@@ -50,9 +50,9 @@ class _SyntheticBase(Workload):
         super().__init__(n_ranks)
         self.params = params
 
-    def memory_bytes(self, rank: int) -> int:
-        """Constant per-rank footprint."""
-        self._check_rank(rank)
+    def native_memory_bytes(self, unit: int) -> int:
+        """Constant per-unit footprint."""
+        self._check_unit(unit)
         return self.params.memory_bytes
 
 
@@ -61,16 +61,16 @@ class RingWorkload(_SyntheticBase):
 
     name = "ring"
 
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of ring position ``unit``."""
+        self._check_unit(unit)
         p = self.params
-        right = (rank + 1) % self.n_ranks
-        left = (rank - 1) % self.n_ranks
+        right = (unit + 1) % self.n_units
+        left = (unit - 1) % self.n_units
         compute = Compute(seconds=p.compute_seconds)
         exchange = (
             SendRecv(dst=right, send_nbytes=p.message_bytes, src=left, tag=1)
-            if self.n_ranks > 1 else None
+            if self.n_units > 1 else None
         )
         for it in range(p.iterations):
             yield Marker(label=f"iter:{it}")
@@ -91,16 +91,16 @@ class Halo2DWorkload(_SyntheticBase):
             self.cols -= 1
         self.rows = n_ranks // self.cols
 
-    def coords(self, rank: int) -> Tuple[int, int]:
-        """(row, col) of ``rank`` on the rows×cols grid."""
-        self._check_rank(rank)
-        return rank // self.cols, rank % self.cols
+    def coords(self, unit: int) -> Tuple[int, int]:
+        """(row, col) of tile ``unit`` on the rows×cols grid."""
+        self._check_unit(unit)
+        return unit // self.cols, unit % self.cols
 
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of halo tile ``unit``."""
+        self._check_unit(unit)
         p = self.params
-        row, col = self.coords(rank)
+        row, col = self.coords(unit)
         east = row * self.cols + (col + 1) % self.cols
         west = row * self.cols + (col - 1) % self.cols
         south = ((row + 1) % self.rows) * self.cols + col
@@ -126,14 +126,14 @@ class MasterWorkerWorkload(_SyntheticBase):
 
     name = "master-worker"
 
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of ``unit`` (unit 0 is the master)."""
+        self._check_unit(unit)
         p = self.params
-        workers = list(range(1, self.n_ranks))
+        workers = list(range(1, self.n_units))
         for it in range(p.iterations):
             yield Marker(label=f"iter:{it}")
-            if rank == 0:
+            if unit == 0:
                 for w in workers:
                     yield Send(dst=w, nbytes=p.message_bytes, tag=1)
                 for w in workers:
@@ -149,11 +149,11 @@ class AllToAllWorkload(_SyntheticBase):
 
     name = "all-to-all"
 
-    def program(self, rank: int) -> Iterator[Op]:
-        """Operation script of ``rank``."""
-        self._check_rank(rank)
+    def native_program(self, unit: int) -> Iterator[Op]:
+        """Native operation script of ``unit``."""
+        self._check_unit(unit)
         p = self.params
-        others = [r for r in range(self.n_ranks) if r != rank]
+        others = [u for u in range(self.n_units) if u != unit]
         for it in range(p.iterations):
             yield Marker(label=f"iter:{it}")
             yield Compute(seconds=p.compute_seconds)

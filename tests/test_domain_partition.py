@@ -1,0 +1,184 @@
+"""Property tests for the domain/partition layer (elastic restart tentpole).
+
+The refactor's core contract: a :class:`~repro.workloads.domain.Partition` is
+pure bookkeeping.  Any valid assignment of units to ranks — shrink, expand,
+or arbitrary shuffle — conserves the domain's total compute seconds, total
+point-to-point message bytes and total resident memory, measured from the
+*derived per-rank scripts* (so merge bugs cannot hide behind the domain
+arithmetic).  Under the identity partition the derived scripts are the legacy
+scripts op-for-op, which is what keeps the determinism goldens bit-identical.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.elastic import measured_totals
+from repro.experiments.runner import build_workload
+from repro.workloads.domain import Domain, Partition, RepartitionPlan, WorkUnit
+
+
+#: the five workloads of the paper harness, at property-test scale:
+#: (unit count, cheap parameter overrides).  SP needs a square count.
+WORKLOADS = {
+    "ring": (6, {"iterations": 4, "memory_bytes": 1 << 20}),
+    "halo2d": (6, {"iterations": 4, "memory_bytes": 1 << 20}),
+    "hpl": (8, {"problem_size": 2000, "block_size": 200, "max_steps": 6}),
+    "cg": (8, {"na": 14000, "max_steps": 4}),
+    "sp": (9, {"grid_points": 36, "max_steps": 3, "time_steps": 6}),
+}
+
+_CACHE = {}
+
+
+def _workload(name):
+    """One shared instance per workload (examples only mutate the partition)."""
+    if name not in _CACHE:
+        n_units, options = WORKLOADS[name]
+        wl = build_workload(name, n_units, dict(options))
+        reference = measured_totals(wl, n_units)
+        _CACHE[name] = (wl, reference)
+    return _CACHE[name]
+
+
+# ------------------------------------------------------------------ conservation
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+@settings(max_examples=12, deadline=None)
+@given(data=st.data())
+def test_any_partition_conserves_totals(name, data):
+    """Random unit→rank maps conserve compute, message bytes and memory."""
+    wl, (ref_compute, ref_message, ref_memory) = _workload(name)
+    n_units = wl.n_units
+    n_ranks = data.draw(st.integers(min_value=1, max_value=n_units + 3),
+                        label="n_ranks")
+    owner = data.draw(st.lists(st.integers(0, n_ranks - 1),
+                               min_size=n_units, max_size=n_units),
+                      label="owner")
+    wl.set_partition(Partition(owner, n_ranks))
+    try:
+        compute, message, memory = measured_totals(wl, n_ranks)
+    finally:
+        wl.set_partition(Partition.identity(n_units))
+    assert math.isclose(compute, ref_compute, rel_tol=1e-9)
+    assert message == ref_message
+    assert memory == ref_memory
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_block_partitions_conserve_across_rank_counts(name):
+    """Shrink and expand block partitions carry identical totals."""
+    wl, (ref_compute, ref_message, ref_memory) = _workload(name)
+    n_units = wl.n_units
+    try:
+        for n_ranks in (1, 2, n_units - 1, n_units, n_units + 2):
+            wl.set_partition(Partition.block(n_units, n_ranks))
+            compute, message, memory = measured_totals(wl, n_ranks)
+            assert math.isclose(compute, ref_compute, rel_tol=1e-9), n_ranks
+            assert message == ref_message, n_ranks
+            assert memory == ref_memory, n_ranks
+    finally:
+        wl.set_partition(Partition.identity(n_units))
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_domain_totals_match_measured_scripts(name):
+    """Domain arithmetic agrees with the scripts it summarises."""
+    wl, (ref_compute, ref_message, ref_memory) = _workload(name)
+    domain = wl.domain()
+    assert domain.n_units == wl.n_units
+    assert math.isclose(domain.total_compute_seconds, ref_compute, rel_tol=1e-9)
+    assert domain.total_message_bytes == ref_message
+    assert domain.total_memory_bytes == ref_memory
+
+
+# ------------------------------------------------------- identity == legacy
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_identity_partition_equals_legacy_script(name):
+    """Explicit identity partition yields the legacy script op-for-op."""
+    wl, _ = _workload(name)
+    wl.set_partition(Partition.identity(wl.n_units))
+    try:
+        for rank in range(wl.n_units):
+            assert list(wl.program(rank)) == list(wl.native_program(rank))
+            assert wl.memory_bytes(rank) == wl.native_memory_bytes(rank)
+    finally:
+        wl.set_partition(Partition.identity(wl.n_units))
+
+
+def test_total_operations_cached_and_invalidated():
+    wl = build_workload("ring", 4, {"iterations": 4})
+    first = wl.total_operations(2)
+    assert wl._total_ops.get(2) == first
+    assert wl.total_operations(2) == first
+    wl.set_partition(Partition.block(4, 2))
+    assert not wl._total_ops
+    merged = wl.total_operations(0)
+    assert merged == wl.total_operations(0)
+
+
+# ------------------------------------------------------------------- partition
+def test_partition_validation():
+    with pytest.raises(ValueError):
+        Partition((), 2)
+    with pytest.raises(ValueError):
+        Partition((0, 2), 2)
+    with pytest.raises(ValueError):
+        Partition((0,), 0)
+    with pytest.raises(ValueError):
+        Partition.block(0, 2)
+
+
+def test_block_partition_shapes():
+    part = Partition.block(7, 3)
+    sizes = [len(part.units_of(r)) for r in range(3)]
+    assert sum(sizes) == 7 and max(sizes) - min(sizes) <= 1
+    # expand: trailing ranks idle, still valid
+    wide = Partition.block(3, 5)
+    assert wide.active_ranks() == (0, 1, 2)
+    assert wide.units_of(4) == ()
+    assert Partition.block(4, 4).is_identity
+
+
+@given(n_units=st.integers(2, 12), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_reassign_covers_orphans_deterministically(n_units, data):
+    n_ranks = data.draw(st.integers(2, n_units + 2), label="n_ranks")
+    owner = data.draw(st.lists(st.integers(0, n_ranks - 1),
+                               min_size=n_units, max_size=n_units),
+                      label="owner")
+    part = Partition(owner, n_ranks)
+    dead = data.draw(st.sets(st.integers(0, n_ranks - 1),
+                             max_size=n_ranks - 1), label="dead")
+    repart = part.reassign(dead)
+    # same communicator size, every unit owned by a survivor
+    assert repart.n_ranks == part.n_ranks
+    assert all(r not in dead for r in repart.owner)
+    # surviving ranks keep exactly their old units
+    for rank in range(n_ranks):
+        if rank not in dead:
+            assert set(part.units_of(rank)) <= set(repart.units_of(rank))
+    # deterministic: same inputs, same plan
+    assert repart == part.reassign(dead)
+
+
+def test_reassign_all_dead_raises():
+    with pytest.raises(ValueError):
+        Partition.identity(3).reassign({0, 1, 2})
+
+
+def test_repartition_plan_derived_views():
+    part = Partition((0, 2, 2), 3)
+    plan = RepartitionPlan(
+        failed_ranks=(1,), new_partition=part, resume_step=4,
+        target_ckpt_id=2, adoptions=((1, 1, 2), (2, 1, 2)))
+    assert plan.units_migrated == 2
+    assert plan.ranks_after == 2
+    assert plan.image_ships() == ((1, 2),)
+
+
+def test_domain_weights_and_steps():
+    domain = Domain((WorkUnit(0, 1.0, 10, 100, 4), WorkUnit(1, 3.0, 20, 50, 6)))
+    assert domain.weights() == {0: 1.0, 1: 3.0}
+    assert domain.steps == 6
+    assert domain.total_memory_bytes == 30
