@@ -9,8 +9,14 @@ The sweeps run through the campaign engine: pass ``--db`` to keep the results
 in a persistent store (interrupt + rerun = resume; a repeated invocation
 re-runs nothing) and ``--workers`` to use several simulation processes.
 
+With a file-backed store, ``--watch`` turns the invocation into a live text
+observatory over that store instead of running experiments: it redraws the
+campaign progress tables (per-status counts, throughput, ETA, lease health,
+failures) every few seconds while another invocation does the work.
+
 Run:  python examples/reproduce_paper.py [--full] [--only figure6 figure14 ...]
                                          [--db results.sqlite] [--workers N]
+      python examples/reproduce_paper.py --db results.sqlite --watch
 """
 
 import argparse
@@ -18,9 +24,35 @@ import sys
 import time
 
 from repro.analysis.reporting import format_table
-from repro.campaign import Campaign, CampaignStore, set_default_campaign
+from repro.campaign import (
+    Campaign,
+    CampaignStore,
+    campaign_progress,
+    render_progress_text,
+    set_default_campaign,
+)
 from repro.experiments import figures
 from repro.experiments.config import FULL, QUICK
+
+
+def watch_store(db: str, interval_s: float = 5.0, once: bool = False) -> int:
+    """Redraw campaign progress tables until the campaign drains (or ^C)."""
+    store = CampaignStore(db)
+    try:
+        while True:
+            progress = campaign_progress(store)
+            print(f"\n--- campaign status @ {time.strftime('%H:%M:%S')} "
+                  f"({progress.done_fraction:.0%} complete) ---")
+            print(render_progress_text(progress))
+            remaining = (progress.counts.get("pending", 0)
+                         + progress.counts.get("running", 0))
+            if once or remaining == 0:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        store.close()
 
 
 def main(argv=None) -> int:
@@ -33,8 +65,17 @@ def main(argv=None) -> int:
                         help="persistent campaign store (default: in-memory)")
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel simulation workers (needs --db)")
+    parser.add_argument("--watch", action="store_true",
+                        help="watch an existing store's progress instead of "
+                             "running experiments (needs --db)")
+    parser.add_argument("--watch-interval", type=float, default=5.0,
+                        help="seconds between --watch redraws")
     args = parser.parse_args(argv)
 
+    if args.watch:
+        if args.db is None:
+            parser.error("--watch needs a file-backed store; pass --db as well")
+        return watch_store(args.db, interval_s=args.watch_interval)
     if args.workers > 1 and args.db is None:
         parser.error("--workers > 1 needs a file-backed store; pass --db as well")
     if args.db is not None:

@@ -17,7 +17,13 @@ rank-count × seed); this subsystem turns those sweeps into *campaigns*:
 * :mod:`repro.campaign.results` — the stored-metrics result object that
   mirrors :class:`~repro.experiments.runner.ScenarioResult`'s metric API,
 * :mod:`repro.campaign.export` — turn stored rows into the
-  :mod:`repro.analysis.reporting` ``Series``/``Table`` objects and CSV.
+  :mod:`repro.analysis.reporting` ``Series``/``Table`` objects and CSV,
+* :mod:`repro.campaign.progress` — a read-only observatory over a store:
+  per-status counts, completion rates, ETA from completed-row durations,
+  lease health and failure summaries,
+* :mod:`repro.campaign.dashboard` — renders a progress snapshot as
+  terminal tables or a self-contained HTML status page
+  (``python -m repro.campaign.dashboard --db sweep.sqlite --html out.html``).
 
 Workflow (PyExperimenter-style)::
 
@@ -49,7 +55,13 @@ from repro.campaign.export import (
     store_to_csv,
     summary_table,
 )
+from repro.campaign.dashboard import render_progress_html, render_progress_text
 from repro.campaign.grid import ParameterGrid
+from repro.campaign.progress import (
+    CampaignProgress,
+    campaign_progress,
+    progress_tables,
+)
 from repro.campaign.results import StoredResult, metrics_payload
 from repro.campaign.store import (
     STATUSES,
@@ -63,7 +75,9 @@ from repro.campaign.store import (
 __all__ = [
     "Campaign",
     "CampaignError",
+    "CampaignProgress",
     "average_over_seeds",
+    "campaign_progress",
     "CampaignStore",
     "ExperimentRow",
     "ParameterGrid",
@@ -77,6 +91,9 @@ __all__ = [
     "reset_default_campaign",
     "get_default_campaign",
     "metrics_payload",
+    "progress_tables",
+    "render_progress_html",
+    "render_progress_text",
     "results_to_csv",
     "results_to_series",
     "results_to_table",

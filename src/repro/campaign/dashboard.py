@@ -1,0 +1,216 @@
+"""Campaign observatory: render store progress as text or HTML.
+
+The :mod:`repro.campaign.progress` API reads a :class:`CampaignStore` into a
+:class:`CampaignProgress` snapshot; this module renders that snapshot —
+
+* :func:`render_progress_text` — the ``progress_tables`` stack through
+  :func:`repro.analysis.reporting.format_table`, for terminals and the
+  ``--watch`` loop in ``examples/reproduce_paper.py``;
+* :func:`render_progress_html` — a self-contained single-file HTML page
+  (no external assets): a hero done-fraction, per-status stat tiles with
+  icon + label (status is never colour alone), a stacked status meter,
+  and lease-health / failure tables.  Light and dark schemes via
+  ``prefers-color-scheme``.
+
+Runnable directly against a store::
+
+    PYTHONPATH=src python -m repro.campaign.dashboard --db sweep.sqlite \\
+        --html observatory.html
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+from typing import List, Optional
+
+from repro.analysis.reporting import format_table
+from repro.campaign.progress import (
+    CampaignProgress,
+    campaign_progress,
+    progress_tables,
+)
+from repro.campaign.store import CampaignStore
+
+#: fixed status palette (never themed): good / warning / critical + muted ink.
+#: every status also carries an icon + label so colour never acts alone.
+_STATUS_STYLE = {
+    "done": ("#0ca30c", "✓"),      # good, check mark
+    "running": ("#fab219", "▶"),   # warning-yellow, play
+    "failed": ("#d03b3b", "✗"),    # critical, cross
+    "pending": ("#898781", "○"),   # muted, open circle
+}
+
+_CSS = """
+:root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted: #898781;
+  --grid: #e1e0d9;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted: #898781;
+    --grid: #2c2c2a;
+  }
+}
+body { font: 13px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+       margin: 1.5em auto; max-width: 900px; padding: 0 1em;
+       background: var(--page); color: var(--text-primary); }
+section { margin: 1.5em 0; padding: 1em; background: var(--surface-1);
+          border: 1px solid var(--grid); border-radius: 6px; }
+h2 { margin: 0 0 0.3em 0; }
+.sub { color: var(--text-secondary); }
+.hero { font-size: 48px; font-weight: 600; }
+.tiles { display: flex; flex-wrap: wrap; gap: 1em; margin-top: 1em; }
+.tile { border: 1px solid var(--grid); border-radius: 6px;
+        padding: 0.6em 1.1em; min-width: 7.5em; }
+.tile .label { color: var(--text-secondary); }
+.tile .value { font-size: 24px; font-weight: 600; }
+.meter { display: flex; height: 14px; border-radius: 4px; overflow: hidden;
+         gap: 2px; background: var(--surface-1); margin-top: 1em; }
+.meter div { height: 100%; }
+table { border-collapse: collapse; margin-top: 0.5em; width: 100%;
+        font-variant-numeric: tabular-nums; }
+th, td { padding: 3px 10px; text-align: right;
+         border-bottom: 1px solid var(--grid); }
+th { color: var(--text-muted); font-weight: 600; }
+td:first-child, th:first-child { text-align: left; }
+.statusdot { display: inline-block; width: 10px; height: 10px;
+             border-radius: 50%; margin-right: 0.35em; }
+"""
+
+
+def render_progress_text(progress: CampaignProgress) -> str:
+    """All ``progress_tables`` formatted for a terminal."""
+    return "\n\n".join(format_table(t) for t in progress_tables(progress))
+
+
+def _fmt_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}min"
+    return f"{seconds:.0f}s"
+
+
+def render_progress_html(progress: CampaignProgress,
+                         title: str = "campaign observatory") -> str:
+    """Self-contained HTML status page for a campaign store."""
+    counts = progress.counts
+    total = progress.total
+
+    tiles = []
+    for status in ("done", "running", "failed", "pending"):
+        colour, icon = _STATUS_STYLE[status]
+        tiles.append(
+            f'<div class="tile"><div class="label">'
+            f'<i class="statusdot" style="background:{colour}"></i>'
+            f"{icon} {status}</div>"
+            f'<div class="value">{counts.get(status, 0)}</div></div>')
+
+    # stacked status meter: one segment per non-empty status, 2px surface gaps
+    segments = []
+    if total:
+        for status in ("done", "running", "failed", "pending"):
+            n = counts.get(status, 0)
+            if not n:
+                continue
+            colour, icon = _STATUS_STYLE[status]
+            tip = html.escape(f"{icon} {status}: {n}/{total}", quote=True)
+            segments.append(f'<div style="flex:{n};background:{colour}" '
+                            f'title="{tip}"></div>')
+    meter = f'<div class="meter">{"".join(segments)}</div>' if segments else ""
+
+    throughput = progress.throughput_per_s
+    rates_rows = [
+        ("Done", f"{counts.get('done', 0)}/{total}"),
+        ("Throughput", f"{throughput * 60:.2f} rows/min" if throughput else "-"),
+        ("Mean row duration", _fmt_duration(progress.mean_duration_s)),
+        ("ETA", _fmt_duration(progress.eta_s)),
+    ]
+    rates = "".join(f"<tr><td>{html.escape(k)}</td><td>{html.escape(v)}</td></tr>"
+                    for k, v in rates_rows)
+
+    lease_section = ""
+    if progress.leases:
+        rows = []
+        for key, worker, left in progress.leases:
+            colour, icon = (_STATUS_STYLE["failed"] if left <= 0
+                            else _STATUS_STYLE["running"])
+            state = f"{icon} {'expired' if left <= 0 else 'held'}"
+            rows.append(
+                f"<tr><td>{html.escape(key[:16])}</td>"
+                f"<td>{html.escape(worker or '-')}</td>"
+                f'<td><i class="statusdot" style="background:{colour}"></i>'
+                f"{state}</td><td>{left:.0f}s</td></tr>")
+        lease_section = (
+            "<section><h2>Lease health</h2><table>"
+            "<tr><th>key</th><th>worker</th><th>state</th><th>left</th></tr>"
+            f"{''.join(rows)}</table></section>")
+
+    failure_section = ""
+    if progress.failures:
+        rows = "".join(
+            f"<tr><td>{html.escape(key[:16])}</td>"
+            f"<td style='text-align:left'>{html.escape(err)}</td></tr>"
+            for key, err in sorted(progress.failures.items()))
+        failure_section = (
+            "<section><h2>Failures</h2><table>"
+            f"<tr><th>key</th><th>error</th></tr>{rows}</table></section>")
+
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{html.escape(title)}</title>
+<style>{_CSS}</style></head><body>
+<section>
+<h2>{html.escape(title)}</h2>
+<p class="sub">{total} experiments · snapshot at t={progress.observed_at:.0f}</p>
+<div class="hero">{progress.done_fraction:.0%}<span class="sub" style="font-size:16px"> complete</span></div>
+{meter}
+<div class="tiles">{''.join(tiles)}</div>
+</section>
+<section><h2>Rates</h2><table>{rates}</table></section>
+{lease_section}
+{failure_section}
+</body></html>
+"""
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render campaign store progress as text and optional HTML.")
+    parser.add_argument("--db", required=True, help="campaign store sqlite path")
+    parser.add_argument("--html", default=None,
+                        help="write the HTML observatory page here")
+    parser.add_argument("--title", default="campaign observatory")
+    args = parser.parse_args(argv)
+
+    store = CampaignStore(args.db)
+    try:
+        progress = campaign_progress(store)
+    finally:
+        store.close()
+    print(render_progress_text(progress))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_progress_html(progress, title=args.title))
+        print(f"\nwrote HTML observatory to {args.html}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -24,8 +24,11 @@ from repro.experiments.config import ScenarioConfig
 #: outages survived, spare refills, survived flag; v6 the telemetry metrics:
 #: phase-attributed time breakdowns from the metrics registry and the flat
 #: registry snapshot; v7 the elastic-restart metrics: ranks after restart,
-#: units migrated, repartition bytes shipped, shrink restarts)
-PAYLOAD_VERSION = 7
+#: units migrated, repartition bytes shipped, shrink restarts; v8 the
+#: continuous-telemetry series summaries: peak/mean NIC utilization, max
+#: inbox depth, peak retained sender-log bytes, storage inflight peak and
+#: the sampler bin geometry — empty unless the run was sampled)
+PAYLOAD_VERSION = 8
 
 #: simulation-kernel schema revision: bump whenever a kernel/network change is
 #: *allowed* to alter simulated results (rev 1 = seed coroutine kernel,
@@ -107,6 +110,8 @@ def metrics_payload(result) -> Dict[str, object]:
         "units_migrated": result.units_migrated,
         "repartition_bytes_shipped": result.repartition_bytes_shipped,
         "shrink_restarts": result.shrink_restarts,
+        # continuous-telemetry series summaries (v8; empty unless sampled)
+        "sampler_summary": dict(getattr(result, "sampler_summary", {}) or {}),
     }
 
 
@@ -311,6 +316,32 @@ class StoredResult:
     def repartition_bytes_shipped(self) -> int:
         """Image bytes shipped dead rank → adopter during shrink restarts."""
         return self.metrics.get("repartition_bytes_shipped", 0)
+
+    # -- continuous-telemetry series summaries (v8) -------------------------------
+    @property
+    def sampler_summary(self) -> Dict[str, float]:
+        """Compact time-series summaries (empty unless the run was sampled)."""
+        return dict(self.metrics.get("sampler_summary", {}) or {})
+
+    @property
+    def nic_util_peak(self) -> float:
+        """Peak fraction of NICs with an in-flight transfer in any bin."""
+        return self.sampler_summary.get("nic_util_peak", 0.0)
+
+    @property
+    def nic_util_mean(self) -> float:
+        """Mean over bins of the busy-NIC fraction."""
+        return self.sampler_summary.get("nic_util_mean", 0.0)
+
+    @property
+    def inbox_depth_max(self) -> float:
+        """Deepest sampled inbox across all ranks and bins."""
+        return self.sampler_summary.get("inbox_depth_max", 0.0)
+
+    @property
+    def log_bytes_peak(self) -> float:
+        """Peak total sender-log retained bytes across bins."""
+        return self.sampler_summary.get("log_bytes_peak", 0.0)
 
     # -- telemetry metrics (v6) ---------------------------------------------------
     @property

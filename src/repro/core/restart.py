@@ -1196,6 +1196,8 @@ class ElasticRestart:
             ctx.in_recovery = False
             ctx.finished = True
             ctx.stats.finished_at = sim.now
+            if runtime.sampler is not None:
+                runtime.sampler.note_phase(rank, "finished", sim.now)
 
         # Install the new layout: derived programs and memory re-derive from
         # the repartitioned domain, resuming at the recovery line's step.

@@ -50,7 +50,12 @@ from repro.experiments.config import ScenarioConfig
 from repro.mpi.runtime import ApplicationResult, MpiRuntime
 from repro.mpi.trace import TraceLog
 from repro.mpi.tracer import Tracer
-from repro.obs import Telemetry, harvest_scenario, tracing_enabled_from_env
+from repro.obs import (
+    Telemetry,
+    harvest_scenario,
+    sampling_bin_from_env,
+    tracing_enabled_from_env,
+)
 from repro.obs import phase_times as registry_phase_times
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -202,6 +207,39 @@ class ScenarioResult:
     telemetry: Optional[Telemetry] = None
 
     # -- derived metrics -----------------------------------------------------------
+    @property
+    def sampler(self) -> Optional[object]:
+        """The run's :class:`~repro.obs.StateSampler`, if sampling was on."""
+        return getattr(self.telemetry, "sampler", None)
+
+    @property
+    def sampler_summary(self) -> Dict[str, float]:
+        """Compact series summaries (payload v8); empty when not sampled."""
+        sampler = self.sampler
+        if sampler is None or sampler.end_time is None:
+            return {}
+        return sampler.summary()
+
+    @property
+    def nic_util_peak(self) -> float:
+        """Peak fraction of NICs with an in-flight transfer in any bin."""
+        return self.sampler_summary.get("nic_util_peak", 0.0)
+
+    @property
+    def nic_util_mean(self) -> float:
+        """Mean over bins of the busy-NIC fraction."""
+        return self.sampler_summary.get("nic_util_mean", 0.0)
+
+    @property
+    def inbox_depth_max(self) -> float:
+        """Deepest sampled inbox across all ranks and bins."""
+        return self.sampler_summary.get("inbox_depth_max", 0.0)
+
+    @property
+    def log_bytes_peak(self) -> float:
+        """Peak total sender-log retained bytes across bins."""
+        return self.sampler_summary.get("log_bytes_peak", 0.0)
+
     @property
     def makespan(self) -> float:
         """End-to-end execution time of the application (including checkpoints)."""
@@ -506,7 +544,8 @@ def run_scenario(
         sim, cluster, config.n_ranks, protocol_family=family, rng=RandomStreams(config.seed)
     )
     if telemetry is None:
-        telemetry = Telemetry(trace=tracing_enabled_from_env())
+        telemetry = Telemetry(trace=tracing_enabled_from_env(),
+                              sample_bin_s=sampling_bin_from_env())
     runtime.attach_telemetry(telemetry)
     runtime.set_memory(workload.memory_map())
     coordinator: Optional[CheckpointCoordinator] = None
@@ -552,6 +591,10 @@ def run_scenario(
                         elastic=fs.elastic).start()
     runtime.launch(workload.program_factory())
     app = runtime.run_to_completion(limit_s=1e8)
+    if telemetry.sampler is not None:
+        # close open phase intervals and stamp the end of the sampled
+        # series; the separate restart simulation below is not sampled
+        telemetry.sampler.finalize(sim.now)
 
     restart: Optional[RestartResult] = None
     if (config.do_restart and config.schedule is not None and app.snapshots()

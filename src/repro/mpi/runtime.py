@@ -576,6 +576,10 @@ class MpiRuntime:
         #: ``failures_enabled`` gates rollback bookkeeping
         self.telemetry: Optional[Any] = None
         self.telemetry_tracing = False
+        #: passive time-series sampler (``repro.obs.StateSampler``) once a
+        #: sampling telemetry is attached; phase-transition sites notify it
+        #: so checkpoint/recovery/finished occupancy integrates exactly
+        self.sampler: Optional[Any] = None
 
     def attach_checkpoint_source(self) -> None:
         """Declare that checkpoint requests may be delivered to the ranks.
@@ -617,6 +621,11 @@ class MpiRuntime:
         self.telemetry_tracing = telemetry is not None and telemetry.tracing
         if telemetry is not None:
             telemetry.bind_simulator(self.sim)
+        sampler = getattr(telemetry, "sampler", None)
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.bind_runtime(self)
+            self.sim._sampler = sampler
 
     # ------------------------------------------------------------------ basics
     @property
@@ -982,6 +991,8 @@ class MpiRuntime:
                 continue
             ctx.in_checkpoint = True
             start = self.sim.now
+            if self.sampler is not None:
+                self.sampler.note_phase(ctx.rank, "checkpoint", start)
             span = None
             if self.telemetry_tracing:
                 # Live span: opened here, closed on completion below.  If the
@@ -995,6 +1006,8 @@ class MpiRuntime:
                 record = yield from ctx.protocol.checkpoint(request)
             finally:
                 ctx.in_checkpoint = False
+                if self.sampler is not None:
+                    self.sampler.end_phase(ctx.rank, "checkpoint", self.sim.now)
             ctx.stats.checkpoint_time += self.sim.now - start
             if record is not None:
                 ctx.stats.checkpoints.append(record)
@@ -1082,6 +1095,8 @@ class MpiRuntime:
             proc.interrupt(cause)
         if self.telemetry_tracing:
             self.telemetry.tracer.abort_open(f"rank{rank}", abort_cause=str(cause))
+        if self.sampler is not None:
+            self.sampler.note_phase(rank, "recovery", self.sim.now)
 
     def rollback_rank(self, rank: int, snapshot: Optional[Any]) -> int:
         """Roll ``rank`` back to ``snapshot`` (None = process start).
@@ -1100,6 +1115,8 @@ class MpiRuntime:
             self.telemetry.tracer.abort_open(f"rank{rank}", abort_cause="group-rollback")
         if ctx.halted_at is None:
             ctx.halted_at = self.sim.now
+        if self.sampler is not None:
+            self.sampler.note_phase(rank, "recovery", self.sim.now)
         ctx.reset_for_rollback()
         resume = snapshot.resume if snapshot is not None else ResumePoint(op_index=0)
         ctx.account.restore(resume.ss, resume.rr, resume.ss_msgs, resume.rr_msgs)
@@ -1140,6 +1157,8 @@ class MpiRuntime:
         ctx.in_recovery = False
         ctx.failed = False
         ctx.halted_at = None
+        if self.sampler is not None:
+            self.sampler.note_phase(rank, None, self.sim.now)
         return proc
 
     def abort_application(self, reason: str) -> None:
@@ -1174,6 +1193,8 @@ class MpiRuntime:
                 ctx.finished = True
             if ctx.stats.finished_at is None:
                 ctx.stats.finished_at = now
+            if self.sampler is not None:
+                self.sampler.note_phase(ctx.rank, "finished", now)
 
     def migrate_rank(self, rank: int, new_node: int) -> int:
         """Re-place a halted rank onto ``new_node`` (restart on a spare).
@@ -1420,6 +1441,8 @@ class MpiRuntime:
             return
         ctx.finished = True
         ctx.stats.finished_at = self.sim.now
+        if self.sampler is not None:
+            self.sampler.note_phase(ctx.rank, "finished", self.sim.now)
 
     def launch(self, program_factory: ProgramFactory) -> List[SimProcess]:
         """Start one simulation process per rank executing its script."""

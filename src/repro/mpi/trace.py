@@ -61,23 +61,43 @@ class TraceLog:
         n_ranks: int = 0,
         truncated: bool = False,
         dropped_records: int = 0,
+        max_records: Optional[int] = None,
     ) -> None:
-        self.records: List[TraceRecord] = list(records) if records is not None else []
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be non-negative")
         self._n_ranks = n_ranks
-        #: True when the producing tracer hit its ``max_records`` cap — the
-        #: trace is a prefix of the communication, not the whole run.
+        #: True when the ``max_records`` cap was hit — the trace is a prefix
+        #: of the communication, not the whole run.
         self.truncated = truncated
         #: Number of send records that were observed but not stored.
         self.dropped_records = dropped_records
+        #: Optional storage cap, enforced by :meth:`append` itself so that
+        #: retroactive additions count against it exactly like live ones.
+        self.max_records = max_records
+        self.records: List[TraceRecord] = []
+        if records is not None:
+            self.extend(records)
 
     # -- container protocol -------------------------------------------------
-    def append(self, record: TraceRecord) -> None:
-        """Add one record."""
-        self.records.append(record)
+    def append(self, record: TraceRecord) -> bool:
+        """Add one record; return whether it was stored.
 
-    def extend(self, records: Iterable[TraceRecord]) -> None:
-        """Add many records."""
-        self.records.extend(records)
+        When a ``max_records`` cap is set and already reached, the record is
+        dropped and counted in :attr:`dropped_records` instead — regardless
+        of whether it arrives live from the tracer or retroactively via a
+        direct ``append``/``extend`` — so the ``# truncated N`` marker
+        written by :meth:`dumps` stays consistent with the stored prefix.
+        """
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped_records += 1
+            self.truncated = True
+            return False
+        self.records.append(record)
+        return True
+
+    def extend(self, records: Iterable[TraceRecord]) -> int:
+        """Add many records; return how many were stored."""
+        return sum(1 for record in records if self.append(record))
 
     def __len__(self) -> int:
         return len(self.records)

@@ -27,10 +27,11 @@ class Tracer:
     max_records:
         Optional safety cap; tracing stops after this many records so that
         very long runs can still be traced cheaply.  The group formation
-        only needs a representative window of the execution.  When the cap
-        is hit the resulting :class:`TraceLog` is marked ``truncated`` and
-        carries the number of ``dropped_records``, so downstream consumers
-        can tell a complete trace from a prefix.
+        only needs a representative window of the execution.  The cap is
+        carried by the :class:`TraceLog` itself (records added to the log
+        retroactively count against it too); when hit, the log is marked
+        ``truncated`` and carries the number of ``dropped_records``, so
+        downstream consumers can tell a complete trace from a prefix.
     """
 
     def __init__(
@@ -44,20 +45,19 @@ class Tracer:
             raise ValueError("max_records must be non-negative")
         self.overhead_per_record_s = overhead_per_record_s
         self.max_records = max_records
-        self.log = TraceLog()
-        self.dropped_records = 0
+        self.log = TraceLog(max_records=max_records)
         self.enabled = True
+
+    @property
+    def dropped_records(self) -> int:
+        """Records observed but not stored (the log's counter is canonical)."""
+        return self.log.dropped_records
 
     def on_send(self, message: Message, timestamp: float) -> float:
         """Record an application send; return the overhead to charge the sender."""
         if not self.enabled or not message.is_app:
             return 0.0
-        if self.max_records is not None and len(self.log) >= self.max_records:
-            self.dropped_records += 1
-            self.log.truncated = True
-            self.log.dropped_records = self.dropped_records
-            return 0.0
-        self.log.append(
+        stored = self.log.append(
             TraceRecord(
                 src=message.src,
                 dst=message.dst,
@@ -66,7 +66,7 @@ class Tracer:
                 tag=message.tag,
             )
         )
-        return self.overhead_per_record_s
+        return self.overhead_per_record_s if stored else 0.0
 
     def disable(self) -> None:
         """Stop recording (subsequent sends are not traced)."""
@@ -77,9 +77,8 @@ class Tracer:
         self.enabled = True
 
     def reset(self) -> None:
-        """Drop all recorded data."""
-        self.log = TraceLog()
-        self.dropped_records = 0
+        """Drop all recorded data (the ``max_records`` cap is kept)."""
+        self.log = TraceLog(max_records=self.max_records)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"

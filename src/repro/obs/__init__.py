@@ -15,13 +15,26 @@ Public API
   :func:`flat_metrics`.
 * Harvest — :func:`harvest_scenario` / :func:`phase_times` turn a finished
   run's legacy accounting into registry series and payload phase times.
+* Sampling — :class:`StateSampler` buckets passive observations into fixed
+  simulated-time bins (rank-state occupancy, NIC utilization, inbox depths,
+  sender-log bytes, storage inflight) without scheduling events;
+  :func:`utilization_breakdown` rolls the series into per-rank seconds that
+  reconcile with the registry's phase times; :func:`write_series_jsonl` /
+  :func:`write_series_csv` export the series for ``tools/dashboard.py``.
 
 Telemetry is off by default and costs nothing on the simulator hot loops;
 set ``REPRO_TELEMETRY=1`` (or pass ``telemetry=`` to ``run_scenario``) to
 record spans.  See the README "Observability" section.
 """
 
-from .export import chrome_trace, flat_metrics, spans_to_jsonl, write_chrome_trace
+from .export import (
+    chrome_trace,
+    flat_metrics,
+    spans_to_jsonl,
+    write_chrome_trace,
+    write_series_csv,
+    write_series_jsonl,
+)
 from .harvest import (
     harvest_app,
     harvest_coordinator,
@@ -36,6 +49,17 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     NullRegistry,
+)
+from .attribution import (
+    reconcile_with_registry,
+    utilization_breakdown,
+    utilization_table,
+)
+from .sampler import (
+    RANK_STATES,
+    SAMPLE_BIN_ENV,
+    StateSampler,
+    sampling_bin_from_env,
 )
 from .spans import NullTracer, Span, SpanTracer
 from .telemetry import (
@@ -59,10 +83,19 @@ __all__ = [
     "TELEMETRY_ENV",
     "TELEMETRY_DIR_ENV",
     "tracing_enabled_from_env",
+    "StateSampler",
+    "RANK_STATES",
+    "SAMPLE_BIN_ENV",
+    "sampling_bin_from_env",
+    "utilization_breakdown",
+    "utilization_table",
+    "reconcile_with_registry",
     "chrome_trace",
     "write_chrome_trace",
     "spans_to_jsonl",
     "flat_metrics",
+    "write_series_jsonl",
+    "write_series_csv",
     "harvest_app",
     "harvest_coordinator",
     "harvest_restart",

@@ -119,3 +119,76 @@ def spans_to_jsonl(tracer: SpanTracer) -> str:
 def flat_metrics(metrics: MetricsRegistry) -> Dict[str, Any]:
     """Alias for ``registry.as_flat_dict()`` kept at the export surface."""
     return metrics.as_flat_dict()
+
+
+def write_series_jsonl(path: str, sampler: Any) -> None:
+    """Write a sampler's time series as self-describing JSONL.
+
+    Line 1 is a ``meta`` record (bin width, state names, summary scalars);
+    then one ``bin`` record per bin (rank-state codes plus the aggregate
+    gauges) and one ``phase`` record per exact phase interval.  This is the
+    input format of ``tools/dashboard.py``.
+    """
+    from .sampler import RANK_STATES
+
+    series = sampler.bin_series()
+    with open(path, "w") as fh:
+        fh.write(json.dumps({
+            "type": "meta",
+            "states": list(RANK_STATES),
+            "bin_s": sampler.bin_s,
+            "n_ranks": sampler.n_ranks,
+            "end_time": sampler.end_time,
+            "summary": sampler.summary(),
+        }, sort_keys=True) + "\n")
+        for i, edge in enumerate(sampler.edges):
+            fh.write(json.dumps({
+                "type": "bin",
+                "t0": edge - sampler.bin_s,
+                "t1": edge,
+                "rank_states": list(sampler.rank_states[i]),
+                "inbox_depth": list(sampler.inbox_depths[i]),
+                "log_bytes": list(sampler.log_bytes[i]),
+                "nic_inflight": list(sampler.nic_inflight[i]),
+                "nic_busy_frac": series["nic_busy_frac"][i],
+                "storage_inflight": sampler.storage_inflight[i],
+            }, sort_keys=True) + "\n")
+        for rank, phase, start, end in sampler.phase_intervals:
+            fh.write(json.dumps({
+                "type": "phase",
+                "rank": rank,
+                "state": phase,
+                "start": start,
+                "end": end,
+            }, sort_keys=True) + "\n")
+
+
+def write_series_csv(path: str, sampler: Any) -> None:
+    """Write the aggregate per-bin series as CSV (one row per bin).
+
+    Columns: bin bounds, per-state rank counts, then the gauge series —
+    spreadsheet-friendly; per-rank detail stays in the JSONL export.
+    """
+    import csv
+
+    from .sampler import RANK_STATES
+
+    series = sampler.bin_series()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["t0", "t1"] + [f"n_{s}" for s in RANK_STATES]
+            + ["nic_inflight_total", "nic_busy_frac", "inbox_depth_total",
+               "inbox_depth_max", "log_bytes_total", "storage_inflight"])
+        for i, edge in enumerate(sampler.edges):
+            counts = [0] * len(RANK_STATES)
+            for code in sampler.rank_states[i]:
+                counts[code] += 1
+            writer.writerow(
+                [edge - sampler.bin_s, edge] + counts
+                + [series["nic_inflight_total"][i],
+                   series["nic_busy_frac"][i],
+                   series["inbox_depth_total"][i],
+                   series["inbox_depth_max"][i],
+                   series["log_bytes_total"][i],
+                   series["storage_inflight"][i]])

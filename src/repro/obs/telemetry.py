@@ -55,11 +55,24 @@ class Telemetry:
         emission on this (or on holding a telemetry handle at all).
     """
 
-    def __init__(self, clock: Optional[Callable[[], float]] = None, trace: bool = True) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None, trace: bool = True,
+                 sample_bin_s: Optional[float] = None) -> None:
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
         self.metrics = MetricsRegistry()
         self.tracing = bool(trace)
         self.tracer: Any = SpanTracer(self.clock) if self.tracing else _NULL_TRACER
+        #: optional passive time-series sampler (``sample_bin_s`` simulated
+        #: seconds per bin); bound to the runtime by ``attach_telemetry``
+        self.sampler: Optional[Any] = None
+        if sample_bin_s is not None:
+            self.attach_sampler(sample_bin_s)
+
+    def attach_sampler(self, bin_s: float, max_bins: int = 4096) -> "Telemetry":
+        """Enable continuous state sampling at ``bin_s`` simulated seconds."""
+        from .sampler import StateSampler
+
+        self.sampler = StateSampler(bin_s=bin_s, max_bins=max_bins)
+        return self
 
     @classmethod
     def for_simulator(cls, sim, trace: bool = True) -> "Telemetry":

@@ -27,6 +27,8 @@ from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tup
 
 from repro.sim.primitives import AllOf, AnyOf, Event, EventName, Timeout
 
+_INF = float("inf")
+
 
 class SimulationError(RuntimeError):
     """Raised for scheduler-level errors (deadlock, unhandled failures)."""
@@ -264,6 +266,9 @@ class Simulator:
         self.context: Dict[str, Any] = {}
         #: optional telemetry handle (spans + metrics); off by default
         self.telemetry: Optional[Any] = None
+        #: optional passive time-series sampler (obs.sampler.StateSampler);
+        #: None keeps the hot loop at a single local None-check per event
+        self._sampler: Optional[Any] = None
 
     # -- event factory helpers -----------------------------------------
     def event(self, name: EventName = None) -> Event:
@@ -394,11 +399,21 @@ class Simulator:
         is inlined with locally bound state — this is what the MPI runtime
         drives whole applications through, so it avoids per-event method
         dispatch entirely.
+
+        When a telemetry sampler is attached (``self._sampler``), the loop
+        hands it the popped timestamp whenever a bin edge is crossed —
+        *before* callbacks run, so the snapshot it reads is the state that
+        held for the whole interval since the previous event.  The sampler
+        never schedules events, so sampled runs stay bit-identical.
         """
         heap = self._heap
         imm = self._immediate
         pop = _heappop
         popleft = imm.popleft
+        # the sampler's next bin edge is cached in a local so the unsampled
+        # (and between-edges) cost is one float comparison per event
+        sampler = self._sampler
+        sample_edge = _INF if sampler is None else sampler.next_edge
         # The per-event counter is accumulated locally and written back in
         # the finally block: one attribute store per run instead of one per
         # event (exceptions included, so `processed_events` stays exact).
@@ -418,6 +433,9 @@ class Simulator:
                     return False
                 time, _, ev = pop(heap)
                 self.now = time
+                if time >= sample_edge:
+                    sampler.observe(time)
+                    sample_edge = sampler.next_edge
                 count += 1
                 callbacks = ev.callbacks
                 ev._processed = True

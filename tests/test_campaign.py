@@ -664,3 +664,152 @@ def test_set_priority_only_raise_never_demotes():
     assert store.get(key).priority == 7
     assert store.set_priority([key], 9, only_raise=True) == 1
     assert store.get(key).priority == 9
+
+
+# ------------------------------------------------- telemetry auto-export
+def test_drain_store_auto_exports_per_worker_traces(tmp_path, monkeypatch):
+    """REPRO_TELEMETRY_DIR: each worker's drain writes a parseable trace."""
+    import sys
+
+    from repro.campaign import drain_store
+
+    monkeypatch.setenv("REPRO_TELEMETRY", "1")
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+    store = CampaignStore(":memory:")
+    keys = [store.add(ring_config(seed=s)) for s in (11, 12, 13, 14)]
+    assert drain_store(store, worker="w1", keys=keys[:2]) == 2
+    assert drain_store(store, worker="w2", keys=keys[2:]) == 2
+    assert store.counts()["done"] == 4
+
+    files = sorted(os.listdir(tmp_path))
+    assert files == ["campaign-trace-w1.json", "campaign-trace-w2.json"]
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+    try:
+        from tools.timeline import load_spans
+    finally:
+        sys.path.pop(0)
+    for name in files:
+        spans, tracks = load_spans(os.path.join(str(tmp_path), name))
+        # one campaign_task span per claimed row, on the worker's track
+        tasks = [s for s in spans if s["name"] == "campaign_task"]
+        assert len(tasks) == 2
+        assert all(float(s["dur"]) >= 0 and "ts" in s for s in tasks)
+        assert tracks
+
+
+def test_drain_store_without_telemetry_env_writes_nothing(tmp_path, monkeypatch):
+    from repro.campaign import drain_store
+
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+    store = CampaignStore(":memory:")
+    store.add(ring_config(seed=21))
+    assert drain_store(store, worker="w1") == 1
+    assert os.listdir(tmp_path) == []
+
+
+# ------------------------------------------------- payload v8 series summaries
+def test_payload_v8_carries_sampler_summary():
+    from repro.obs import Telemetry
+
+    config = ring_config(seed=31)
+    telemetry = Telemetry(trace=False, sample_bin_s=0.05)
+    result = run_scenario(config, telemetry=telemetry)
+    payload = metrics_payload(result)
+    summary = payload["sampler_summary"]
+    assert summary and summary == telemetry.sampler.summary()
+
+    stored = StoredResult(config, payload)
+    assert stored.sampler_summary == summary
+    assert stored.nic_util_peak == summary["nic_util_peak"]
+    assert stored.nic_util_mean == summary["nic_util_mean"]
+    assert stored.inbox_depth_max == summary["inbox_depth_max"]
+    assert stored.log_bytes_peak == summary["log_bytes_peak"]
+
+
+def test_payload_without_sampler_defaults_empty():
+    config = ring_config(seed=32)
+    result = run_scenario(config)
+    payload = metrics_payload(result)
+    assert payload["sampler_summary"] == {}
+    stored = StoredResult(config, payload)
+    assert stored.sampler_summary == {}
+    assert stored.nic_util_peak == 0.0
+
+
+# --------------------------------------------------- campaign observatory
+def _progress_store():
+    store = CampaignStore(":memory:")
+    keys = [store.add(ring_config(seed=40 + i)) for i in range(6)]
+    for _ in range(5):
+        store.claim("w1")
+    for i in range(3):
+        store.mark_done(keys[i], {"makespan": 1.0 + i}, duration_s=2.0 + i)
+    store.mark_failed(keys[3], "ValueError: boom\nTraceback (most recent)")
+    return store, keys
+
+
+def test_campaign_progress_snapshot():
+    from repro.campaign import campaign_progress
+
+    store, keys = _progress_store()
+    progress = campaign_progress(store)
+    assert progress.counts == {"pending": 1, "running": 1, "done": 3, "failed": 1}
+    assert progress.total == 6
+    assert progress.done_fraction == pytest.approx(0.5)
+    assert progress.mean_duration_s == pytest.approx(3.0)
+    assert progress.eta_s is not None
+    # failure summaries keep only the first error line
+    assert progress.failures == {keys[3]: "ValueError: boom"}
+    # the running row holds a live lease
+    (lease,) = progress.leases
+    assert lease[1] == "w1" and lease[2] > 0
+    assert progress.expired_leases == 0
+
+
+def test_campaign_progress_empty_store():
+    from repro.campaign import campaign_progress, progress_tables
+
+    progress = campaign_progress(CampaignStore(":memory:"))
+    assert progress.total == 0
+    assert progress.done_fraction == 0.0
+    assert progress.eta_s == 0.0  # nothing left to drain
+    tables = progress_tables(progress)
+    assert [t.title for t in tables][:2] == ["Campaign status", "Rates"]
+
+
+def test_progress_renderers():
+    from repro.campaign import (campaign_progress, render_progress_html,
+                                render_progress_text)
+
+    store, _ = _progress_store()
+    progress = campaign_progress(store)
+    text = render_progress_text(progress)
+    assert "Campaign status" in text and "Lease health" in text
+    assert "ValueError: boom" in text
+
+    html = render_progress_html(progress, title="obs test")
+    assert "obs test" in html
+    assert "50%" in html  # hero done-fraction
+    assert 'class="meter"' in html
+    assert "prefers-color-scheme: dark" in html
+    # status is never colour alone: icon + label pairs present
+    assert "✓ done" in html and "✗ failed" in html
+
+
+def test_dashboard_cli_writes_html(tmp_path):
+    from repro.campaign import dashboard
+
+    db = str(tmp_path / "sweep.sqlite")
+    store = CampaignStore(db)
+    key = store.add(ring_config(seed=50))
+    store.claim("w1")
+    store.mark_done(key, {"makespan": 1.0}, duration_s=0.5)
+    store.close()
+
+    out = str(tmp_path / "observatory.html")
+    assert dashboard.main(["--db", db, "--html", out]) == 0
+    html_text = open(out, encoding="utf-8").read()
+    assert "campaign observatory" in html_text
+    assert "100%" in html_text

@@ -31,17 +31,26 @@ from repro.experiments.parity import parity_metrics, quick_parity_configs, scena
 from repro.experiments.runner import run_scenario
 from repro.mpi.tracer import Tracer
 from repro.mpi.messages import Message
-from repro.mpi.trace import TraceLog
+from repro.mpi.trace import TraceLog, TraceRecord
 from repro.obs import (
+    RANK_STATES,
+    SAMPLE_BIN_ENV,
     MetricsRegistry,
     NullRegistry,
     NullTracer,
     SpanTracer,
+    StateSampler,
     Telemetry,
     chrome_trace,
     flat_metrics,
     phase_times,
+    reconcile_with_registry,
+    sampling_bin_from_env,
     spans_to_jsonl,
+    utilization_breakdown,
+    utilization_table,
+    write_series_csv,
+    write_series_jsonl,
 )
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "quick_parity_golden.json")
@@ -246,6 +255,40 @@ class TestTraceLogTruncation:
         assert not tracer.log.truncated
         assert tracer.dropped_records == 0
 
+    def test_retro_appends_past_cap_count_as_dropped(self):
+        # regression: records added directly to a capped log (not via the
+        # tracer's on_send) used to bypass the cap entirely, leaving
+        # dropped_records stale and the `# truncated N` marker wrong
+        tracer = Tracer(max_records=3)
+        self._send(tracer, 3)
+        log = tracer.log
+        assert not log.truncated
+        assert log.append(TraceRecord(src=0, dst=1, nbytes=7)) is False
+        assert log.extend(TraceRecord(src=0, dst=1, nbytes=7)
+                          for _ in range(2)) == 0
+        assert log.truncated
+        assert log.dropped_records == 3
+        assert tracer.dropped_records == 3  # tracer view == the log's counter
+        text = log.dumps()
+        assert "# truncated 3" in text
+        again = TraceLog.loads(text)
+        assert again.truncated and again.dropped_records == 3
+        assert len(again) == 3
+
+    def test_cap_enforced_from_construction(self):
+        records = [TraceRecord(src=0, dst=1, nbytes=1) for _ in range(5)]
+        log = TraceLog(records, max_records=2)
+        assert len(log) == 2
+        assert log.truncated and log.dropped_records == 3
+
+    def test_reset_preserves_cap(self):
+        tracer = Tracer(max_records=2)
+        self._send(tracer, 5)
+        tracer.reset()
+        self._send(tracer, 5)
+        assert len(tracer.log) == 2
+        assert tracer.dropped_records == 3
+
 
 # ------------------------------------------------------------- chrome export
 class TestExport:
@@ -387,4 +430,238 @@ def test_traced_runs_match_parity_golden(config, fast, golden, monkeypatch):
     assert result.telemetry.tracing is True
     assert result.telemetry.tracer.spans  # tracing actually engaged
     assert result.telemetry.tracer.open_count() == 0
+    assert parity_metrics(result) == golden[scenario_label(config)]["metrics"]
+
+
+# --------------------------------------------------- continuous state sampler
+class _StubInbox:
+    _waiters = ()
+
+    def __len__(self):
+        return 0
+
+
+class _StubCtx:
+    def __init__(self, rank):
+        self.rank = rank
+        self.finished = False
+        self.failed = False
+        self.in_recovery = False
+        self.in_checkpoint = False
+        self.pending_get = None
+        self.inbox = _StubInbox()
+        self.protocol = object()
+
+
+class _StubNet:
+    def __init__(self, n):
+        self.n_nodes = n
+        self._tx_inflight = [0] * n
+        self._rx_inflight = [0] * n
+
+
+class _StubCluster:
+    def __init__(self, n):
+        self.network = _StubNet(n)
+
+
+class _StubRuntime:
+    def __init__(self, n=2):
+        self.n_ranks = n
+        self.contexts = [_StubCtx(r) for r in range(n)]
+        self._rank_processes = [None] * n
+        self.cluster = _StubCluster(n)
+
+
+class TestStateSamplerUnit:
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            StateSampler(bin_s=0.0)
+        with pytest.raises(ValueError):
+            StateSampler(bin_s=0.25, max_bins=1)
+
+    def test_env_bin_parsing(self, monkeypatch):
+        monkeypatch.delenv(SAMPLE_BIN_ENV, raising=False)
+        assert sampling_bin_from_env() is None
+        monkeypatch.setenv(SAMPLE_BIN_ENV, "0.25")
+        assert sampling_bin_from_env() == 0.25
+        monkeypatch.setenv(SAMPLE_BIN_ENV, "junk")
+        assert sampling_bin_from_env() is None
+        monkeypatch.setenv(SAMPLE_BIN_ENV, "-1")
+        assert sampling_bin_from_env() is None
+
+    def test_unbound_observe_only_advances_the_edge(self):
+        sampler = StateSampler(bin_s=0.5)
+        sampler.observe(1.7)
+        assert sampler.next_edge == pytest.approx(2.0)
+        assert sampler.n_bins == 0
+
+    def test_observe_stamps_every_crossed_edge(self):
+        sampler = StateSampler(bin_s=0.25)
+        sampler.bind_runtime(_StubRuntime(n=3))
+        sampler.observe(1.05)  # crosses 0.25, 0.5, 0.75, 1.0
+        assert sampler.edges == pytest.approx([0.25, 0.5, 0.75, 1.0])
+        assert sampler.next_edge == pytest.approx(1.25)
+        # one snapshot, shared by all four edges; stub ranks all compute
+        assert sampler.rank_states[0] == bytes([0, 0, 0])
+        fractions = sampler.occupancy_fractions()
+        assert fractions["compute"] == [1.0] * 4
+
+    def test_rebin_halves_resolution_and_bounds_memory(self):
+        sampler = StateSampler(bin_s=0.25, max_bins=4)
+        sampler.bind_runtime(_StubRuntime())
+        sampler.observe(2.0)  # 8 edges > max_bins -> one rebin
+        assert sampler.rebin_count == 1
+        assert sampler.bin_s == pytest.approx(0.5)
+        assert sampler.edges == pytest.approx([0.5, 1.0, 1.5, 2.0])
+        assert sampler.next_edge == pytest.approx(2.5)
+
+    def test_note_phase_reclassifies_interrupted_checkpoint(self):
+        sampler = StateSampler(bin_s=0.25)
+        sampler.note_phase(0, "checkpoint", 1.0)
+        sampler.note_phase(0, "checkpoint", 1.1)  # re-note: no-op
+        sampler.note_phase(0, "recovery", 1.5)  # kill mid-checkpoint
+        sampler.note_phase(0, None, 2.5)
+        # the partial wave books as recovery, not checkpoint
+        assert sampler.phase_intervals == [
+            (0, "recovery", 1.0, 1.5),
+            (0, "recovery", 1.5, 2.5),
+        ]
+        assert sampler.phase_seconds() == {0: {"recovery": pytest.approx(1.5)}}
+
+    def test_end_phase_only_closes_matching_phase(self):
+        sampler = StateSampler(bin_s=0.25)
+        sampler.note_phase(1, "checkpoint", 1.0)
+        sampler.note_phase(1, "recovery", 1.2)
+        # the checkpoint finally-block fires after the kill moved the rank
+        # to recovery: it must not clobber the open recovery interval
+        sampler.end_phase(1, "checkpoint", 1.3)
+        sampler.finalize(2.0)
+        assert (1, "recovery", 1.2, 2.0) in sampler.phase_intervals
+
+    def test_finalize_closes_open_phases(self):
+        sampler = StateSampler(bin_s=0.25)
+        sampler.note_phase(0, "finished", 3.0)
+        sampler.finalize(4.0)
+        assert sampler.phase_intervals == [(0, "finished", 3.0, 4.0)]
+        assert sampler.end_time == 4.0
+
+
+# ------------------------------------------- sampled scenario + attribution
+SAMPLE_BIN = 0.1
+
+
+@pytest.fixture(scope="module")
+def sampled_failure_run():
+    runner.clear_caches()
+    telemetry = Telemetry(trace=False, sample_bin_s=SAMPLE_BIN)
+    result = run_scenario(FAILURE_CONFIG, telemetry=telemetry)
+    runner.clear_caches()
+    return result, telemetry
+
+
+class TestSampledScenario:
+    def test_sampler_engaged_and_summary_flows_through(self, sampled_failure_run):
+        result, telemetry = sampled_failure_run
+        sampler = telemetry.sampler
+        assert sampler.n_bins > 0
+        assert result.sampler is sampler
+        summary = result.sampler_summary
+        assert summary == sampler.summary()
+        assert result.nic_util_peak == summary["nic_util_peak"] > 0
+        assert result.log_bytes_peak == summary["log_bytes_peak"] > 0
+        assert result.inbox_depth_max == summary["inbox_depth_max"] > 0
+
+    def test_occupancy_fractions_sum_to_one_per_bin(self, sampled_failure_run):
+        _, telemetry = sampled_failure_run
+        fractions = telemetry.sampler.occupancy_fractions()
+        for i in range(telemetry.sampler.n_bins):
+            assert sum(fractions[s][i] for s in RANK_STATES) == pytest.approx(1.0)
+
+    def test_breakdown_reconciles_with_registry_phase_times(self, sampled_failure_run):
+        """Acceptance criterion: occupancy reconciles within one bin width."""
+        result, telemetry = sampled_failure_run
+        sampler = telemetry.sampler
+        rec = reconcile_with_registry(sampler, telemetry)
+        assert rec["checkpoint_registry_s"] > 0
+        assert rec["checkpoint_abs_diff"] <= sampler.bin_s
+        assert rec["recovery_attributed_s"] > 0
+
+    def test_breakdown_sums_to_run_length_per_rank(self, sampled_failure_run):
+        result, telemetry = sampled_failure_run
+        sampler = telemetry.sampler
+        breakdown = utilization_breakdown(sampler)
+        assert set(breakdown) == set(range(FAILURE_CONFIG.n_ranks))
+        for rank, states in breakdown.items():
+            assert set(states) == set(RANK_STATES)
+            assert sum(states.values()) == pytest.approx(sampler.end_time)
+        table = utilization_table(breakdown)
+        assert len(table.rows) == FAILURE_CONFIG.n_ranks
+
+    def test_sampling_does_not_change_simulated_metrics(self, sampled_failure_run):
+        sampled_result, _ = sampled_failure_run
+        runner.clear_caches()
+        plain = run_scenario(FAILURE_CONFIG)
+        runner.clear_caches()
+        assert parity_metrics(plain) == parity_metrics(sampled_result)
+
+    def test_series_exports_round_trip(self, sampled_failure_run, tmp_path):
+        _, telemetry = sampled_failure_run
+        sampler = telemetry.sampler
+        jsonl_path = tmp_path / "series.jsonl"
+        csv_path = tmp_path / "series.csv"
+        write_series_jsonl(jsonl_path, sampler)
+        write_series_csv(csv_path, sampler)
+
+        records = [json.loads(line)
+                   for line in jsonl_path.read_text().splitlines()]
+        meta = [r for r in records if r["type"] == "meta"]
+        bins = [r for r in records if r["type"] == "bin"]
+        phases = [r for r in records if r["type"] == "phase"]
+        assert len(meta) == 1
+        assert meta[0]["states"] == list(RANK_STATES)
+        assert len(bins) == sampler.n_bins
+        assert len(phases) == len(sampler.phase_intervals)
+
+        csv_lines = csv_path.read_text().strip().splitlines()
+        assert len(csv_lines) == sampler.n_bins + 1  # header + one per bin
+        assert csv_lines[0].startswith("t0,t1,n_compute")
+
+    def test_dashboard_renders_from_jsonl(self, sampled_failure_run, tmp_path):
+        """Acceptance criterion: heatmap HTML renders end-to-end."""
+        import sys
+
+        _, telemetry = sampled_failure_run
+        path = tmp_path / "series.jsonl"
+        write_series_jsonl(path, telemetry.sampler)
+        sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+        try:
+            from tools.dashboard import (load_series, occupancy_table,
+                                         render_dashboard_html)
+        finally:
+            sys.path.pop(0)
+        data = load_series(str(path))
+        assert len(data["bins"]) == telemetry.sampler.n_bins
+        html = render_dashboard_html(data, title="test run")
+        assert "Rank-state heatmap" in html
+        assert "Utilization stacked area" in html
+        assert "prefers-color-scheme: dark" in html
+        assert "Table view" in html
+        table = occupancy_table(data)
+        assert [row[0] for row in table.rows] == list(RANK_STATES)
+
+
+@pytest.mark.parametrize("fast", [True, False], ids=["fastpath", "slowpath"])
+@pytest.mark.parametrize("config", PARITY_SUBSET, ids=scenario_label)
+def test_sampled_runs_match_parity_golden(config, fast, golden, monkeypatch):
+    """Sampler on, both kernel paths: golden metrics stay bit-identical."""
+    monkeypatch.setenv(FAST_PATH_ENV, "1" if fast else "0")
+    runner.clear_caches()
+    try:
+        result = run_scenario(
+            config, telemetry=Telemetry(trace=False, sample_bin_s=0.05))
+    finally:
+        runner.clear_caches()
+    sampler = result.telemetry.sampler
+    assert sampler is not None and sampler.n_bins > 0
     assert parity_metrics(result) == golden[scenario_label(config)]["metrics"]

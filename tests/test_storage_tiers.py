@@ -401,7 +401,7 @@ class TestPayloadV5:
         result = run_scenario(_tier_config(partner_replicated(), "none"))
         payload = metrics_payload(result)
         # v6 added the telemetry phase_times/registry_metrics entries
-        assert payload["version"] == PAYLOAD_VERSION == 7
+        assert payload["version"] == PAYLOAD_VERSION == 8
         assert payload["survived"] == 1
         assert payload["tier_bytes_written"]["L2"] > 0
         assert payload["partner_copies"] > 0
