@@ -88,6 +88,15 @@ def format_table(table: Table) -> str:
     return "\n".join(lines)
 
 
+def table_to_dict(table: Table) -> Dict[str, object]:
+    """JSON-safe rendering of a :class:`Table` (the observatory's table API)."""
+    return {
+        "title": table.title,
+        "columns": list(table.columns),
+        "rows": [list(row) for row in table.rows],
+    }
+
+
 def phase_time_table(phase_times: Dict[str, object],
                      title: str = "Phase-attributed time") -> Table:
     """Render a ``phase_times`` mapping (the metrics-registry harvest) as a Table.

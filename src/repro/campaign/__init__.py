@@ -23,7 +23,16 @@ rank-count × seed); this subsystem turns those sweeps into *campaigns*:
   lease health and failure summaries,
 * :mod:`repro.campaign.dashboard` — renders a progress snapshot as
   terminal tables or a self-contained HTML status page
-  (``python -m repro.campaign.dashboard --db sweep.sqlite --html out.html``).
+  (``python -m repro.campaign.dashboard --db sweep.sqlite --html out.html``),
+* :mod:`repro.campaign.cache` — a generation-stamped response cache: every
+  aggregate is memoised against :meth:`CampaignStore.generation`, so N
+  concurrent readers of a quiet store cost one aggregation pass,
+* :mod:`repro.campaign.metrics_export` — Prometheus text exposition
+  (format 0.0.4) builders plus the minimal parser CI validates scrapes with,
+* :mod:`repro.campaign.server` — the campaign observatory: a stdlib-only
+  threaded HTTP service serving ``/api/progress``, ``/api/results``,
+  ``/api/tables/*``, ``/api/bench``, ``/metrics`` and the live HTML board
+  (``python -m repro.campaign.server --db sweep.sqlite --port 8032``).
 
 Workflow (PyExperimenter-style)::
 
@@ -47,12 +56,15 @@ from repro.campaign.executor import (
     reset_default_campaign,
     set_default_campaign,
 )
+from repro.campaign.cache import CachedEntry, GenerationCache
 from repro.campaign.export import (
     average_over_seeds,
     results_to_csv,
+    results_to_csv_text,
     results_to_series,
     results_to_table,
     store_to_csv,
+    stored_results,
     summary_table,
 )
 from repro.campaign.dashboard import render_progress_html, render_progress_text
@@ -73,9 +85,11 @@ from repro.campaign.store import (
 )
 
 __all__ = [
+    "CachedEntry",
     "Campaign",
     "CampaignError",
     "CampaignProgress",
+    "GenerationCache",
     "average_over_seeds",
     "campaign_progress",
     "CampaignStore",
@@ -95,10 +109,12 @@ __all__ = [
     "render_progress_html",
     "render_progress_text",
     "results_to_csv",
+    "results_to_csv_text",
     "results_to_series",
     "results_to_table",
     "scenario_key",
     "set_default_campaign",
     "store_to_csv",
+    "stored_results",
     "summary_table",
 ]

@@ -1,0 +1,112 @@
+"""Generation-stamped response cache for the campaign observatory.
+
+The read-side service's whole economy rests on one observation: every
+expensive aggregate (progress snapshots, experiment tables recomputed from
+stored payloads, Prometheus scrapes) is a pure function of the store's
+contents.  :meth:`CampaignStore.generation` distils those contents into a
+cheap stamp — an index-speed probe, no payload deserialisation — so the
+cache can answer "is this aggregate still current?" without recomputing it.
+
+:class:`GenerationCache` keys every entry on ``(key, generation)``:
+
+* equal stamp → the cached value (and its ETag) is served from memory —
+  a **hit**; N concurrent readers cost one aggregation,
+* changed stamp → the entry is recomputed once and re-stamped — a **miss**.
+
+ETags derive from ``(key, generation)`` too, so HTTP conditional requests
+(``If-None-Match``) collapse to 304s exactly when the cache hits.  The
+``server.cache.hit`` / ``server.cache.miss`` counter pair on the service's
+:class:`~repro.obs.metrics.MetricsRegistry` makes the economy observable
+(and assertable: two back-to-back reads of the same endpoint must cost at
+most one miss).
+
+All store access funnels through the cache's one lock: sqlite connections
+are not thread-safe, and serialising the *aggregation* (never the workers'
+writes — readers in WAL mode do not block writers) is precisely the design:
+however many observatory readers arrive, the store pays for one pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+from .store import CampaignStore
+
+__all__ = ["CachedEntry", "GenerationCache"]
+
+
+@dataclass
+class CachedEntry:
+    """One cached aggregate with its generation stamp and ETag."""
+
+    value: object
+    generation: Tuple[int, ...]
+    etag: str
+
+
+def _etag(key: str, generation: Tuple[int, ...]) -> str:
+    raw = repr((key, generation)).encode("utf-8")
+    return '"%s"' % hashlib.sha256(raw).hexdigest()[:20]
+
+
+class GenerationCache:
+    """Memoise aggregates over a store, keyed by its generation stamp."""
+
+    def __init__(self, store: CampaignStore,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.store = store
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.hits = self.registry.counter("server.cache.hit")
+        self.misses = self.registry.counter("server.cache.miss")
+        self._entries: Dict[str, CachedEntry] = {}
+        self._lock = threading.RLock()
+
+    def generation(self) -> Tuple[int, ...]:
+        """Probe the store's current generation (serialised on the lock)."""
+        with self._lock:
+            return self.store.generation()
+
+    def get(self, key: str, compute: Callable[[], object]) -> Tuple[CachedEntry, bool]:
+        """The aggregate named ``key``, computed at most once per generation.
+
+        Returns ``(entry, hit)``.  ``compute`` runs under the cache lock (it
+        reads the store, whose connection is shared between server threads),
+        so concurrent readers of a cold key wait for one computation instead
+        of racing N.
+        """
+        with self._lock:
+            generation = self.store.generation()
+            entry = self._entries.get(key)
+            if entry is not None and entry.generation == generation:
+                self.hits.inc()
+                return entry, True
+            self.misses.inc()
+            entry = CachedEntry(value=compute(), generation=generation,
+                                etag=_etag(key, generation))
+            self._entries[key] = entry
+            return entry, False
+
+    def invalidate(self, key: Optional[str] = None) -> None:
+        """Drop one cached entry (or all of them with ``key=None``)."""
+        with self._lock:
+            if key is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(key, None)
+
+    @property
+    def hit_count(self) -> int:
+        return self.hits.value
+
+    @property
+    def miss_count(self) -> int:
+        return self.misses.value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

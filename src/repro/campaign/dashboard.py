@@ -105,8 +105,18 @@ def _fmt_duration(seconds: Optional[float]) -> str:
 
 
 def render_progress_html(progress: CampaignProgress,
-                         title: str = "campaign observatory") -> str:
-    """Self-contained HTML status page for a campaign store."""
+                         title: str = "campaign observatory",
+                         poll_s: Optional[float] = None,
+                         poll_url: str = "/api/progress") -> str:
+    """Self-contained HTML status page for a campaign store.
+
+    With ``poll_s`` set (the observatory server's live mode) the page keeps
+    polling ``poll_url`` and reloads itself the moment the endpoint's ETag
+    changes — the server's response cache stamps every payload with the
+    store generation, so a quiet store costs one conditional request per
+    poll and the page re-renders only when the store actually changed.
+    An empty store renders an explicit "no rows yet" state.
+    """
     counts = progress.counts
     total = progress.total
 
@@ -133,12 +143,15 @@ def render_progress_html(progress: CampaignProgress,
     meter = f'<div class="meter">{"".join(segments)}</div>' if segments else ""
 
     throughput = progress.throughput_per_s
-    rates_rows = [
-        ("Done", f"{counts.get('done', 0)}/{total}"),
-        ("Throughput", f"{throughput * 60:.2f} rows/min" if throughput else "-"),
-        ("Mean row duration", _fmt_duration(progress.mean_duration_s)),
-        ("ETA", _fmt_duration(progress.eta_s)),
-    ]
+    if progress.is_empty:
+        rates_rows = [("State", "no rows yet — the store holds no experiments")]
+    else:
+        rates_rows = [
+            ("Done", f"{counts.get('done', 0)}/{total}"),
+            ("Throughput", f"{throughput * 60:.2f} rows/min" if throughput else "-"),
+            ("Mean row duration", _fmt_duration(progress.mean_duration_s)),
+            ("ETA", _fmt_duration(progress.eta_s)),
+        ]
     rates = "".join(f"<tr><td>{html.escape(k)}</td><td>{html.escape(v)}</td></tr>"
                     for k, v in rates_rows)
 
@@ -169,6 +182,33 @@ def render_progress_html(progress: CampaignProgress,
             "<section><h2>Failures</h2><table>"
             f"<tr><th>key</th><th>error</th></tr>{rows}</table></section>")
 
+    if progress.is_empty:
+        hero = ('<div class="hero">no rows yet'
+                '<span class="sub" style="font-size:16px"> — waiting for the '
+                'first experiment to be registered</span></div>')
+    else:
+        hero = (f'<div class="hero">{progress.done_fraction:.0%}'
+                '<span class="sub" style="font-size:16px"> complete</span></div>')
+
+    poll_script = ""
+    if poll_s:
+        poll_ms = max(int(poll_s * 1000), 250)
+        poll_script = f"""<script>
+(function () {{
+  var last = null;
+  function tick() {{
+    fetch({poll_url!r}, {{cache: "no-store"}}).then(function (r) {{
+      var tag = r.headers.get("ETag");
+      if (last !== null && tag !== null && tag !== last) location.reload();
+      if (tag !== null) last = tag;
+    }}).catch(function () {{}}).then(function () {{
+      setTimeout(tick, {poll_ms});
+    }});
+  }}
+  setTimeout(tick, {poll_ms});
+}})();
+</script>"""
+
     return f"""<!doctype html>
 <html><head><meta charset="utf-8">
 <meta name="viewport" content="width=device-width, initial-scale=1">
@@ -177,14 +217,14 @@ def render_progress_html(progress: CampaignProgress,
 <section>
 <h2>{html.escape(title)}</h2>
 <p class="sub">{total} experiments · snapshot at t={progress.observed_at:.0f}</p>
-<div class="hero">{progress.done_fraction:.0%}<span class="sub" style="font-size:16px"> complete</span></div>
+{hero}
 {meter}
 <div class="tiles">{''.join(tiles)}</div>
 </section>
 <section><h2>Rates</h2><table>{rates}</table></section>
 {lease_section}
 {failure_section}
-</body></html>
+{poll_script}</body></html>
 """
 
 

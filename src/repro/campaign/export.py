@@ -9,6 +9,7 @@ and plain-stdlib CSV dumps for external analysis.
 from __future__ import annotations
 
 import csv
+import io
 import json
 import math
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -150,6 +151,22 @@ def results_to_table(
     return table
 
 
+def results_to_csv_text(
+    results: Sequence[StoredResult],
+    config_fields: Sequence[str] = CONFIG_FIELDS,
+    metric_fields: Sequence[str] = METRIC_FIELDS,
+) -> str:
+    """Render results as CSV text (header + one row per result)."""
+    columns = list(config_fields) + list(metric_fields)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(columns)
+    for result in results:
+        row = _Row(result)
+        writer.writerow([row.get(name) for name in columns])
+    return buffer.getvalue()
+
+
 def results_to_csv(
     results: Sequence[StoredResult],
     path: str,
@@ -157,20 +174,52 @@ def results_to_csv(
     metric_fields: Sequence[str] = METRIC_FIELDS,
 ) -> int:
     """Write one CSV row per result; returns the number of rows written."""
-    columns = list(config_fields) + list(metric_fields)
     with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(columns)
-        for result in results:
-            row = _Row(result)
-            writer.writerow([row.get(name) for name in columns])
+        handle.write(results_to_csv_text(results, config_fields, metric_fields))
     return len(results)
+
+
+def stored_results(
+    store: CampaignStore,
+    status: str = "done",
+    workload: Optional[str] = None,
+    method: Optional[str] = None,
+    n_ranks: Optional[int] = None,
+    seed: Optional[int] = None,
+    cluster_name: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> List[StoredResult]:
+    """Stored rows as :class:`StoredResult`, filtered by config fields.
+
+    The shared read-side selector: the observatory server's ``/api/results``
+    and the per-experiment table-from-store entry points all pull through
+    here.  ``cluster_name`` selects one experiment family — the sweep
+    builders stamp their cluster spec (``storage-tiers``, ``availability``,
+    ``elastic-shrink``), so a shared store can serve every family's tables.
+    Rows appear oldest first (the order the sweep registered them).
+    """
+    out: List[StoredResult] = []
+    for row in store.rows(status=status):
+        config = row.config
+        if workload is not None and config.workload != workload:
+            continue
+        if method is not None and config.method != method:
+            continue
+        if n_ranks is not None and config.n_ranks != n_ranks:
+            continue
+        if seed is not None and config.seed != seed:
+            continue
+        if cluster_name is not None and config.cluster.name != cluster_name:
+            continue
+        out.append(StoredResult(config, row.metrics or {}))
+        if limit is not None and len(out) >= limit:
+            break
+    return out
 
 
 def store_to_csv(store: CampaignStore, path: str) -> int:
     """Dump every ``done`` row of a store to CSV (see :func:`results_to_csv`)."""
-    results = [StoredResult(row.config, row.metrics) for row in store.rows(status="done")]
-    return results_to_csv(results, path)
+    return results_to_csv(stored_results(store), path)
 
 
 def summary_table(store: CampaignStore) -> Table:

@@ -1,0 +1,239 @@
+"""Prometheus text exposition for the campaign observatory.
+
+Renders a :class:`~repro.campaign.progress.CampaignProgress` snapshot (plus
+the benchmark side table and the server's own
+:class:`~repro.obs.metrics.MetricsRegistry`) in the Prometheus text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` headers, one
+``name{labels} value`` sample per line.  Everything here is pure string
+building over an already-taken snapshot — the expensive store reads happen
+once behind the server's generation cache, and a scrape of a quiet store is
+a cache hit.
+
+:func:`parse_exposition` is the matching minimal parser: CI and the tests
+use it to prove a scrape is well-formed (every sample line matches the
+grammar and belongs to a typed family) without installing a Prometheus
+client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.campaign.progress import CampaignProgress
+from repro.campaign.store import STATUSES
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "MetricFamily",
+    "campaign_families",
+    "registry_families",
+    "render_exposition",
+    "parse_exposition",
+]
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"(?:,|$)')
+
+
+@dataclass
+class MetricFamily:
+    """One exposition family: typed, documented, with labelled samples."""
+
+    name: str
+    kind: str  # "gauge" | "counter"
+    help: str
+    #: (labels, value) pairs; labels may be empty
+    samples: List[Tuple[Dict[str, str], float]] = field(default_factory=list)
+
+    def add(self, value: float, **labels: str) -> "MetricFamily":
+        self.samples.append((dict(labels), float(value)))
+        return self
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_exposition(families: Iterable[MetricFamily]) -> str:
+    """Render families as Prometheus text exposition (format 0.0.4)."""
+    lines: List[str] = []
+    for family in families:
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric name {family.name!r}")
+        if family.kind not in ("gauge", "counter"):
+            raise ValueError(f"unsupported metric type {family.kind!r}")
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, value in family.samples:
+            if labels:
+                inner = ",".join(
+                    f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items()))
+                lines.append(f"{family.name}{{{inner}}} {_fmt_value(value)}")
+            else:
+                lines.append(f"{family.name} {_fmt_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse exposition text back into ``{name: {type, help, samples}}``.
+
+    Raises ``ValueError`` on any malformed line, a sample without a ``TYPE``
+    header, or an unparseable value — the validation CI runs against a live
+    ``/metrics`` scrape.  ``samples`` maps the rendered label string (or
+    ``""``) to the float value.
+    """
+    families: Dict[str, Dict[str, object]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            families.setdefault(parts[0], {"samples": {}})["help"] = (
+                parts[1] if len(parts) > 1 else "")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ", 1)
+            if len(parts) != 2 or parts[1] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: malformed TYPE line {line!r}")
+            families.setdefault(parts[0], {"samples": {}})["type"] = parts[1]
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample line {line!r}")
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = "".join(m.group(0) for m in _LABEL_RE.finditer(raw_labels))
+            if consumed.rstrip(",") != raw_labels.rstrip(","):
+                raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: unparseable value in {line!r}") from exc
+        base = name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if name.endswith(suffix) and name[:-len(suffix)] in families:
+                base = name[:-len(suffix)]
+                break
+        family = families.get(base)
+        if family is None or "type" not in family:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE header")
+        family["samples"][raw_labels or ""] = value
+    return families
+
+
+# ------------------------------------------------------------------ builders
+def campaign_families(progress: CampaignProgress,
+                      bench_rows: Sequence[Dict[str, object]] = (),
+                      ) -> List[MetricFamily]:
+    """The store-derived families of one ``/metrics`` scrape.
+
+    Row counts by status, done fraction, throughput, ETA, lease health and
+    mean task duration come from the progress snapshot; the newest
+    ``events_per_s`` per benchmark scenario comes from the ``benchmarks``
+    side table (``bench_rows`` as returned by
+    :meth:`CampaignStore.benchmark_rows`).
+    """
+    rows = MetricFamily("repro_campaign_rows", "gauge",
+                        "Experiment rows by lifecycle status")
+    for status in STATUSES:
+        rows.add(progress.counts.get(status, 0), status=status)
+
+    families = [
+        rows,
+        MetricFamily("repro_campaign_experiments", "gauge",
+                     "Total experiment rows in the store").add(progress.total),
+        MetricFamily("repro_campaign_done_fraction", "gauge",
+                     "Fraction of rows in status done").add(progress.done_fraction),
+        MetricFamily("repro_campaign_throughput_rows_per_second", "gauge",
+                     "Completed rows per wall-clock second "
+                     "(finished_at spread)").add(progress.throughput_per_s),
+        MetricFamily("repro_campaign_mean_task_duration_seconds", "gauge",
+                     "Mean wall duration of completed rows"
+                     ).add(progress.mean_duration_s),
+    ]
+    if progress.eta_s is not None:
+        families.append(MetricFamily(
+            "repro_campaign_eta_seconds", "gauge",
+            "Projected seconds to drain pending+running rows").add(progress.eta_s))
+    leases = MetricFamily("repro_campaign_leases", "gauge",
+                          "Running-row claims by lease state")
+    expired = progress.expired_leases
+    leases.add(len(progress.leases) - expired, state="held")
+    leases.add(expired, state="expired")
+    families.append(leases)
+
+    latest: Dict[Tuple[str, str], float] = {}
+    for row in bench_rows:
+        payload = row.get("payload") or {}
+        scenario = payload.get("scenario")
+        rate = payload.get("events_per_s")
+        if scenario is None or rate is None:
+            continue
+        latest[(str(row.get("name", "benchmark")), str(scenario))] = float(rate)
+    if latest:
+        bench = MetricFamily("repro_benchmark_events_per_second", "gauge",
+                             "Newest recorded benchmark events/sec per scenario")
+        for (name, scenario), rate in sorted(latest.items()):
+            bench.add(rate, benchmark=name, scenario=scenario)
+        families.append(bench)
+    return families
+
+
+def registry_families(registry: MetricsRegistry,
+                      prefix: str = "repro_") -> List[MetricFamily]:
+    """Expose a :class:`MetricsRegistry`'s instruments as exposition families.
+
+    Names translate dot-to-underscore (``server.cache.hit`` →
+    ``repro_server_cache_hit_total``); counters gain the conventional
+    ``_total`` suffix, tags become labels, histograms expand to ``_sum`` /
+    ``_count`` gauges.
+    """
+    by_name: Dict[str, MetricFamily] = {}
+
+    def family(name: str, kind: str, help_text: str) -> MetricFamily:
+        if name not in by_name:
+            by_name[name] = MetricFamily(name, kind, help_text)
+        return by_name[name]
+
+    for inst in registry:
+        base = prefix + inst.name.replace(".", "_").replace("-", "_")
+        labels = {str(k): str(v) for k, v in inst.tags}
+        if isinstance(inst, Counter):
+            family(base + "_total", "counter",
+                   f"Counter {inst.name}").add(inst.value, **labels)
+        elif isinstance(inst, Gauge):
+            family(base, "gauge", f"Gauge {inst.name}").add(inst.value, **labels)
+        elif isinstance(inst, Histogram):
+            family(base + "_sum", "gauge",
+                   f"Histogram {inst.name} total").add(inst.total, **labels)
+            family(base + "_count", "gauge",
+                   f"Histogram {inst.name} observations").add(inst.count, **labels)
+    return [by_name[name] for name in sorted(by_name)]

@@ -45,6 +45,11 @@ class CampaignProgress:
         return sum(self.counts.values())
 
     @property
+    def is_empty(self) -> bool:
+        """True for a freshly-created store with no experiment rows at all."""
+        return self.total == 0
+
+    @property
     def done_fraction(self) -> float:
         total = self.total
         return self.counts.get("done", 0) / total if total else 0.0
@@ -58,6 +63,26 @@ class CampaignProgress:
         if not self.durations_s:
             return 0.0
         return sum(self.durations_s) / len(self.durations_s)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot (the observatory server's ``/api/progress``)."""
+        return {
+            "counts": dict(self.counts),
+            "total": self.total,
+            "is_empty": self.is_empty,
+            "done_fraction": self.done_fraction,
+            "throughput_per_s": self.throughput_per_s,
+            "eta_s": self.eta_s,
+            "mean_duration_s": self.mean_duration_s,
+            "durations_s": list(self.durations_s),
+            "leases": [
+                {"key": key, "worker": worker, "seconds_left": left}
+                for key, worker, left in self.leases
+            ],
+            "expired_leases": self.expired_leases,
+            "failures": dict(self.failures),
+            "observed_at": self.observed_at,
+        }
 
 
 def campaign_progress(store: CampaignStore,
@@ -85,7 +110,9 @@ def campaign_progress(store: CampaignStore,
 
     remaining = counts["pending"] + counts["running"]
     eta: Optional[float] = None
-    if remaining == 0:
+    if sum(counts.values()) == 0:
+        eta = None  # empty store: "drained in 0s" would be nonsense
+    elif remaining == 0:
         eta = 0.0
     elif throughput > 0:
         eta = remaining / throughput
@@ -120,17 +147,24 @@ def _fmt_eta(eta_s: Optional[float]) -> str:
 
 
 def progress_tables(progress: CampaignProgress) -> List[Table]:
-    """Render a snapshot as reporting tables (the ``--watch`` text mode)."""
+    """Render a snapshot as reporting tables (the ``--watch`` text mode).
+
+    An empty (freshly-created) store renders an explicit "no rows yet"
+    state instead of degenerate 0% / 0 rows/s / zero-ETA output.
+    """
     status = Table("Campaign status", ["status", "rows"])
     for name in STATUSES:
         status.add_row(name, progress.counts.get(name, 0))
     status.add_row("total", progress.total)
 
     rates = Table("Rates", ["metric", "value"])
-    rates.add_row("done fraction", f"{progress.done_fraction:.1%}")
-    rates.add_row("throughput", f"{progress.throughput_per_s:.3f} rows/s")
-    rates.add_row("mean row duration", f"{progress.mean_duration_s:.2f} s")
-    rates.add_row("ETA", _fmt_eta(progress.eta_s))
+    if progress.is_empty:
+        rates.add_row("state", "no rows yet — the store holds no experiments")
+    else:
+        rates.add_row("done fraction", f"{progress.done_fraction:.1%}")
+        rates.add_row("throughput", f"{progress.throughput_per_s:.3f} rows/s")
+        rates.add_row("mean row duration", f"{progress.mean_duration_s:.2f} s")
+        rates.add_row("ETA", _fmt_eta(progress.eta_s))
 
     tables = [status, rates]
     if progress.leases:

@@ -26,6 +26,7 @@ import json
 import sqlite3
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ckpt.scheduler import CheckpointSchedule
@@ -218,11 +219,17 @@ class CampaignStore:
     path:
         Database file, or ``":memory:"`` for an in-process throwaway store
         (an in-memory store cannot be shared with worker processes).
+    check_same_thread:
+        Pass ``False`` to share one store object between threads (the
+        observatory server does, serialising access behind its cache lock);
+        sqlite's default single-thread ownership check stays on otherwise.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:",
+                 check_same_thread: bool = True) -> None:
         self.path = path
-        self._conn = sqlite3.connect(path, timeout=60.0, isolation_level=None)
+        self._conn = sqlite3.connect(path, timeout=60.0, isolation_level=None,
+                                     check_same_thread=check_same_thread)
         if not self.is_memory:
             self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.execute("PRAGMA synchronous=NORMAL")
@@ -520,11 +527,24 @@ class CampaignStore:
 
         Unlike experiment rows, benchmark rows are never deduplicated or
         cached: every run appends, so the table is a measurement history.
+        Every row is stamped (unless the caller already did) with the payload
+        format version, the simulator fingerprint and a UTC timestamp, so the
+        events/sec trajectory across simulator revisions stays attributable
+        long after the code that produced a row is gone (read it back with
+        ``tools/bench_trend.py`` or the observatory's ``/api/bench``).
         Returns the row id.
         """
+        from repro.campaign.results import PAYLOAD_VERSION, simulator_fingerprint
+
+        stamped = dict(payload)
+        stamped.setdefault("payload_version", PAYLOAD_VERSION)
+        stamped.setdefault("sim_version", simulator_fingerprint())
+        stamped.setdefault(
+            "recorded_at_utc",
+            datetime.now(timezone.utc).isoformat(timespec="seconds"))
         cur = self._conn.execute(
             "INSERT INTO benchmarks (name, payload, created_at) VALUES (?, ?, ?)",
-            (name, json.dumps(payload, sort_keys=True), time.time()),
+            (name, json.dumps(stamped, sort_keys=True), time.time()),
         )
         return cur.lastrowid
 
@@ -597,6 +617,30 @@ class CampaignStore:
         for status, count in self._conn.execute(query, params):
             out[status] = count
         return out
+
+    def generation(self) -> Tuple[int, ...]:
+        """Cheap *generation stamp*: changes whenever the store's contents do.
+
+        The stamp combines sqlite's ``data_version`` pragma (bumped every
+        time another connection commits a change — claims, lease renewals,
+        results, anything), the experiment row count + high-water ``rowid``
+        (inserts, including re-inserts after deletes), the per-status counts
+        (state transitions made through *this* connection, which
+        ``data_version`` does not see), and the benchmark table's high-water
+        id.  All probes are index-speed aggregate queries — no payloads are
+        deserialised — so the stamp is cheap enough to take per request: the
+        observatory's response cache keys every expensive aggregate on it,
+        and equal stamps guarantee the cached aggregate is still current.
+        """
+        data_version = self._conn.execute("PRAGMA data_version").fetchone()[0]
+        n_rows, max_rowid = self._conn.execute(
+            "SELECT COUNT(*), COALESCE(MAX(rowid), 0) FROM experiments"
+        ).fetchone()
+        counts = self.counts()
+        bench_max = self._conn.execute(
+            "SELECT COALESCE(MAX(id), 0) FROM benchmarks").fetchone()[0]
+        return (data_version, n_rows, max_rowid,
+                *(counts[status] for status in STATUSES), bench_max)
 
     def __len__(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM experiments").fetchone()[0]

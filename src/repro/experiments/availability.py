@@ -149,54 +149,58 @@ def availability_configs(
     return configs
 
 
-def availability_experiment(
-    workload: str = "halo2d",
-    n_ranks: int = 16,
-    methods: Sequence[str] = ("NORM", "GP", "GP1"),
-    mtbf_per_node_s: Sequence[float] = (240.0, 100.0, 50.0),
-    spare_counts: Sequence[int] = (0, 2),
-    seeds: Sequence[int] = (0, 1),
-    interval_s: float = 2.0,
-    detection_delay_s: float = 0.25,
-    reboot_delay_s: float = 5.0,
-    max_failures: int = 6,
-    max_group_size: Optional[int] = 8,
-    workload_options: Optional[Dict[str, object]] = None,
-    priority: int = 0,
+def _first_seen(values) -> List:
+    out: List = []
+    for value in values:
+        if value not in out:
+            out.append(value)
+    return out
+
+
+def availability_summary(
+    averaged,
+    methods: Optional[Sequence[str]] = None,
+    mtbf_per_node_s: Optional[Sequence[float]] = None,
+    spare_counts: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
-    """Run (or fetch) the availability grid and aggregate it per cell.
+    """Aggregate seed-averaged availability results into cells/series/table.
 
-    Returns ``cells`` (one :class:`AvailabilityCell` per grid point,
-    seed-averaged), ``makespan_series`` / ``availability_series`` (one line
-    per (method, spares) combination over the failure-rate axis — the "GP
-    degrades gracefully, NORM collapses" figure), a formatted ``table``, and
-    the raw seed-averaged ``results``.
+    A pure aggregation over stored payloads — the observatory serves it from
+    a campaign store without touching the simulator.  Grid axes fix the
+    row order; when omitted they derive in first-seen result order, which
+    for a store filled by :func:`availability_experiment` reproduces the
+    sweep's own ordering (value-equal tables).  Cells missing from the store
+    (a partially-drained grid) are skipped rather than raising.
     """
-    from repro.campaign.executor import get_default_campaign
-
-    configs = availability_configs(
-        workload=workload, n_ranks=n_ranks, methods=methods,
-        mtbf_per_node_s=mtbf_per_node_s, spare_counts=spare_counts,
-        seeds=seeds, interval_s=interval_s,
-        detection_delay_s=detection_delay_s, reboot_delay_s=reboot_delay_s,
-        max_failures=max_failures, max_group_size=max_group_size,
-        workload_options=workload_options)
-    results = get_default_campaign().run(configs, priority=priority)
-    averaged = average_over_seeds(results)
-
+    averaged = list(averaged)
     by_cell = {}
     for result in averaged:
         cfg = result.config
         by_cell[(cfg.method, cfg.failure.mtbf_per_node_s,
                  cfg.failure.n_spares)] = result
+    if methods is None:
+        methods = _first_seen(r.config.method for r in averaged)
+    if mtbf_per_node_s is None:
+        mtbf_per_node_s = _first_seen(
+            r.config.failure.mtbf_per_node_s for r in averaged)
+    if spare_counts is None:
+        spare_counts = _first_seen(r.config.failure.n_spares for r in averaged)
 
+    if averaged:
+        first = averaged[0]
+        cfg = first.config
+        interval_s = cfg.schedule.interval_s if cfg.schedule else 0.0
+        context = (f"{cfg.workload}, {cfg.n_ranks} ranks, "
+                   f"ckpt every {interval_s:g}s, "
+                   f"≤{cfg.failure.max_failures} failures/run, "
+                   f"{first.metrics.get('n_seeds', 1)} seeds")
+    else:
+        context = "no stored results"
     cells: List[AvailabilityCell] = []
     makespan_series: Dict[Tuple[str, int], Series] = {}
     availability_series: Dict[Tuple[str, int], Series] = {}
     table = Table(
-        title=(f"Availability under sustained failures ({workload}, {n_ranks} ranks, "
-               f"ckpt every {interval_s:g}s, ≤{max_failures} failures/run, "
-               f"{len(seeds)} seeds)"),
+        title=f"Availability under sustained failures ({context})",
         columns=["method", "node MTBF (s)", "spares", "makespan (s)", "± (s)",
                  "availability", "failures", "loss (s)", "recovery rank-s/fail",
                  "migrated", "rebooted", "refilled", "aborted", "peak conc."],
@@ -207,7 +211,9 @@ def availability_experiment(
             makespan_series[(method, spares)] = Series(name=f"{label} makespan (s)")
             availability_series[(method, spares)] = Series(name=f"{label} availability")
             for mtbf in mtbf_per_node_s:
-                result = by_cell[(method, mtbf, spares)]
+                result = by_cell.get((method, mtbf, spares))
+                if result is None:
+                    continue
                 m = result.metrics
                 failures = m.get("failures_injected", 0.0)
                 recovery_per_failure = (
@@ -252,6 +258,59 @@ def availability_experiment(
         "table": table,
         "results": averaged,
     }
+
+
+def availability_tables_from_store(store) -> Dict[str, object]:
+    """Availability cells/table recomputed from a store — no simulation.
+
+    Selects the ``done`` rows the availability sweeps stamped (cluster name
+    ``"availability"``), collapses the seed axis, and aggregates exactly as
+    :func:`availability_experiment` would.  The observatory server's
+    ``/api/tables/availability`` backend.
+    """
+    from repro.campaign.export import average_over_seeds, stored_results
+
+    results = stored_results(store, cluster_name="availability")
+    return availability_summary(average_over_seeds(results))
+
+
+def availability_experiment(
+    workload: str = "halo2d",
+    n_ranks: int = 16,
+    methods: Sequence[str] = ("NORM", "GP", "GP1"),
+    mtbf_per_node_s: Sequence[float] = (240.0, 100.0, 50.0),
+    spare_counts: Sequence[int] = (0, 2),
+    seeds: Sequence[int] = (0, 1),
+    interval_s: float = 2.0,
+    detection_delay_s: float = 0.25,
+    reboot_delay_s: float = 5.0,
+    max_failures: int = 6,
+    max_group_size: Optional[int] = 8,
+    workload_options: Optional[Dict[str, object]] = None,
+    priority: int = 0,
+) -> Dict[str, object]:
+    """Run (or fetch) the availability grid and aggregate it per cell.
+
+    Returns ``cells`` (one :class:`AvailabilityCell` per grid point,
+    seed-averaged), ``makespan_series`` / ``availability_series`` (one line
+    per (method, spares) combination over the failure-rate axis — the "GP
+    degrades gracefully, NORM collapses" figure), a formatted ``table``, and
+    the raw seed-averaged ``results``.
+    """
+    from repro.campaign.executor import get_default_campaign
+
+    configs = availability_configs(
+        workload=workload, n_ranks=n_ranks, methods=methods,
+        mtbf_per_node_s=mtbf_per_node_s, spare_counts=spare_counts,
+        seeds=seeds, interval_s=interval_s,
+        detection_delay_s=detection_delay_s, reboot_delay_s=reboot_delay_s,
+        max_failures=max_failures, max_group_size=max_group_size,
+        workload_options=workload_options)
+    results = get_default_campaign().run(configs, priority=priority)
+    averaged = average_over_seeds(results)
+    return availability_summary(averaged, methods=methods,
+                                mtbf_per_node_s=mtbf_per_node_s,
+                                spare_counts=spare_counts)
 
 
 def calibrated_interval_table(

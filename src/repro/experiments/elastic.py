@@ -175,6 +175,22 @@ def repartition_table(results) -> Table:
     return table
 
 
+def elastic_tables_from_store(store) -> Dict[str, object]:
+    """Elastic-shrink repartition table recomputed from a store — no simulation.
+
+    Selects the ``done`` rows the shrink sweeps stamped (cluster name
+    ``"elastic-shrink"``) and rebuilds :func:`repartition_table` from the
+    stored payloads.  The observatory server's ``/api/tables/elastic``
+    backend; value-equal to :func:`elastic_experiment`'s table for the same
+    store.  (The conservation table is simulation-free but not store-derived,
+    so it stays with the experiment.)
+    """
+    from repro.campaign.export import stored_results
+
+    results = stored_results(store, cluster_name="elastic-shrink")
+    return {"results": results, "repartition": repartition_table(results)}
+
+
 def elastic_experiment(
     workloads: Sequence[str] = ("halo2d", "hpl"),
     methods: Sequence[str] = ("NORM", "GP4"),

@@ -174,6 +174,84 @@ def storage_tier_configs(
     return configs
 
 
+def _first_seen(values) -> List:
+    out: List = []
+    for value in values:
+        if value not in out:
+            out.append(value)
+    return out
+
+
+def overhead_table(results,
+                   methods: Optional[Sequence[str]] = None,
+                   policies: Optional[Sequence[str]] = None) -> Table:
+    """Steady-state overhead per (method, policy) from failure-free cells.
+
+    A pure aggregation over (live or stored) results — nothing is
+    re-simulated, so the observatory can serve it straight from a campaign
+    store.  ``methods``/``policies`` fix the row order and the per-method
+    baseline (the first policy listed); when omitted they derive in
+    first-seen result order, which for a store filled by
+    :func:`storage_tier_experiment` reproduces the sweep's own ordering —
+    the served table is value-equal to the CLI's.
+    """
+    results = list(results)
+    by_cell: Dict[Tuple[str, str, str, int], object] = {}
+    for result in results:
+        cfg = result.config
+        by_cell[(cfg.method, policy_label(cfg), failure_label(cfg),
+                 cfg.seed)] = result
+    if methods is None:
+        methods = _first_seen(r.config.method for r in results)
+    if policies is None:
+        policies = _first_seen(policy_label(r.config) for r in results)
+
+    if results:
+        first = results[0].config
+        schedule = first.schedule
+        n_checkpoints = len(schedule.times) if schedule is not None else 0
+        context = (f"{first.workload}, {first.n_ranks} ranks, "
+                   f"{n_checkpoints} equal-count checkpoints, failure-free")
+    else:
+        context = "no stored results"
+    overhead = Table(
+        title=f"Steady-state storage-tier overhead ({context})",
+        columns=["method", "policy", "makespan (s)", "overhead vs L1",
+                 "ckpt phase (s)", "L1 MB", "L2 MB", "L3 MB",
+                 "partner copies", "stalls"],
+    )
+    mb = 1024.0 * 1024.0
+
+    def _ckpt_phase_seconds(result) -> float:
+        # phase-attributed checkpoint time from the metrics registry
+        # (payload v6 "phase_times") — the telemetry layer's one source of
+        # truth, not re-derived from ApplicationResult fields
+        checkpoint = (result.phase_times or {}).get("checkpoint") or {}
+        return sum((checkpoint.get("stages") or {}).values())
+
+    for method in methods:
+        baseline = None
+        for policy in policies:
+            cell = [r for (m, p, f, _s), r in sorted(by_cell.items())
+                    if m == method and p == policy and f == "none"]
+            if not cell:
+                continue
+            makespan = sum(r.makespan for r in cell) / len(cell)
+            if baseline is None:
+                baseline = makespan
+            written = {lvl: sum(r.tier_bytes_written.get(lvl, 0) for r in cell)
+                       for lvl in ("L1", "L2", "L3")}
+            overhead.add_row(
+                method, policy, round(makespan, 3),
+                f"{makespan / baseline - 1.0:+.2%}",
+                round(sum(_ckpt_phase_seconds(r) for r in cell) / len(cell), 3),
+                round(written["L1"] / mb, 1), round(written["L2"] / mb, 1),
+                round(written["L3"] / mb, 1),
+                sum(r.partner_copies for r in cell),
+                sum(r.replication_stalls for r in cell))
+    return overhead
+
+
 def survivability_matrix(results) -> Table:
     """(policy × failure kind) → survived / UNSURVIVABLE, with restart cost."""
     cells: Dict[Tuple[str, str], List] = {}
@@ -243,47 +321,31 @@ def storage_tier_experiment(
         by_cell[(cfg.method, policy_label(cfg), failure_label(cfg),
                  cfg.seed)] = result
 
-    overhead = Table(
-        title=(f"Steady-state storage-tier overhead ({workload}, {n_ranks} ranks, "
-               f"{len(tuple(checkpoint_times))} equal-count checkpoints, failure-free)"),
-        columns=["method", "policy", "makespan (s)", "overhead vs L1",
-                 "ckpt phase (s)", "L1 MB", "L2 MB", "L3 MB",
-                 "partner copies", "stalls"],
-    )
-    mb = 1024.0 * 1024.0
-
-    def _ckpt_phase_seconds(result) -> float:
-        # phase-attributed checkpoint time from the metrics registry
-        # (payload v6 "phase_times") — the telemetry layer's one source of
-        # truth, not re-derived from ApplicationResult fields
-        checkpoint = (result.phase_times or {}).get("checkpoint") or {}
-        return sum((checkpoint.get("stages") or {}).values())
-
-    for method in methods:
-        baseline = None
-        for policy in policies:
-            cell = [r for (m, p, f, _s), r in sorted(by_cell.items())
-                    if m == method and p == policy and f == "none"]
-            if not cell:
-                continue
-            makespan = sum(r.makespan for r in cell) / len(cell)
-            if baseline is None:
-                baseline = makespan
-            written = {lvl: sum(r.tier_bytes_written.get(lvl, 0) for r in cell)
-                       for lvl in ("L1", "L2", "L3")}
-            overhead.add_row(
-                method, policy, round(makespan, 3),
-                f"{makespan / baseline - 1.0:+.2%}",
-                round(sum(_ckpt_phase_seconds(r) for r in cell) / len(cell), 3),
-                round(written["L1"] / mb, 1), round(written["L2"] / mb, 1),
-                round(written["L3"] / mb, 1),
-                sum(r.partner_copies for r in cell),
-                sum(r.replication_stalls for r in cell))
-
     return {
         "results": results,
         "by_cell": by_cell,
-        "overhead_table": overhead,
+        "overhead_table": overhead_table(results, methods=methods,
+                                         policies=policies),
+        "survivability": survivability_matrix(results),
+    }
+
+
+def tables_from_store(store) -> Dict[str, object]:
+    """Storage-tier tables recomputed from a store's payloads — no simulation.
+
+    Selects the ``done`` rows the storage-tier sweeps stamped (cluster name
+    ``"storage-tiers"``) and rebuilds the overhead table and survivability
+    matrix purely from the stored metrics.  This is the observatory server's
+    ``/api/tables/{overhead,survivability}`` backend: the tables are
+    value-equal to what :func:`storage_tier_experiment` reports for the same
+    store, but a cold read costs one aggregation pass instead of a sweep.
+    """
+    from repro.campaign.export import stored_results
+
+    results = stored_results(store, cluster_name="storage-tiers")
+    return {
+        "results": results,
+        "overhead": overhead_table(results),
         "survivability": survivability_matrix(results),
     }
 

@@ -769,14 +769,26 @@ def test_campaign_progress_snapshot():
 
 
 def test_campaign_progress_empty_store():
-    from repro.campaign import campaign_progress, progress_tables
+    from repro.campaign import (campaign_progress, progress_tables,
+                                render_progress_html, render_progress_text)
 
     progress = campaign_progress(CampaignStore(":memory:"))
     assert progress.total == 0
+    assert progress.is_empty
     assert progress.done_fraction == 0.0
-    assert progress.eta_s == 0.0  # nothing left to drain
+    assert progress.eta_s is None  # no rows: no projection, not "drained"
+    assert progress.throughput_per_s == 0.0
     tables = progress_tables(progress)
     assert [t.title for t in tables][:2] == ["Campaign status", "Rates"]
+    rates = tables[1]
+    assert any("no rows yet" in str(cell) for row in rates.rows for cell in row)
+    # both renderers must survive (and say so) rather than divide by zero
+    assert "no rows yet" in render_progress_text(progress)
+    html_page = render_progress_html(progress)
+    assert "no rows yet" in html_page
+    as_dict = progress.as_dict()
+    assert as_dict["is_empty"] and as_dict["eta_s"] is None
+    assert as_dict["total"] == 0
 
 
 def test_progress_renderers():

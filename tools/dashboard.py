@@ -148,6 +148,11 @@ td:first-child, th:first-child {{ text-align: left; }}
 """
 
 
+def page_css(states=()) -> str:
+    """The report stylesheet (light/dark), reusable by sibling tools."""
+    return _css(list(states))
+
+
 def _legend(states: List[str]) -> str:
     items = "".join(
         f'<span><i class="swatch" style="background:var(--state-{s})"></i>'
@@ -164,12 +169,14 @@ def _fmt_bytes(value: float) -> str:
     return f"{value:.1f} GiB"
 
 
-def _axis_ticks(t0: float, t1: float, width: int, x0: int, y: int) -> str:
+def _axis_ticks(t0: float, t1: float, width: int, x0: int, y: int,
+                x_fmt=lambda t: f"{t:.3g}s") -> str:
     parts = []
     for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
         x = x0 + frac * (width - x0)
         t = t0 + frac * (t1 - t0)
-        parts.append(f'<text x="{x:.1f}" y="{y}" text-anchor="middle">{t:.3g}s</text>')
+        parts.append(f'<text x="{x:.1f}" y="{y}" text-anchor="middle">'
+                     f"{html.escape(x_fmt(t))}</text>")
     return "".join(parts)
 
 
@@ -281,23 +288,32 @@ def _stacked_area(data: Dict[str, object]) -> str:
 </figure>"""
 
 
-def _line_chart(data: Dict[str, object], key: str, title: str, sub: str,
-                colour: str, fmt=lambda v: f"{v:.3g}") -> str:
-    bins = data["bins"]
-    values = [float(b.get(key, 0.0)) for b in bins]
+def line_chart_svg(points, title: str, sub: str,
+                   colour: str = "var(--series-1)",
+                   fmt=lambda v: f"{v:.3g}",
+                   x_fmt=lambda t: f"{t:.3g}s") -> str:
+    """One single-series SVG line chart figure (the report's house style).
+
+    ``points`` is a sequence of ``(x, value, tooltip)`` triples (``tooltip``
+    may be ``None`` for the default ``x: value`` form).  Reused by the
+    benchmark-trend tool, so it assumes nothing about the x axis beyond
+    monotonicity — ``x_fmt`` renders the axis ticks.
+    """
+    points = [(float(x), float(v), tip) for x, v, tip in points]
     x0, top, axis_band, plot_h = 56, 8, 22, 120
     width = 1100
     height = top + plot_h + axis_band
-    t0, t1 = bins[0]["t0"], bins[-1]["t1"]
+    t0, t1 = points[0][0], points[-1][0]
     span = max(t1 - t0, 1e-12)
-    vmax = max(max(values), 1e-12)
+    vmax = max(max(v for _, v, _ in points), 1e-12)
     pts = []
     dots = []
-    for b, v in zip(bins, values):
-        x = x0 + ((b["t0"] + b["t1"]) / 2.0 - t0) / span * (width - x0)
+    for x_val, v, tip in points:
+        x = x0 + (x_val - t0) / span * (width - x0)
         y = top + plot_h * (1 - v / vmax)
         pts.append(f"{x:.1f},{y:.1f}")
-        tip = html.escape(f"[{b['t0']:.4g}s, {b['t1']:.4g}s): {fmt(v)}", quote=True)
+        tip = html.escape(tip if tip is not None else f"{x_fmt(x_val)}: {fmt(v)}",
+                          quote=True)
         dots.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="6" fill="transparent">'
                     f"<title>{tip}</title></circle>")
     grid = "".join(
@@ -306,7 +322,7 @@ def _line_chart(data: Dict[str, object], key: str, title: str, sub: str,
         f'<text x="{x0 - 6}" y="{top + plot_h * (1 - g) + 3:.1f}" '
         f'text-anchor="end">{fmt(vmax * g)}</text>'
         for g in (0.0, 0.5, 1.0))
-    axis = _axis_ticks(t0, t1, width, x0, height - 6)
+    axis = _axis_ticks(t0, t1, width, x0, height - 6, x_fmt=x_fmt)
     # single series: the caption names it, no legend box needed
     return f"""<figure>
 <figcaption>{html.escape(title)} <span class="sub">— {html.escape(sub)}</span></figcaption>
@@ -319,6 +335,15 @@ def _line_chart(data: Dict[str, object], key: str, title: str, sub: str,
 {axis}
 </svg>
 </figure>"""
+
+
+def _line_chart(data: Dict[str, object], key: str, title: str, sub: str,
+                colour: str, fmt=lambda v: f"{v:.3g}") -> str:
+    bins = data["bins"]
+    points = [((b["t0"] + b["t1"]) / 2.0, float(b.get(key, 0.0)),
+               f"[{b['t0']:.4g}s, {b['t1']:.4g}s): {fmt(float(b.get(key, 0.0)))}")
+              for b in bins]
+    return line_chart_svg(points, title, sub, colour, fmt=fmt)
 
 
 def _table_view(data: Dict[str, object], kind: str) -> str:
